@@ -1,0 +1,67 @@
+"""Ablation — the fairMS distance threshold for the retrain-from-scratch decision.
+
+fairDMS applies a user-defined JSD threshold: when no Zoo model's training
+dataset is within the threshold of the new data, the model is trained from
+scratch instead of fine-tuned (paper Section II-C).  This ablation sweeps the
+threshold and reports, for same-phase and cross-phase query datasets, whether
+fine-tuning would be chosen — showing the operating range in which the policy
+reuses models for similar data while refusing foundation models trained on a
+different configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FairMS
+
+from common import bragg_experiment, build_braggnn_zoo, fitted_bragg_fairds, print_table
+
+THRESHOLDS = (0.05, 0.1, 0.2, 0.4, 0.8)
+
+
+@pytest.mark.figure("ablation-threshold")
+def test_ablation_distance_threshold(benchmark, report_sink):
+    seed = 0
+    experiment = bragg_experiment(n_scans=22, change_at=11, peaks_per_scan=100, seed=seed)
+    fairds = fitted_bragg_fairds(experiment, scans=[0, 1, 2], n_clusters=10, seed=seed)
+    # Zoo trained on phase-0 data only.
+    zoo, _ = build_braggnn_zoo(experiment, fairds, scan_groups=[(0, 1), (2, 3), (4, 5)],
+                               epochs=8, seed=seed)
+
+    same_phase = fairds.dataset_distribution(experiment.scan(7).images, label="same-phase")
+    cross_phase = fairds.dataset_distribution(experiment.scan(15).images, label="cross-phase")
+
+    rows = []
+    decisions = {}
+    for threshold in THRESHOLDS:
+        fairms = FairMS(zoo, distance_threshold=threshold)
+        same = not fairms.should_train_from_scratch(same_phase)
+        cross = not fairms.should_train_from_scratch(cross_phase)
+        decisions[threshold] = (same, cross)
+        rows.append((
+            threshold,
+            fairms.recommend(same_phase).distance,
+            "fine-tune" if same else "scratch",
+            fairms.recommend(cross_phase).distance,
+            "fine-tune" if cross else "scratch",
+        ))
+
+    print_table(
+        "Ablation — retrain-from-scratch decision vs JSD distance threshold",
+        ["threshold", "same_phase_jsd", "same_phase_decision",
+         "cross_phase_jsd", "cross_phase_decision"],
+        rows, sink=report_sink,
+    )
+
+    # Shape checks: a permissive threshold reuses models for everything, a very
+    # strict one reuses nothing, and intermediate thresholds separate the phases.
+    assert decisions[THRESHOLDS[-1]] == (True, True)
+    assert decisions[THRESHOLDS[0]][1] is False
+    assert any(same and not cross for same, cross in decisions.values()), (
+        "expected some threshold to accept same-phase data but reject cross-phase data"
+    )
+
+    fairms = FairMS(zoo, distance_threshold=0.2)
+    benchmark(lambda: fairms.should_train_from_scratch(cross_phase))

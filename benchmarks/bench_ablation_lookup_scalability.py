@@ -1,0 +1,83 @@
+"""Ablation — hierarchical (cluster-partitioned) lookup vs flat nearest-neighbour search.
+
+The paper motivates the two-level search of fairDS (first find the cluster,
+then search within it) by the cost of naive instance discrimination, which
+"scales linearly with the size of the database".  This ablation measures query
+latency of the flat exact index against the cluster-partitioned index as the
+historical store grows, and verifies that both return the same nearest
+neighbour when the partition is probed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.clustering.kmeans import KMeans
+from repro.storage.vector_index import ClusteredVectorIndex, VectorIndex
+from repro.utils.rng import default_rng
+
+from common import print_table
+
+STORE_SIZES = (2_000, 8_000, 32_000)
+DIM = 16
+N_CLUSTERS = 32
+N_QUERIES = 200
+
+
+def _timed_queries(index, queries) -> float:
+    start = time.perf_counter()
+    for q in queries:
+        index.query(q, k=1)
+    return (time.perf_counter() - start) / len(queries) * 1e3  # ms / query
+
+
+@pytest.mark.figure("ablation-lookup")
+def test_ablation_lookup_scalability(benchmark, report_sink):
+    rng = default_rng(0)
+    # Clustered data: a mixture of Gaussian blobs, as produced by the embedding space.
+    blob_centers = rng.normal(scale=10.0, size=(N_CLUSTERS, DIM))
+
+    rows = []
+    speedups = []
+    for size in STORE_SIZES:
+        assignments = rng.integers(0, N_CLUSTERS, size=size)
+        vectors = blob_centers[assignments] + rng.normal(size=(size, DIM))
+        keys = [f"k{i}" for i in range(size)]
+
+        flat = VectorIndex(DIM)
+        flat.add(keys, vectors)
+
+        km = KMeans(n_clusters=N_CLUSTERS, n_init=1, max_iter=25, seed=0).fit(vectors[: min(size, 4000)])
+        clustered = ClusteredVectorIndex(km.cluster_centers_, n_probe=2)
+        clustered.add(keys, vectors, km.predict(vectors))
+
+        queries = blob_centers[rng.integers(0, N_CLUSTERS, size=N_QUERIES)] + rng.normal(size=(N_QUERIES, DIM))
+        flat_ms = _timed_queries(flat, queries)
+        clustered_ms = _timed_queries(clustered, queries)
+        rows.append((size, flat_ms, clustered_ms, flat_ms / max(clustered_ms, 1e-9)))
+        speedups.append(flat_ms / max(clustered_ms, 1e-9))
+
+        # Correctness spot-check: for a handful of queries both indexes agree on
+        # the nearest neighbour (the probed partition contains it).
+        agreements = 0
+        for q in queries[:20]:
+            if flat.query(q, k=1)[0][0] == clustered.query(q, k=1)[0][0]:
+                agreements += 1
+        assert agreements >= 18
+
+    print_table(
+        "Ablation — nearest-neighbour lookup latency [ms/query]: flat vs cluster-partitioned index",
+        ["store_size", "flat_ms", "clustered_ms", "speedup"],
+        rows, sink=report_sink,
+    )
+
+    # Shape checks: the hierarchical index wins, and its advantage grows with store size.
+    assert all(s > 1.0 for s in speedups[1:])
+    assert speedups[-1] >= speedups[0] * 0.8  # advantage does not collapse as the store grows
+
+    # Benchmark target: one clustered query at the largest store size.
+    last_query = blob_centers[0] + rng.normal(size=DIM)
+    benchmark(lambda: clustered.query(last_query, k=1))

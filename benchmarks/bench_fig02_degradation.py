@@ -1,0 +1,61 @@
+"""Fig. 2 — prediction error and MC-dropout uncertainty vs. experiment time.
+
+The paper trains BraggNN on the first phase of an HEDM experiment and shows
+prediction error (left axis) and the 95 % MC-dropout confidence bound (right
+axis) rising once sample deformation changes the data distribution (around
+scan 444 in the paper; at the configured phase change here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_braggnn
+from repro.monitoring import DegradationDetector
+from repro.nn.trainer import Trainer, TrainingConfig
+
+from common import bragg_experiment, print_table
+
+
+@pytest.mark.figure("fig2")
+def test_fig02_model_degradation_over_time(benchmark, report_sink):
+    seed = 0
+    experiment = bragg_experiment(n_scans=20, change_at=12, peaks_per_scan=100, seed=seed)
+
+    # Train on the early phase only (the paper trains up to scan 402).
+    x, y = experiment.stacked(range(4))
+    model = build_braggnn(width=4, seed=seed)
+    Trainer(model).fit((x, y), val=(x, y),
+                       config=TrainingConfig(epochs=15, batch_size=32, lr=3e-3, seed=seed))
+
+    detector = DegradationDetector(model, baseline_scans=4, error_factor=1.5,
+                                   mc_samples=8, error_metric="pixel")
+
+    def evaluate_all_scans():
+        detector.records.clear()
+        for i in range(4, 20):
+            scan = experiment.scan(i)
+            detector.evaluate_scan(i, scan.images, scan.normalized_centers)
+        return detector.series()
+
+    series = benchmark.pedantic(evaluate_all_scans, rounds=1, iterations=1)
+
+    rows = list(zip(series["scan_index"], series["prediction_error"],
+                    series["uncertainty"], series["degraded"]))
+    print_table(
+        "Fig. 2 — prediction error & uncertainty vs. scan index (phase change at scan 12)",
+        ["scan", "pred_error_px", "uncertainty", "degraded"],
+        rows,
+        sink=report_sink,
+    )
+
+    errors = np.array(series["prediction_error"])
+    unc = np.array(series["uncertainty"])
+    split = 12 - 4  # scans 4..11 are phase 0, 12..19 phase 1
+    # Shape check: both error and uncertainty increase after the phase change,
+    # and degradation is flagged only after it.
+    assert errors[split:].mean() > errors[:split].mean()
+    assert unc[split:].mean() > unc[:split].mean()
+    onset = detector.degradation_onset()
+    assert onset is not None and onset >= 12

@@ -1,0 +1,45 @@
+"""Fig. 6 — Tomography data: storage backend vs training/I-O time.
+
+Paper setting: 2048x2048 16-bit slices read from remote MongoDB (Blosc /
+Pickle serialisation) or directly from NFS; epoch time vs batch size (left)
+and per-iteration I/O time vs number of reader workers (right).  Here the
+slices are smaller and the network is simulated, but the comparison structure
+and trends are the same: deserialisation makes the DB codecs slower per fetch,
+and reader parallelism hides that latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DriftSchedule, TomographyDataset
+
+from common import print_table
+from storage_study import build_backends, check_storage_trends, epoch_time_vs_batch_size, io_time_vs_workers
+
+BATCH_SIZES = (8, 16, 32)
+WORKER_COUNTS = (0, 2, 4, 8)
+
+
+@pytest.mark.figure("fig6")
+def test_fig06_storage_study_tomography(benchmark, report_sink):
+    data = TomographyDataset(DriftSchedule(n_scans=2), slices_per_scan=40, image_size=64, seed=0)
+    noisy, clean = data.stacked([0, 1])
+    backends, store = build_backends(noisy, clean)
+    try:
+        epoch_rows = epoch_time_vs_batch_size(backends, BATCH_SIZES, workers=4,
+                                              compute_per_batch=0.002)
+        io_rows = io_time_vs_workers(backends, WORKER_COUNTS, batch_size=16)
+        print_table("Fig. 6a — Tomography: epoch time [s] vs batch size (4 workers)",
+                    ["backend", "batch_size", "epoch_s"], epoch_rows, sink=report_sink)
+        print_table("Fig. 6b — Tomography: I/O time [ms/batch] vs #workers (batch 16)",
+                    ["backend", "workers", "ms_per_batch"], io_rows, sink=report_sink)
+        check_storage_trends(io_rows)
+
+        # pytest-benchmark target: one full epoch of DB reads with prefetching.
+        loader_ds = backends["pickle"]
+        from repro.dataio import DataLoader
+
+        benchmark(lambda: sum(bx.shape[0] for bx, _ in DataLoader(loader_ds, batch_size=16, num_workers=4)))
+    finally:
+        store.cleanup()

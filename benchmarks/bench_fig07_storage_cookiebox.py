@@ -1,0 +1,37 @@
+"""Fig. 7 — CookieBox data: storage backend vs training/I-O time.
+
+Same protocol as Fig. 6 with the CookieBox dataset (many medium-sized
+histogram images).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import cookiebox_experiment, print_table
+from storage_study import build_backends, check_storage_trends, epoch_time_vs_batch_size, io_time_vs_workers
+
+BATCH_SIZES = (16, 32, 64)
+WORKER_COUNTS = (0, 2, 4, 8)
+
+
+@pytest.mark.figure("fig7")
+def test_fig07_storage_study_cookiebox(benchmark, report_sink):
+    experiment = cookiebox_experiment(n_scans=4, samples_per_scan=100, n_channels=16, n_bins=64)
+    x, y = experiment.stacked(range(4))
+    backends, store = build_backends(x, y)
+    try:
+        epoch_rows = epoch_time_vs_batch_size(backends, BATCH_SIZES, workers=4,
+                                              compute_per_batch=0.001)
+        io_rows = io_time_vs_workers(backends, WORKER_COUNTS, batch_size=32)
+        print_table("Fig. 7a — CookieBox: epoch time [s] vs batch size (4 workers)",
+                    ["backend", "batch_size", "epoch_s"], epoch_rows, sink=report_sink)
+        print_table("Fig. 7b — CookieBox: I/O time [ms/batch] vs #workers (batch 32)",
+                    ["backend", "workers", "ms_per_batch"], io_rows, sink=report_sink)
+        check_storage_trends(io_rows)
+
+        from repro.dataio import DataLoader
+
+        benchmark(lambda: sum(bx.shape[0] for bx, _ in DataLoader(backends["blosc"], batch_size=32, num_workers=4)))
+    finally:
+        store.cleanup()

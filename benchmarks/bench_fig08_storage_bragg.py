@@ -1,0 +1,44 @@
+"""Fig. 8 — BraggPeaks data: storage backend vs training/I-O time.
+
+Same protocol as Figs. 6-7 with the Bragg patch dataset: very many tiny
+(15x15) items, so per-fetch latency rather than payload bandwidth dominates.
+In the paper this is the configuration where direct NFS reads beat the remote
+DB unless many prefetch workers are used — the trend asserted below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import bragg_experiment, print_table
+from storage_study import build_backends, check_storage_trends, epoch_time_vs_batch_size, io_time_vs_workers
+
+BATCH_SIZES = (32, 64, 128)
+WORKER_COUNTS = (0, 2, 4, 8)
+
+
+@pytest.mark.figure("fig8")
+def test_fig08_storage_study_bragg(benchmark, report_sink):
+    experiment = bragg_experiment(n_scans=6, change_at=3, peaks_per_scan=200)
+    images, labels = experiment.stacked(range(6))
+    backends, store = build_backends(images, labels)
+    try:
+        epoch_rows = epoch_time_vs_batch_size(backends, BATCH_SIZES, workers=4,
+                                              compute_per_batch=0.0005)
+        io_rows = io_time_vs_workers(backends, WORKER_COUNTS, batch_size=64)
+        print_table("Fig. 8a — BraggPeaks: epoch time [s] vs batch size (4 workers)",
+                    ["backend", "batch_size", "epoch_s"], epoch_rows, sink=report_sink)
+        print_table("Fig. 8b — BraggPeaks: I/O time [ms/batch] vs #workers (batch 64)",
+                    ["backend", "workers", "ms_per_batch"], io_rows, sink=report_sink)
+        check_storage_trends(io_rows)
+
+        # The latency-bound effect: with a single reader, the DB path (per-fetch
+        # latency + deserialisation of many small items) is slower than NFS.
+        io = {(name, w): ms for name, w, ms in io_rows}
+        assert io[("pickle", 0)] > io[("nfs", 0)] * 0.8
+
+        from repro.dataio import DataLoader
+
+        benchmark(lambda: sum(bx.shape[0] for bx, _ in DataLoader(backends["pickle"], batch_size=64, num_workers=8)))
+    finally:
+        store.cleanup()

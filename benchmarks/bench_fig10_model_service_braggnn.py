@@ -1,0 +1,63 @@
+"""Fig. 10 — prediction error vs dataset distance (JSD), BraggNN.
+
+For each of several test datasets, every Zoo model is applied to the test data
+and its prediction error plotted against the JSD between the test dataset's
+cluster distribution and the model's training-data distribution.  The paper's
+claim: error and distance are positively correlated, so ranking by JSD finds
+low-error foundation models without running any inference.
+
+The BraggNN variation is bimodal (two experiment phases), which is why the
+scatter is not perfectly monotone in the paper — the same structure appears
+here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import correlation
+
+from common import bragg_experiment, braggnn_error, build_braggnn_zoo, fitted_bragg_fairds, print_table
+
+TEST_SCANS = (4, 9, 14, 19)
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_error_vs_distance_braggnn(benchmark, report_sink):
+    seed = 0
+    experiment = bragg_experiment(n_scans=22, change_at=11, peaks_per_scan=100, seed=seed)
+    fairds = fitted_bragg_fairds(experiment, scans=[0, 1, 2, 11, 12, 13], n_clusters=15, seed=seed)
+    # Zoo models trained on scan groups spanning both phases.
+    zoo, fairms = build_braggnn_zoo(
+        experiment, fairds,
+        scan_groups=[(0, 1), (2, 3), (5, 6), (11, 12), (13, 14), (16, 17)],
+        epochs=10, seed=seed,
+    )
+
+    rows = []
+    correlations = []
+    for test_scan in TEST_SCANS:
+        scan = experiment.scan(test_scan)
+        test_dist = fairds.dataset_distribution(scan.images, label=f"scan{test_scan}")
+        distances, errors = [], []
+        for rec in fairms.rank(test_dist):
+            model = fairms.load(rec)
+            err = braggnn_error(model, scan.images, scan.centers)
+            distances.append(rec.distance)
+            errors.append(err)
+            rows.append((test_scan, rec.record.name, rec.distance, err))
+        correlations.append(correlation(distances, errors))
+
+    print_table("Fig. 10 — BraggNN: prediction error vs JSD distance (4 test datasets)",
+                ["test_scan", "zoo_model", "jsd_distance", "error_px"], rows, sink=report_sink)
+    print(f"per-dataset correlation(error, distance): {[round(c, 3) for c in correlations]}")
+
+    # Shape check: on average the correlation is positive (smaller distance ->
+    # smaller error), as the paper argues despite the bimodal variation.
+    assert np.mean(correlations) > 0.2
+
+    # Benchmark target: ranking the Zoo for one test dataset (no inference needed).
+    scan = experiment.scan(TEST_SCANS[0])
+    dist = fairds.dataset_distribution(scan.images)
+    benchmark(lambda: fairms.rank(dist))

@@ -1,0 +1,58 @@
+"""Fig. 11 — prediction error vs dataset distance (JSD), CookieNetAE.
+
+Same protocol as Fig. 10 with the CookieBox application.  Because the
+CookieBox data drift *slowly and monotonically* (photon-energy drift rather
+than an abrupt configuration change), the error-vs-distance relationship is
+closer to monotone than for BraggNN — the behaviour the paper points out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FairDS
+from repro.embedding import PCAEmbedder
+from repro.utils.stats import correlation
+
+from common import build_cookienetae_zoo, cookiebox_experiment, cookienetae_error, print_table
+
+TEST_SCANS = (8, 9, 10, 11)
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_error_vs_distance_cookienetae(benchmark, report_sink):
+    seed = 0
+    experiment = cookiebox_experiment(n_scans=12, samples_per_scan=70, seed=seed)
+    hist_x, hist_y = experiment.stacked(range(8))
+    fairds = FairDS(PCAEmbedder(embedding_dim=6), n_clusters=8, seed=seed)
+    fairds.fit(hist_x, hist_y.reshape(hist_y.shape[0], -1))
+
+    zoo, fairms = build_cookienetae_zoo(
+        experiment, fairds, scan_groups=[(0, 1), (2, 3), (4, 5), (6, 7)], epochs=8, seed=seed
+    )
+
+    rows = []
+    correlations = []
+    for test_scan in TEST_SCANS:
+        x, y = experiment.stacked([test_scan])
+        dist = fairds.dataset_distribution(x, label=f"scan{test_scan}")
+        distances, errors = [], []
+        for rec in fairms.rank(dist):
+            model = fairms.load(rec)
+            err = cookienetae_error(model, x, y)
+            distances.append(rec.distance)
+            errors.append(err)
+            rows.append((test_scan, rec.record.name, rec.distance, err))
+        correlations.append(correlation(distances, errors))
+
+    print_table("Fig. 11 — CookieNetAE: prediction error vs JSD distance (4 test datasets)",
+                ["test_scan", "zoo_model", "jsd_distance", "error_mse"], rows, sink=report_sink)
+    print(f"per-dataset correlation(error, distance): {[round(c, 3) for c in correlations]}")
+
+    # Monotone drift -> positive correlation for most test datasets.
+    assert np.mean(correlations) > 0.3
+
+    x, _ = experiment.stacked([TEST_SCANS[0]])
+    dist = fairds.dataset_distribution(x)
+    benchmark(lambda: fairms.rank(dist))

@@ -1,0 +1,75 @@
+"""Fig. 13 — learning curves for CookieNetAE: Retrain vs FineTune-B/M/W.
+
+The paper plots validation loss vs epoch for four datasets; the best-ranked
+fine-tuning start converges within a few epochs while training from scratch
+needs many more.  The harness reports epochs-to-target for each dataset and
+strategy and asserts that ordering on average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FairDS
+from repro.embedding import PCAEmbedder
+from repro.models import build_cookienetae
+from repro.nn.trainer import Trainer, TrainingConfig
+
+from common import build_cookienetae_zoo, cookiebox_experiment, print_table
+from learning_curves import check_finetune_best_wins, compare_strategies, convergence_table
+
+MAX_EPOCHS = 30
+TEST_SCANS = (8, 9, 10, 11)
+
+
+@pytest.mark.figure("fig13")
+def test_fig13_learning_curves_cookienetae(benchmark, report_sink):
+    seed = 0
+    experiment = cookiebox_experiment(n_scans=12, samples_per_scan=70, seed=seed)
+    hist_x, hist_y = experiment.stacked(range(8))
+    fairds = FairDS(PCAEmbedder(embedding_dim=6), n_clusters=8, seed=seed)
+    fairds.fit(hist_x, hist_y.reshape(hist_y.shape[0], -1))
+    zoo, fairms = build_cookienetae_zoo(
+        experiment, fairds, scan_groups=[(0, 1), (2, 3), (4, 5), (6, 7)], epochs=10, seed=seed
+    )
+
+    n_channels, n_bins = experiment.n_channels, experiment.n_bins
+    builder = lambda: build_cookienetae(n_channels=n_channels, n_bins=n_bins,
+                                        hidden=64, latent=16, seed=seed + 100)
+
+    # Convergence target: slightly above the loss a well-trained reference reaches.
+    ref_x, ref_y = experiment.stacked([TEST_SCANS[0]])
+    ref_hist = Trainer(builder()).fit(
+        (ref_x, ref_y), val=(ref_x, ref_y),
+        config=TrainingConfig(epochs=MAX_EPOCHS, batch_size=32, lr=2e-3, seed=seed),
+    )
+    target = 1.10 * ref_hist.best_val_loss
+
+    histories_by_dataset = {}
+    for scan_idx in TEST_SCANS:
+        x, y = experiment.stacked([scan_idx])
+        histories_by_dataset[f"scan{scan_idx}"] = compare_strategies(
+            fairds, fairms, builder, x, y,
+            max_epochs=MAX_EPOCHS, lr=2e-3, target_loss=target, seed=seed,
+        )
+
+    rows = convergence_table(histories_by_dataset, target, MAX_EPOCHS)
+    print_table(
+        f"Fig. 13 — CookieNetAE epochs to reach val loss <= {target:.5f}",
+        ["dataset", "strategy", "epochs_to_target", "best_val_loss"],
+        rows, sink=report_sink,
+    )
+    check_finetune_best_wins(histories_by_dataset, target, MAX_EPOCHS)
+
+    # Benchmark target: one FineTune-B update on the first test dataset.
+    x, y = experiment.stacked([TEST_SCANS[0]])
+
+    def finetune_best():
+        rec = fairms.recommend(fairds.dataset_distribution(x))
+        model = fairms.load(rec)
+        return Trainer(model).fine_tune(
+            (x, y), val=(x, y),
+            config=TrainingConfig(epochs=5, batch_size=32, lr=2e-3, seed=seed), lr_scale=0.5,
+        )
+
+    benchmark.pedantic(finetune_best, rounds=1, iterations=1)

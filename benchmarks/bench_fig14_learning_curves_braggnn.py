@@ -1,0 +1,68 @@
+"""Fig. 14 — learning curves for BraggNN: Retrain vs FineTune-B/M/W.
+
+Same protocol as Fig. 13 with the BraggNN application on the two-phase HEDM
+experiment; the paper notes FineTune-B and FineTune-M can behave similarly
+when their training distributions are close, which also shows up here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import build_braggnn
+from repro.nn.trainer import Trainer, TrainingConfig
+
+from common import bragg_experiment, build_braggnn_zoo, fitted_bragg_fairds, print_table
+from learning_curves import check_finetune_best_wins, compare_strategies, convergence_table
+
+MAX_EPOCHS = 30
+TEST_SCANS = (4, 8, 14, 18)
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_learning_curves_braggnn(benchmark, report_sink):
+    seed = 0
+    experiment = bragg_experiment(n_scans=22, change_at=11, peaks_per_scan=100, seed=seed)
+    fairds = fitted_bragg_fairds(experiment, scans=[0, 1, 2, 11, 12, 13], n_clusters=15, seed=seed)
+    zoo, fairms = build_braggnn_zoo(
+        experiment, fairds,
+        scan_groups=[(0, 1), (2, 3), (5, 6), (11, 12), (15, 16)],
+        epochs=12, seed=seed,
+    )
+    builder = lambda: build_braggnn(width=4, seed=seed + 100)
+
+    # Convergence target from a generously trained reference on the first test scan.
+    ref_x, ref_y = experiment.stacked([TEST_SCANS[0]])
+    ref_hist = Trainer(builder()).fit(
+        (ref_x, ref_y), val=(ref_x, ref_y),
+        config=TrainingConfig(epochs=MAX_EPOCHS, batch_size=32, lr=3e-3, seed=seed),
+    )
+    target = 1.10 * ref_hist.best_val_loss
+
+    histories_by_dataset = {}
+    for scan_idx in TEST_SCANS:
+        x, y = experiment.stacked([scan_idx])
+        histories_by_dataset[f"scan{scan_idx}"] = compare_strategies(
+            fairds, fairms, builder, x, y,
+            max_epochs=MAX_EPOCHS, lr=3e-3, target_loss=target, seed=seed,
+        )
+
+    rows = convergence_table(histories_by_dataset, target, MAX_EPOCHS)
+    print_table(
+        f"Fig. 14 — BraggNN epochs to reach val loss <= {target:.5f}",
+        ["dataset", "strategy", "epochs_to_target", "best_val_loss"],
+        rows, sink=report_sink,
+    )
+    check_finetune_best_wins(histories_by_dataset, target, MAX_EPOCHS)
+
+    x, y = experiment.stacked([TEST_SCANS[0]])
+
+    def finetune_best():
+        rec = fairms.recommend(fairds.dataset_distribution(x))
+        model = fairms.load(rec)
+        return Trainer(model).fine_tune(
+            (x, y), val=(x, y),
+            config=TrainingConfig(epochs=5, batch_size=32, lr=3e-3, seed=seed), lr_scale=0.5,
+        )
+
+    benchmark.pedantic(finetune_best, rounds=1, iterations=1)

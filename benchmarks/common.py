@@ -1,0 +1,134 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import FairDS, FairMS, ModelZoo
+from repro.datasets import BraggPeakDataset, CookieBoxDataset, DriftSchedule, make_two_phase_schedule
+from repro.embedding import PCAEmbedder
+from repro.models import build_braggnn, build_cookienetae
+from repro.nn.metrics import euclidean_pixel_error, mean_squared_error
+from repro.nn.network import Sequential
+from repro.nn.trainer import Trainer, TrainingConfig
+
+
+# ---------------------------------------------------------------------------
+# pretty-printing
+# ---------------------------------------------------------------------------
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence], sink: Optional[list] = None) -> None:
+    """Print a small fixed-width table (and optionally append it to a sink)."""
+    lines = [f"\n--- {title} ---"]
+    widths = [max(len(str(h)), 10) for h in headers]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        formatted = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                formatted.append(f"{value:.4g}".ljust(width))
+            else:
+                formatted.append(str(value).ljust(width))
+        lines.append("  ".join(formatted))
+    text = "\n".join(lines)
+    print(text)
+    if sink is not None:
+        sink.append(text)
+
+
+# ---------------------------------------------------------------------------
+# experiment builders (shared across benches)
+# ---------------------------------------------------------------------------
+def bragg_experiment(n_scans: int = 24, change_at: int = 12, peaks_per_scan: int = 120, seed: int = 0) -> BraggPeakDataset:
+    """Two-phase drifting HEDM experiment used by most Bragg benches."""
+    schedule = make_two_phase_schedule(n_scans=n_scans, change_at=change_at, seed=seed)
+    return BraggPeakDataset(schedule, peaks_per_scan=peaks_per_scan, seed=seed)
+
+
+def cookiebox_experiment(n_scans: int = 12, samples_per_scan: int = 80, seed: int = 0,
+                         n_channels: int = 8, n_bins: int = 32) -> CookieBoxDataset:
+    """Slowly drifting CookieBox experiment (monotone spectral drift)."""
+    schedule = DriftSchedule(
+        n_scans=n_scans,
+        drift_per_scan={"energy_shift": 1.5, "noise_level": 0.002},
+        jitter=0.02,
+        seed=seed,
+    )
+    return CookieBoxDataset(schedule, samples_per_scan=samples_per_scan,
+                            n_channels=n_channels, n_bins=n_bins, seed=seed)
+
+
+def fitted_bragg_fairds(experiment: BraggPeakDataset, scans: Sequence[int],
+                        n_clusters: int = 15, seed: int = 0) -> FairDS:
+    """fairDS fitted on the given scans of a Bragg experiment (PCA embedder for speed)."""
+    images, labels = experiment.stacked(scans)
+    fairds = FairDS(PCAEmbedder(embedding_dim=8), n_clusters=n_clusters, seed=seed)
+    fairds.fit(images, labels, metadata=[{"scan": -1}] * images.shape[0])
+    return fairds
+
+
+@dataclass
+class ZooEntry:
+    model_id: str
+    scan_range: Tuple[int, int]
+    distance_to_test: float = float("nan")
+
+
+def build_braggnn_zoo(
+    experiment: BraggPeakDataset,
+    fairds: FairDS,
+    scan_groups: Sequence[Sequence[int]],
+    epochs: int = 12,
+    width: int = 4,
+    seed: int = 0,
+) -> Tuple[ModelZoo, FairMS]:
+    """Train one BraggNN per scan group and register it with its data distribution."""
+    zoo = ModelZoo()
+    config = TrainingConfig(epochs=epochs, batch_size=32, lr=3e-3, seed=seed)
+    for gi, group in enumerate(scan_groups):
+        x, y = experiment.stacked(group)
+        model = build_braggnn(width=width, seed=seed + gi)
+        Trainer(model).fit((x, y), val=(x, y), config=config)
+        dist = fairds.dataset_distribution(x, label=f"scans{group[0]}-{group[-1]}")
+        zoo.add(model, dist, name=f"braggnn-scans{group[0]}-{group[-1]}", scans=list(group))
+    return zoo, FairMS(zoo, distance_threshold=0.9)
+
+
+def build_cookienetae_zoo(
+    experiment: CookieBoxDataset,
+    fairds: FairDS,
+    scan_groups: Sequence[Sequence[int]],
+    epochs: int = 10,
+    seed: int = 0,
+) -> Tuple[ModelZoo, FairMS]:
+    """Train one CookieNetAE per scan group and register it in a Zoo."""
+    zoo = ModelZoo()
+    config = TrainingConfig(epochs=epochs, batch_size=32, lr=2e-3, seed=seed)
+    n_channels, n_bins = experiment.n_channels, experiment.n_bins
+    for gi, group in enumerate(scan_groups):
+        x, y = experiment.stacked(group)
+        model = build_cookienetae(n_channels=n_channels, n_bins=n_bins, hidden=64, latent=16,
+                                  seed=seed + gi)
+        Trainer(model).fit((x, y), val=(x, y), config=config)
+        dist = fairds.dataset_distribution(x, label=f"scans{group[0]}-{group[-1]}")
+        zoo.add(model, dist, name=f"cookienetae-scans{group[0]}-{group[-1]}", scans=list(group))
+    return zoo, FairMS(zoo, distance_threshold=0.9)
+
+
+def braggnn_error(model: Sequential, images: np.ndarray, centers_px: np.ndarray) -> float:
+    """Mean Euclidean pixel error of a BraggNN on ground-truth centres (in pixels)."""
+    pred = model.predict(images) * images.shape[-1]
+    return float(euclidean_pixel_error(pred, centers_px).mean())
+
+
+def cookienetae_error(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
+    """Mean squared error of a CookieNetAE on ground-truth densities."""
+    return mean_squared_error(model.predict(x), y)
+
+
+def epochs_to_target(history, target: float, max_epochs: int) -> int:
+    """Epochs needed to reach ``target`` validation loss (max_epochs+1 when never reached)."""
+    reached = history.epochs_to_converge(target)
+    return reached if reached is not None else max_epochs + 1

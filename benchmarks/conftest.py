@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_figXX_*.py`` module regenerates the rows/series of one figure of
+the paper and prints them with the helpers below, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a textual version of the paper's evaluation section.  Wall-clock
+numbers differ from the paper (CPU NumPy here vs V100 + clusters there); the
+*shape* of each comparison is what is reproduced.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): which paper figure a bench reproduces")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects printed tables so a summary can be emitted at the end of the session."""
+    lines = []
+    yield lines
+    if lines:
+        print("\n" + "=" * 78)
+        print("Benchmark harness summary (one block per reproduced figure)")
+        print("=" * 78)
+        for line in lines:
+            print(line)

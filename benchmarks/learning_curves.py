@@ -1,0 +1,104 @@
+"""Shared implementation of the learning-curve studies (Figs. 13 and 14).
+
+For each test dataset the four training strategies of the paper are compared
+under an identical convergence criterion:
+
+* ``Retrain``     — train a freshly initialised model,
+* ``FineTune-B``  — fine-tune the Zoo model fairMS ranks best (smallest JSD),
+* ``FineTune-M``  — fine-tune the median-ranked Zoo model,
+* ``FineTune-W``  — fine-tune the worst-ranked Zoo model.
+
+Each run records the validation-loss learning curve; the figure of merit is
+the number of epochs needed to reach a target validation loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import FairDS, FairMS
+from repro.nn.network import Sequential
+from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
+
+
+def compare_strategies(
+    fairds: FairDS,
+    fairms: FairMS,
+    model_builder: Callable[[], Sequential],
+    x: np.ndarray,
+    y: np.ndarray,
+    max_epochs: int,
+    lr: float,
+    target_loss: float,
+    seed: int = 0,
+    lr_scale: float = 0.5,
+) -> Dict[str, TrainingHistory]:
+    """Run the four strategies on dataset ``(x, y)``; returns their histories."""
+    n_val = max(4, x.shape[0] // 5)
+    x_val, y_val = x[:n_val], y[:n_val]
+    x_tr, y_tr = x[n_val:], y[n_val:]
+    config = TrainingConfig(epochs=max_epochs, batch_size=32, lr=lr,
+                            target_loss=target_loss, seed=seed)
+
+    dist = fairds.dataset_distribution(x)
+    ranking = fairms.rank(dist)
+    choices = {
+        "FineTune-B": ranking[0],
+        "FineTune-M": ranking[len(ranking) // 2],
+        "FineTune-W": ranking[-1],
+    }
+
+    histories: Dict[str, TrainingHistory] = {}
+    scratch = model_builder()
+    histories["Retrain"] = Trainer(scratch).fit((x_tr, y_tr), val=(x_val, y_val), config=config)
+    for name, rec in choices.items():
+        model = fairms.load(rec)
+        histories[name] = Trainer(model).fine_tune(
+            (x_tr, y_tr), val=(x_val, y_val), config=config, lr_scale=lr_scale
+        )
+    return histories
+
+
+def convergence_table(
+    histories_by_dataset: Dict[str, Dict[str, TrainingHistory]],
+    target_loss: float,
+    max_epochs: int,
+) -> List[Tuple]:
+    """Rows of (dataset, strategy, epochs_to_target, best_val_loss)."""
+    rows = []
+    for dataset, histories in histories_by_dataset.items():
+        for strategy in ("Retrain", "FineTune-B", "FineTune-M", "FineTune-W"):
+            hist = histories[strategy]
+            reached = hist.epochs_to_converge(target_loss)
+            rows.append((
+                dataset,
+                strategy,
+                reached if reached is not None else f">{max_epochs}",
+                hist.best_val_loss,
+            ))
+    return rows
+
+
+def check_finetune_best_wins(
+    histories_by_dataset: Dict[str, Dict[str, TrainingHistory]],
+    target_loss: float,
+    max_epochs: int,
+) -> None:
+    """Assert the paper's qualitative claim on average across datasets.
+
+    FineTune-B reaches the target in no more epochs than Retrain and no more
+    than the worst recommendation, averaged over the test datasets.
+    """
+
+    def mean_epochs(strategy: str) -> float:
+        vals = []
+        for histories in histories_by_dataset.values():
+            reached = histories[strategy].epochs_to_converge(target_loss)
+            vals.append(reached if reached is not None else max_epochs + 1)
+        return float(np.mean(vals))
+
+    best = mean_epochs("FineTune-B")
+    assert best <= mean_epochs("Retrain"), "FineTune-B should converge at least as fast as Retrain"
+    assert best <= mean_epochs("FineTune-W"), "FineTune-B should beat the worst recommendation"

@@ -1,0 +1,7 @@
+"""Setup shim: allows `python setup.py develop` / legacy editable installs
+in offline environments where the `wheel` package (needed for PEP 660
+editable wheels) is unavailable.  Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

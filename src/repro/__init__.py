@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of *fairDMS: Rapid Model Training by
+Data and Model Reuse* (CLUSTER 2022).
+
+The top-level package re-exports the main user-facing entry points; see the
+sub-packages for the full substrates:
+
+* :mod:`repro.core` — fairDS, fairMS, fairDMS.
+* :mod:`repro.embedding` / :mod:`repro.clustering` — representation learning
+  and clustering services.
+* :mod:`repro.storage` / :mod:`repro.dataio` — document store, file store and
+  data loaders.
+* :mod:`repro.models` / :mod:`repro.nn` — application models and the NumPy
+  neural-network framework they are built on.
+* :mod:`repro.datasets` / :mod:`repro.labeling` — synthetic scientific
+  datasets and the conventional pseudo-Voigt labeling baseline.
+* :mod:`repro.workflow` / :mod:`repro.monitoring` — orchestration and
+  degradation monitoring.
+"""
+
+from repro.core import (
+    DatasetDistribution,
+    FairDMS,
+    FairDS,
+    FairMS,
+    LookupResult,
+    ModelRecord,
+    ModelUpdateReport,
+    ModelZoo,
+    Recommendation,
+    UpdatePolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatasetDistribution",
+    "FairDS",
+    "FairMS",
+    "FairDMS",
+    "LookupResult",
+    "ModelRecord",
+    "ModelUpdateReport",
+    "ModelZoo",
+    "Recommendation",
+    "UpdatePolicy",
+    "__version__",
+]

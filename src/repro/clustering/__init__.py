@@ -1,0 +1,30 @@
+"""Clustering service used by fairDS.
+
+Implements, from scratch, the pieces the paper relies on:
+
+* :class:`~repro.clustering.kmeans.KMeans` — k-means++ initialised Lloyd's
+  algorithm over embedding vectors (the paper chose k-means "due to its
+  scalability and fast convergence").
+* :func:`~repro.clustering.elbow.select_k_elbow` — elbow/knee detection on the
+  within-cluster sum of squares curve (the YellowBrick-style automatic choice
+  of K).
+* :class:`~repro.clustering.fuzzy.FuzzyCMeans` — fuzzy c-means memberships
+  used for the cluster-assignment *certainty* that drives the
+  system-plane retraining trigger (Fig. 16).
+* :mod:`repro.clustering.metrics` — WSS and silhouette-style diagnostics.
+"""
+
+from repro.clustering.kmeans import KMeans
+from repro.clustering.fuzzy import FuzzyCMeans, assignment_certainty
+from repro.clustering.elbow import elbow_curve, select_k_elbow
+from repro.clustering.metrics import within_cluster_ss, silhouette_score
+
+__all__ = [
+    "KMeans",
+    "FuzzyCMeans",
+    "assignment_certainty",
+    "elbow_curve",
+    "select_k_elbow",
+    "within_cluster_ss",
+    "silhouette_score",
+]

@@ -1,0 +1,74 @@
+"""Automatic choice of the number of clusters via the elbow method.
+
+The paper uses YellowBrick's KElbowVisualizer to pick K automatically from the
+within-cluster sum of squares (WSS) curve.  We reproduce the underlying
+"kneedle"-style geometric criterion: the elbow is the K whose point on the
+(normalised) WSS-vs-K curve is farthest below the straight line joining the
+curve's endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeans
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedLike
+
+
+def elbow_curve(
+    x: np.ndarray,
+    k_values: Iterable[int],
+    seed: SeedLike = 0,
+    n_init: int = 2,
+    max_iter: int = 50,
+) -> Dict[int, float]:
+    """Return ``{k: inertia}`` for each candidate ``k``."""
+    x = np.asarray(x, dtype=np.float64)
+    ks = sorted(set(int(k) for k in k_values))
+    if not ks:
+        raise ValidationError("k_values must be non-empty")
+    if min(ks) < 1:
+        raise ValidationError("k values must be >= 1")
+    if max(ks) > x.shape[0]:
+        raise ValidationError("largest k exceeds the number of samples")
+    curve = {}
+    for k in ks:
+        km = KMeans(n_clusters=k, n_init=n_init, max_iter=max_iter, seed=seed).fit(x)
+        curve[k] = float(km.inertia_)
+    return curve
+
+
+def detect_elbow(curve: Dict[int, float]) -> int:
+    """Return the elbow K of a ``{k: wss}`` curve via maximum distance to the chord."""
+    if len(curve) < 3:
+        # With fewer than three points there is no interior elbow; return the
+        # smallest K that is not the trivial K=1 if possible.
+        return max(curve.keys(), key=lambda k: -curve[k]) if len(curve) == 1 else sorted(curve)[1 if len(curve) > 1 else 0]
+    ks = np.array(sorted(curve))
+    wss = np.array([curve[k] for k in ks], dtype=np.float64)
+    # Normalise both axes to [0, 1] so the geometry is scale free.
+    k_norm = (ks - ks[0]) / max(ks[-1] - ks[0], 1)
+    denom = max(wss[0] - wss[-1], 1e-12)
+    w_norm = (wss - wss[-1]) / denom
+    # Distance below the chord from (0, w_norm[0]) to (1, w_norm[-1]).
+    chord = w_norm[0] + (w_norm[-1] - w_norm[0]) * k_norm
+    gaps = chord - w_norm
+    return int(ks[int(np.argmax(-gaps))]) if np.all(gaps <= 0) else int(ks[int(np.argmax(gaps))])
+
+
+def select_k_elbow(
+    x: np.ndarray,
+    k_min: int = 2,
+    k_max: int = 15,
+    seed: SeedLike = 0,
+) -> Tuple[int, Dict[int, float]]:
+    """Pick K automatically; returns ``(best_k, wss_curve)``."""
+    if k_min < 1 or k_max < k_min:
+        raise ValidationError("require 1 <= k_min <= k_max")
+    x = np.asarray(x, dtype=np.float64)
+    k_max = min(k_max, x.shape[0])
+    curve = elbow_curve(x, range(k_min, k_max + 1), seed=seed)
+    return detect_elbow(curve), curve

@@ -1,0 +1,119 @@
+"""Fuzzy c-means memberships and cluster-assignment certainty.
+
+Fig. 16 of the paper quantifies how *certain* the clustering model is about a
+new dataset: for each sample the fuzzy membership of its best cluster is
+computed, and the dataset-level certainty is the percentage of samples whose
+best membership exceeds 50 %.  When that percentage drops below a threshold
+(80 % in the paper), the system plane retrains the embedding and clustering
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.stats import pairwise_squared_distances
+
+_EPS = 1e-12
+
+
+def membership_matrix(x: np.ndarray, centers: np.ndarray, m: float = 2.0) -> np.ndarray:
+    """Fuzzy membership of each sample (rows) in each cluster (columns).
+
+    Standard fuzzy c-means membership: ``u_ik = 1 / sum_j (d_ik / d_ij)^(2/(m-1))``.
+    Samples coinciding with a centre get membership 1 for that centre.
+    """
+    if m <= 1.0:
+        raise ValidationError("fuzzifier m must be > 1")
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+    d2 = pairwise_squared_distances(x, centers)
+    d = np.sqrt(d2) + _EPS
+    power = 2.0 / (m - 1.0)
+    # ratio[i, k, j] = (d_ik / d_ij) ** power ; summed over j.
+    inv = (d[:, :, None] / d[:, None, :]) ** power
+    u = 1.0 / inv.sum(axis=2)
+    # Handle exact coincidence with a centre.
+    zero_rows, zero_cols = np.nonzero(d2 <= _EPS)
+    if zero_rows.size:
+        u[zero_rows] = 0.0
+        u[zero_rows, zero_cols] = 1.0
+    return u
+
+
+def assignment_certainty(
+    x: np.ndarray, centers: np.ndarray, m: float = 2.0, confidence: float = 0.5
+) -> float:
+    """Percentage of samples assigned to their best cluster with >= ``confidence`` membership.
+
+    This is the y-axis of Fig. 16 ("percent confidence").
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError("confidence must be in (0, 1)")
+    u = membership_matrix(x, centers, m=m)
+    best = u.max(axis=1)
+    return float(100.0 * np.mean(best >= confidence))
+
+
+class FuzzyCMeans:
+    """Fuzzy c-means clustering (Bezdek) — soft assignments with fuzzifier ``m``."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        m: float = 2.0,
+        max_iter: int = 100,
+        tol: float = 1e-5,
+        seed: SeedLike = 0,
+    ):
+        if n_clusters < 1:
+            raise ValidationError("n_clusters must be >= 1")
+        if m <= 1.0:
+            raise ValidationError("fuzzifier m must be > 1")
+        self.n_clusters = int(n_clusters)
+        self.m = float(m)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = seed
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.n_iter_: int = 0
+
+    def fit(self, x: np.ndarray) -> "FuzzyCMeans":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValidationError("expected 2-D input")
+        if x.shape[0] < self.n_clusters:
+            raise ValidationError("need at least n_clusters samples")
+        rng = default_rng(self.seed)
+        u = rng.random((x.shape[0], self.n_clusters))
+        u /= u.sum(axis=1, keepdims=True)
+        centers = np.zeros((self.n_clusters, x.shape[1]))
+        for iteration in range(1, self.max_iter + 1):
+            um = u**self.m
+            centers = (um.T @ x) / np.maximum(um.sum(axis=0)[:, None], _EPS)
+            new_u = membership_matrix(x, centers, m=self.m)
+            change = float(np.abs(new_u - u).max())
+            u = new_u
+            if change <= self.tol:
+                break
+        self.cluster_centers_ = centers
+        self.membership_ = u
+        self.n_iter_ = iteration
+        return self
+
+    def predict_membership(self, x: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("FuzzyCMeans.predict_membership() called before fit()")
+        return membership_matrix(x, self.cluster_centers_, m=self.m)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_membership(x), axis=1)
+
+    def certainty(self, x: np.ndarray, confidence: float = 0.5) -> float:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("FuzzyCMeans.certainty() called before fit()")
+        return assignment_certainty(x, self.cluster_centers_, m=self.m, confidence=confidence)

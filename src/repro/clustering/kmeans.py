@@ -1,0 +1,143 @@
+"""K-means clustering with k-means++ initialisation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.stats import pairwise_squared_distances
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``K``.
+    max_iter:
+        Maximum Lloyd iterations.
+    tol:
+        Convergence threshold on the change of total within-cluster sum of
+        squares between iterations.
+    n_init:
+        Number of independent restarts; the best (lowest inertia) is kept.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 3,
+        seed: SeedLike = 0,
+    ):
+        if n_clusters < 1:
+            raise ValidationError("n_clusters must be >= 1")
+        if max_iter < 1 or n_init < 1:
+            raise ValidationError("max_iter and n_init must be >= 1")
+        if tol < 0:
+            raise ValidationError("tol must be non-negative")
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.n_init = int(n_init)
+        self.seed = seed
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: int = 0
+
+    # -- initialisation --------------------------------------------------------
+    @staticmethod
+    def _kmeanspp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        n = x.shape[0]
+        centers = np.empty((k, x.shape[1]), dtype=np.float64)
+        centers[0] = x[rng.integers(0, n)]
+        closest_d2 = pairwise_squared_distances(x, centers[:1])[:, 0]
+        for i in range(1, k):
+            total = closest_d2.sum()
+            if total <= 0:
+                centers[i] = x[rng.integers(0, n)]
+            else:
+                probs = closest_d2 / total
+                centers[i] = x[rng.choice(n, p=probs)]
+            d2_new = pairwise_squared_distances(x, centers[i : i + 1])[:, 0]
+            np.minimum(closest_d2, d2_new, out=closest_d2)
+        return centers
+
+    def _single_run(self, x: np.ndarray, rng: np.random.Generator):
+        centers = self._kmeanspp_init(x, self.n_clusters, rng)
+        prev_inertia = np.inf
+        labels = np.zeros(x.shape[0], dtype=int)
+        for iteration in range(1, self.max_iter + 1):
+            d2 = pairwise_squared_distances(x, centers)
+            labels = np.argmin(d2, axis=1)
+            inertia = float(d2[np.arange(x.shape[0]), labels].sum())
+            # Update step (vectorised accumulate per cluster).
+            for k in range(self.n_clusters):
+                members = x[labels == k]
+                if members.size:
+                    centers[k] = members.mean(axis=0)
+                else:
+                    # Re-seed empty clusters at the point farthest from its centre.
+                    farthest = np.argmax(d2.min(axis=1))
+                    centers[k] = x[farthest]
+            if abs(prev_inertia - inertia) <= self.tol:
+                return centers, labels, inertia, iteration
+            prev_inertia = inertia
+        return centers, labels, prev_inertia, self.max_iter
+
+    # -- public API ---------------------------------------------------------------
+    def fit(self, x: np.ndarray) -> "KMeans":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValidationError("expected 2-D input (n_samples, n_features)")
+        if x.shape[0] < self.n_clusters:
+            raise ValidationError(
+                f"need at least n_clusters={self.n_clusters} samples, got {x.shape[0]}"
+            )
+        rng = default_rng(self.seed)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(x, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Assign each sample to its nearest cluster centre."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.predict() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValidationError(
+                f"expected {self.cluster_centers_.shape[1]} features, got {x.shape[1]}"
+            )
+        return np.argmin(pairwise_squared_distances(x, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).labels_
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Distances from each sample to every cluster centre."""
+        if self.cluster_centers_ is None:
+            raise NotFittedError("KMeans.transform() called before fit()")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.sqrt(pairwise_squared_distances(x, self.cluster_centers_))
+
+    def cluster_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Cluster probability distribution of a dataset (fraction per cluster).
+
+        This is the dataset fingerprint fairDS computes for an input dataset
+        and fairMS stores for every model's training dataset.
+        """
+        labels = self.predict(x)
+        counts = np.bincount(labels, minlength=self.n_clusters).astype(np.float64)
+        return counts / counts.sum()

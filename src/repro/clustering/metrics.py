@@ -1,0 +1,48 @@
+"""Clustering quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.stats import pairwise_squared_distances
+
+
+def within_cluster_ss(x: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:
+    """Total within-cluster sum of squared distances (WSS / inertia)."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels, dtype=int)
+    centers = np.asarray(centers, dtype=np.float64)
+    if x.shape[0] != labels.shape[0]:
+        raise ValidationError("x and labels must have the same length")
+    if labels.max(initial=-1) >= centers.shape[0]:
+        raise ValidationError("label exceeds number of centres")
+    diffs = x - centers[labels]
+    return float(np.sum(diffs * diffs))
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all samples (O(n^2), for tests/diagnostics)."""
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels, dtype=int)
+    if x.shape[0] != labels.shape[0]:
+        raise ValidationError("x and labels must have the same length")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValidationError("silhouette requires at least 2 clusters")
+    d = np.sqrt(pairwise_squared_distances(x, x))
+    n = x.shape[0]
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels[i]
+        own_mask = labels == own
+        own_mask_excl = own_mask.copy()
+        own_mask_excl[i] = False
+        a = d[i, own_mask_excl].mean() if own_mask_excl.any() else 0.0
+        b = np.inf
+        for other in unique:
+            if other == own:
+                continue
+            b = min(b, d[i, labels == other].mean())
+        scores[i] = 0.0 if max(a, b) == 0 else (b - a) / max(a, b)
+    return float(scores.mean())

@@ -1,0 +1,78 @@
+"""Dataset distribution records.
+
+fairDS summarises any dataset as its **cluster probability distribution**: the
+fraction of samples falling into each cluster of the learned embedding space.
+That PDF is the dataset fingerprint used for pseudo-label retrieval (sample
+historical data with the same PDF) and for model indexing in the Zoo (compare
+PDFs with the Jensen-Shannon divergence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.stats import jensen_shannon_divergence, normalize_distribution
+
+
+@dataclass(frozen=True)
+class DatasetDistribution:
+    """Cluster PDF of a dataset plus light metadata."""
+
+    pdf: np.ndarray
+    n_samples: int
+    label: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        pdf = normalize_distribution(self.pdf)
+        object.__setattr__(self, "pdf", pdf)
+        if self.n_samples < 0:
+            raise ValidationError("n_samples must be non-negative")
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.pdf.size)
+
+    @staticmethod
+    def from_cluster_ids(
+        cluster_ids: Sequence[int], n_clusters: int, label: str = "", **metadata
+    ) -> "DatasetDistribution":
+        """Build the PDF from per-sample cluster assignments."""
+        ids = np.asarray(cluster_ids, dtype=int)
+        if ids.size == 0:
+            raise ValidationError("cannot summarise an empty dataset")
+        if n_clusters < 1:
+            raise ValidationError("n_clusters must be >= 1")
+        if ids.min() < 0 or ids.max() >= n_clusters:
+            raise ValidationError("cluster id out of range")
+        counts = np.bincount(ids, minlength=n_clusters).astype(np.float64)
+        return DatasetDistribution(pdf=counts, n_samples=int(ids.size), label=label, metadata=dict(metadata))
+
+    def distance(self, other: "DatasetDistribution") -> float:
+        """Jensen-Shannon divergence to another distribution (0 = identical)."""
+        if self.n_clusters != other.n_clusters:
+            raise ValidationError(
+                f"distributions have different cluster counts: {self.n_clusters} vs {other.n_clusters}"
+            )
+        return jensen_shannon_divergence(self.pdf, other.pdf)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pdf": self.pdf.tolist(),
+            "n_samples": self.n_samples,
+            "label": self.label,
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "DatasetDistribution":
+        return DatasetDistribution(
+            pdf=np.asarray(data["pdf"], dtype=np.float64),
+            n_samples=int(data["n_samples"]),
+            label=str(data.get("label", "")),
+            metadata=dict(data.get("metadata", {})),
+        )

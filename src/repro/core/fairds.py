@@ -1,0 +1,331 @@
+"""fairDS — the FAIR data service.
+
+Responsibilities (paper Section II-A):
+
+1. **Indexing** — train a self-supervised embedding model on historical data,
+   cluster the embedding space with k-means (K chosen by the elbow method when
+   not given), and write every labeled historical sample to the data store
+   together with its embedding and cluster id.
+2. **Discovery / pseudo-labeling** — given new *unlabeled* data, compute its
+   cluster probability distribution and return the same number of already
+   labeled historical samples drawn to follow that distribution
+   (:meth:`FairDS.lookup`), or retrieve, per input sample, the nearest labeled
+   historical sample within a distance threshold
+   (:meth:`FairDS.nearest_labeled`) as in the Fig. 9 protocol.
+3. **System plane** — monitor cluster-assignment certainty on incoming data
+   (:meth:`FairDS.certainty`) and rebuild the embedding/clustering models and
+   the store index from accumulated data when it degrades
+   (:meth:`FairDS.refresh`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.clustering.elbow import select_k_elbow
+from repro.clustering.fuzzy import assignment_certainty
+from repro.clustering.kmeans import KMeans
+from repro.core.distribution import DatasetDistribution
+from repro.dataio.sampler import WeightedClusterSampler
+from repro.embedding.base import Embedder
+from repro.storage.documentdb import Collection, DocumentDB
+from repro.storage.vector_index import ClusteredVectorIndex
+from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+
+@dataclass
+class LookupResult:
+    """Labeled data returned by a fairDS pseudo-labeling lookup."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    doc_ids: List[str]
+    input_distribution: DatasetDistribution
+    retrieved_distribution: DatasetDistribution
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+
+class FairDS:
+    """The FAIR data service.
+
+    Parameters
+    ----------
+    embedder:
+        Any :class:`~repro.embedding.base.Embedder`; the paper's default for
+        Bragg peaks is BYOL, but PCA keeps tests fast.
+    n_clusters:
+        Number of k-means clusters, or ``"auto"`` to select K with the elbow
+        method (the paper's YellowBrick-based automation).
+    db:
+        Backing :class:`~repro.storage.documentdb.DocumentDB`; an in-process
+        one is created when omitted.
+    collection:
+        Name of the collection holding labeled historical samples.
+    seed:
+        RNG seed for clustering and sampling.
+    """
+
+    def __init__(
+        self,
+        embedder: Embedder,
+        n_clusters: Union[int, str] = "auto",
+        db: Optional[DocumentDB] = None,
+        collection: str = "fairds_samples",
+        max_auto_clusters: int = 15,
+        seed: SeedLike = 0,
+    ):
+        if isinstance(n_clusters, str):
+            if n_clusters != "auto":
+                raise ConfigurationError("n_clusters must be an integer or 'auto'")
+        elif n_clusters < 1:
+            raise ConfigurationError("n_clusters must be >= 1")
+        if max_auto_clusters < 2:
+            raise ConfigurationError("max_auto_clusters must be >= 2")
+        self.embedder = embedder
+        self._requested_clusters = n_clusters
+        self.max_auto_clusters = int(max_auto_clusters)
+        self.db = db or DocumentDB()
+        self.collection_name = collection
+        self.seed = seed
+        self._kmeans: Optional[KMeans] = None
+        self._index: Optional[ClusteredVectorIndex] = None
+        self._lookup_counter = 0
+
+    # -- helpers -----------------------------------------------------------------
+    @property
+    def collection(self) -> Collection:
+        return self.db.collection(self.collection_name)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._kmeans is not None
+
+    @property
+    def n_clusters(self) -> int:
+        if self._kmeans is None:
+            raise NotFittedError("fairDS has not been fitted yet")
+        return self._kmeans.n_clusters
+
+    def store_size(self) -> int:
+        return self.collection.count()
+
+    @staticmethod
+    def _validate_images_labels(images: np.ndarray, labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if images.shape[0] == 0:
+            raise ValidationError("images must be non-empty")
+        if images.shape[0] != labels.shape[0]:
+            raise ValidationError("images and labels must have the same length")
+        return images, labels
+
+    def _embed(self, images: np.ndarray) -> np.ndarray:
+        return np.asarray(self.embedder.transform(images), dtype=np.float64)
+
+    # -- indexing -----------------------------------------------------------------------
+    def fit(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        metadata: Optional[Sequence[Dict]] = None,
+        embedder_kwargs: Optional[Dict] = None,
+    ) -> "FairDS":
+        """Train the embedding + clustering models and populate the data store."""
+        images, labels = self._validate_images_labels(images, np.asarray(labels))
+        if metadata is not None and len(metadata) != images.shape[0]:
+            raise ValidationError("metadata must match the number of images")
+
+        self.embedder.fit(images, **(embedder_kwargs or {}))
+        embeddings = self._embed(images)
+
+        if self._requested_clusters == "auto":
+            k_max = min(self.max_auto_clusters, embeddings.shape[0])
+            k, _ = select_k_elbow(embeddings, k_min=2, k_max=k_max, seed=derive_seed(self.seed, 1))
+        else:
+            k = int(self._requested_clusters)
+        if embeddings.shape[0] < k:
+            raise ValidationError(
+                f"need at least n_clusters={k} samples to fit fairDS, got {embeddings.shape[0]}"
+            )
+        self._kmeans = KMeans(n_clusters=k, seed=derive_seed(self.seed, 2)).fit(embeddings)
+        cluster_ids = self._kmeans.labels_
+
+        # Reset the collection so repeated fits don't accumulate stale copies.
+        self.db.drop_collection(self.collection_name)
+        coll = self.collection
+        coll.create_index("cluster_id")
+        self._write_samples(coll, images, labels, embeddings, cluster_ids, metadata)
+        self._rebuild_index()
+        return self
+
+    def _write_samples(
+        self,
+        coll: Collection,
+        images: np.ndarray,
+        labels: np.ndarray,
+        embeddings: np.ndarray,
+        cluster_ids: np.ndarray,
+        metadata: Optional[Sequence[Dict]],
+    ) -> List[str]:
+        metas = []
+        for i in range(images.shape[0]):
+            meta = {
+                "label": np.asarray(labels[i]).tolist(),
+                "embedding": embeddings[i].tolist(),
+                "cluster_id": int(cluster_ids[i]),
+            }
+            if metadata is not None:
+                meta.update(metadata[i])
+            metas.append(meta)
+        return coll.insert_many(metas, list(images))
+
+    def _rebuild_index(self) -> None:
+        assert self._kmeans is not None
+        docs = self.collection.find()
+        self._index = ClusteredVectorIndex(self._kmeans.cluster_centers_, n_probe=2)
+        if docs:
+            keys = [d.id for d in docs]
+            vectors = np.array([d["embedding"] for d in docs], dtype=np.float64)
+            cluster_ids = np.array([d["cluster_id"] for d in docs], dtype=int)
+            self._index.add(keys, vectors, cluster_ids)
+
+    def ingest(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        metadata: Optional[Sequence[Dict]] = None,
+    ) -> List[str]:
+        """Add newly labeled data to the store using the existing embedding/clustering."""
+        if not self.is_fitted:
+            raise NotFittedError("fairDS.ingest() requires fit() first")
+        images, labels = self._validate_images_labels(images, np.asarray(labels))
+        embeddings = self._embed(images)
+        cluster_ids = self._kmeans.predict(embeddings)
+        ids = self._write_samples(self.collection, images, labels, embeddings, cluster_ids, metadata)
+        assert self._index is not None
+        self._index.add(ids, embeddings, cluster_ids)
+        return ids
+
+    # -- discovery ----------------------------------------------------------------------------
+    def dataset_distribution(self, images: np.ndarray, label: str = "") -> DatasetDistribution:
+        """Cluster PDF of an (unlabeled) input dataset."""
+        if not self.is_fitted:
+            raise NotFittedError("fairDS.dataset_distribution() requires fit() first")
+        images = np.asarray(images, dtype=np.float64)
+        if images.shape[0] == 0:
+            raise ValidationError("images must be non-empty")
+        embeddings = self._embed(images)
+        cluster_ids = self._kmeans.predict(embeddings)
+        return DatasetDistribution.from_cluster_ids(cluster_ids, self.n_clusters, label=label)
+
+    def lookup(
+        self,
+        images: np.ndarray,
+        n_samples: Optional[int] = None,
+        label: str = "",
+    ) -> LookupResult:
+        """Retrieve labeled historical data matching the input dataset's distribution.
+
+        Returns the same number of labeled samples as the input (unless
+        ``n_samples`` overrides it), drawn cluster-by-cluster according to the
+        input's cluster PDF — the paper's pseudo-labeling operation.
+        """
+        distribution = self.dataset_distribution(images, label=label)
+        n_out = int(n_samples) if n_samples is not None else int(np.asarray(images).shape[0])
+        if n_out < 1:
+            raise ValidationError("n_samples must be >= 1")
+        docs = self.collection.find()
+        if not docs:
+            raise ValidationError("the fairDS store is empty; ingest historical data first")
+        store_cluster_ids = np.array([d["cluster_id"] for d in docs], dtype=int)
+        sampler = WeightedClusterSampler(
+            store_cluster_ids,
+            distribution.pdf,
+            n_samples=n_out,
+            seed=derive_seed(self.seed, 101, self._lookup_counter),
+        )
+        self._lookup_counter += 1
+        chosen = list(sampler)
+        chosen_ids = [docs[i].id for i in chosen]
+        payloads = self.collection.fetch_payloads(chosen_ids)
+        retrieved_images = np.stack([np.asarray(p) for p in payloads])
+        retrieved_labels = np.array([docs[i]["label"] for i in chosen], dtype=np.float64)
+        retrieved_dist = DatasetDistribution.from_cluster_ids(
+            store_cluster_ids[chosen], self.n_clusters, label=f"{label}:retrieved"
+        )
+        return LookupResult(
+            images=retrieved_images,
+            labels=retrieved_labels,
+            doc_ids=chosen_ids,
+            input_distribution=distribution,
+            retrieved_distribution=retrieved_dist,
+        )
+
+    def nearest_labeled(
+        self, images: np.ndarray, threshold: float
+    ) -> List[Tuple[Optional[np.ndarray], float]]:
+        """Per-sample nearest labeled historical sample within ``threshold``.
+
+        Returns a list of ``(label, distance)``; ``label`` is ``None`` when no
+        historical sample lies within the embedding-space threshold, in which
+        case the caller should fall back to conventional labeling (Fig. 9's
+        ``|b - p| >= T`` branch).
+        """
+        if not self.is_fitted or self._index is None:
+            raise NotFittedError("fairDS.nearest_labeled() requires fit() first")
+        if threshold <= 0:
+            raise ValidationError("threshold must be positive")
+        embeddings = self._embed(np.asarray(images, dtype=np.float64))
+        results: List[Tuple[Optional[np.ndarray], float]] = []
+        for vec in embeddings:
+            (doc_id, dist), = self._index.query(vec, k=1)
+            if dist < threshold:
+                doc = self.collection.get(doc_id)
+                results.append((np.asarray(doc["label"], dtype=np.float64), dist))
+            else:
+                results.append((None, dist))
+        return results
+
+    # -- system plane ---------------------------------------------------------------------------
+    def certainty(self, images: np.ndarray, confidence: float = 0.5, fuzzifier: float = 2.0) -> float:
+        """Cluster-assignment certainty (percent) of the input dataset (Fig. 16 metric).
+
+        ``fuzzifier`` is the fuzzy c-means ``m`` parameter: values closer to 1
+        sharpen memberships, which is appropriate when the embedding space has
+        many nearby clusters (as with the 15-cluster Bragg space of the paper).
+        """
+        if not self.is_fitted:
+            raise NotFittedError("fairDS.certainty() requires fit() first")
+        embeddings = self._embed(np.asarray(images, dtype=np.float64))
+        return assignment_certainty(
+            embeddings, self._kmeans.cluster_centers_, m=fuzzifier, confidence=confidence
+        )
+
+    def refresh(self, embedder_kwargs: Optional[Dict] = None) -> "FairDS":
+        """Retrain the embedding and clustering models from the accumulated store.
+
+        This is the system-plane action fired by the uncertainty trigger: all
+        stored samples are re-embedded, the clustering is re-fit, every
+        document's embedding/cluster fields are updated, and the lookup index
+        rebuilt.
+        """
+        if not self.is_fitted:
+            raise NotFittedError("fairDS.refresh() requires fit() first")
+        docs = self.collection.find()
+        if not docs:
+            raise ValidationError("cannot refresh an empty store")
+        ids = [d.id for d in docs]
+        payloads = self.collection.fetch_payloads(ids)
+        images = np.stack([np.asarray(p) for p in payloads])
+        labels = np.array([d["label"] for d in docs], dtype=np.float64)
+        extra = [
+            {k: v for k, v in d.items() if k not in ("_id", "label", "embedding", "cluster_id", "payload", "payload_bytes")}
+            for d in docs
+        ]
+        return self.fit(images, labels, metadata=extra, embedder_kwargs=embedder_kwargs)

@@ -1,0 +1,126 @@
+"""Model Zoo: trained models indexed by their training-dataset distribution.
+
+Every model that has ever been trained for an application is kept here
+together with the cluster PDF of the dataset it was trained on.  That PDF is
+the *index*: fairMS never has to run inference with a Zoo model to rank it —
+it only compares distributions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.distribution import DatasetDistribution
+from repro.nn.network import Sequential
+from repro.storage.documentdb import Collection, DocumentDB
+from repro.utils.errors import StorageError, ValidationError
+
+
+@dataclass
+class ModelRecord:
+    """A Zoo entry: model identity + training-data distribution + metrics."""
+
+    model_id: str
+    name: str
+    distribution: DatasetDistribution
+    metrics: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+
+
+class ModelZoo:
+    """Stores serialised models and their training-dataset distributions.
+
+    Backed by a document collection so the Zoo shares the persistence,
+    indexing, and concurrency behaviour of the rest of the data service.
+    """
+
+    def __init__(self, db: Optional[DocumentDB] = None, collection: str = "model_zoo"):
+        self.db = db or DocumentDB()
+        self.collection_name = collection
+
+    @property
+    def collection(self) -> Collection:
+        return self.db.collection(self.collection_name)
+
+    def __len__(self) -> int:
+        return self.collection.count()
+
+    # -- writes --------------------------------------------------------------------
+    def add(
+        self,
+        model: Sequential,
+        distribution: DatasetDistribution,
+        name: Optional[str] = None,
+        metrics: Optional[Dict[str, float]] = None,
+        **metadata,
+    ) -> ModelRecord:
+        """Serialise ``model`` into the Zoo; returns its record."""
+        if distribution.n_clusters < 1:
+            raise ValidationError("distribution must have at least one cluster")
+        doc_meta = {
+            "name": name or model.name,
+            "distribution": distribution.as_dict(),
+            "metrics": dict(metrics or {}),
+            "metadata": dict(metadata),
+            "created_at": time.time(),
+            "n_parameters": model.num_parameters(),
+        }
+        model_id = self.collection.insert_one(doc_meta, payload=model.to_bytes())
+        return ModelRecord(
+            model_id=model_id,
+            name=doc_meta["name"],
+            distribution=distribution,
+            metrics=doc_meta["metrics"],
+            metadata=doc_meta["metadata"],
+            created_at=doc_meta["created_at"],
+        )
+
+    # -- reads -----------------------------------------------------------------------
+    def record(self, model_id: str) -> ModelRecord:
+        doc = self.collection.get(model_id)
+        return ModelRecord(
+            model_id=doc.id,
+            name=doc["name"],
+            distribution=DatasetDistribution.from_dict(doc["distribution"]),
+            metrics=dict(doc.get("metrics", {})),
+            metadata=dict(doc.get("metadata", {})),
+            created_at=float(doc.get("created_at", 0.0)),
+        )
+
+    def records(self) -> List[ModelRecord]:
+        return [self.record(doc_id) for doc_id in self.collection.ids()]
+
+    def load_model(self, model_id: str) -> Sequential:
+        """Deserialise a Zoo model ready for fine-tuning or inference."""
+        doc = self.collection.get(model_id, decode_payload=True)
+        if "payload" not in doc:
+            raise StorageError(f"model {model_id!r} has no serialised payload")
+        return Sequential.from_bytes(doc["payload"])
+
+    def find(self, name_contains: Optional[str] = None, **metadata) -> List[ModelRecord]:
+        """FAIR-style discovery: find Zoo models by name substring and/or metadata.
+
+        ``metadata`` keys are matched against the ``metadata`` dict stored with
+        each model (e.g. ``origin="bootstrap"``, ``scans=[0, 1]``).
+        """
+        matches: List[ModelRecord] = []
+        for record in self.records():
+            if name_contains is not None and name_contains not in record.name:
+                continue
+            if any(record.metadata.get(k) != v for k, v in metadata.items()):
+                continue
+            matches.append(record)
+        return matches
+
+    def model_bytes(self, model_id: str) -> int:
+        """Serialised size of a model (used to charge the transfer service)."""
+        doc = self.collection.get(model_id)
+        return int(doc.get("payload_bytes", 0))
+
+    def delete(self, model_id: str) -> bool:
+        return self.collection.delete_many({"_id": model_id}) > 0

@@ -1,0 +1,191 @@
+"""User-plane / system-plane orchestration of fairDMS (paper Fig. 5).
+
+The paper separates fairDMS operations into a *user plane* (operations an end
+user invokes directly: query data, request a model update) and a *system
+plane* (background maintenance: retrain the embedding model, retrain the
+clustering model, update the data store, update the model index).  Both planes
+are executed as funcX functions coordinated by a Globus Flow in the paper's
+deployment; :class:`FairDMSService` reproduces that wiring on top of the local
+:class:`~repro.workflow.funcx.FuncXExecutor` and
+:class:`~repro.workflow.flows.Flow` substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.fairdms import FairDMS, ModelUpdateReport
+from repro.utils.errors import ConfigurationError
+from repro.utils.logging import get_logger
+from repro.workflow.flows import Flow, FlowResult
+from repro.workflow.funcx import FuncXExecutor
+
+logger = get_logger("repro.core.planes")
+
+
+@dataclass
+class PlaneActivity:
+    """A log entry for a plane function invocation."""
+
+    plane: str
+    function: str
+    succeeded: bool
+    seconds: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class FairDMSService:
+    """Serves fairDMS through registered user-plane and system-plane functions.
+
+    Parameters
+    ----------
+    dms:
+        The :class:`FairDMS` instance to serve.
+    executor:
+        funcX-style executor the plane functions are registered with; a local
+        one is created when omitted.
+    auto_system_plane:
+        When True (default), every user-plane model-update request whose
+        certainty check triggered a refresh also records the system-plane
+        activity, mirroring the paper's automatic background maintenance.
+    """
+
+    USER_PLANE = "user"
+    SYSTEM_PLANE = "system"
+
+    def __init__(
+        self,
+        dms: FairDMS,
+        executor: Optional[FuncXExecutor] = None,
+        auto_system_plane: bool = True,
+    ):
+        self.dms = dms
+        self.executor = executor or FuncXExecutor(max_workers=2)
+        self.auto_system_plane = bool(auto_system_plane)
+        self.activity: List[PlaneActivity] = []
+        self._function_ids: Dict[str, str] = {}
+        self._register_plane_functions()
+
+    # -- registration --------------------------------------------------------------
+    def _register_plane_functions(self) -> None:
+        functions = {
+            # user plane
+            "query_distribution": self._fn_query_distribution,
+            "lookup_labeled_data": self._fn_lookup,
+            "update_model": self._fn_update_model,
+            # system plane
+            "refresh_representations": self._fn_refresh,
+            "ingest_labeled_data": self._fn_ingest,
+        }
+        for name, fn in functions.items():
+            self._function_ids[name] = self.executor.register_function(fn, function_id=name)
+
+    def registered_functions(self) -> List[str]:
+        return sorted(self._function_ids)
+
+    # -- plane function bodies ---------------------------------------------------------
+    def _fn_query_distribution(self, images: np.ndarray, label: str = "") -> Dict[str, Any]:
+        dist = self.dms.fairds.dataset_distribution(images, label=label)
+        return dist.as_dict()
+
+    def _fn_lookup(self, images: np.ndarray, n_samples: Optional[int] = None) -> Dict[str, Any]:
+        result = self.dms.fairds.lookup(images, n_samples=n_samples)
+        return {
+            "images": result.images,
+            "labels": result.labels,
+            "doc_ids": result.doc_ids,
+            "distribution": result.input_distribution.as_dict(),
+        }
+
+    def _fn_update_model(self, images: np.ndarray, label: str) -> ModelUpdateReport:
+        return self.dms.update_model(images, label=label)
+
+    def _fn_refresh(self) -> int:
+        self.dms.fairds.refresh()
+        return self.dms.fairds.store_size()
+
+    def _fn_ingest(self, images: np.ndarray, labels: np.ndarray) -> int:
+        ids = self.dms.fairds.ingest(images, labels)
+        return len(ids)
+
+    # -- user-facing API -----------------------------------------------------------------
+    def _invoke(self, plane: str, name: str, *args, **kwargs):
+        import time
+
+        start = time.perf_counter()
+        try:
+            result = self.executor.run(self._function_ids[name], *args, **kwargs)
+            self.activity.append(
+                PlaneActivity(plane=plane, function=name, succeeded=True,
+                              seconds=time.perf_counter() - start)
+            )
+            return result
+        except Exception:
+            self.activity.append(
+                PlaneActivity(plane=plane, function=name, succeeded=False,
+                              seconds=time.perf_counter() - start)
+            )
+            raise
+
+    def query_distribution(self, images: np.ndarray, label: str = "") -> Dict[str, Any]:
+        """User plane: the cluster PDF of a dataset."""
+        return self._invoke(self.USER_PLANE, "query_distribution", images, label)
+
+    def lookup_labeled_data(self, images: np.ndarray, n_samples: Optional[int] = None) -> Dict[str, Any]:
+        """User plane: pseudo-label a dataset from the historical store."""
+        return self._invoke(self.USER_PLANE, "lookup_labeled_data", images, n_samples)
+
+    def request_model_update(self, images: np.ndarray, label: str = "update") -> ModelUpdateReport:
+        """User plane: the full fairDMS model-update operation.
+
+        Executed as a small flow (transfer -> update -> publish) so the
+        orchestration structure matches the paper's Globus Flows deployment.
+        """
+        flow = Flow(f"model-update:{label}")
+        flow.add_step("update_model",
+                      lambda ctx: self._invoke(self.USER_PLANE, "update_model", images, label),
+                      output_key="report")
+        flow.add_step("record_system_activity", self._record_refresh_activity)
+        result: FlowResult = flow.run(raise_on_error=True)
+        return result.context["report"]
+
+    def _record_refresh_activity(self, ctx: Dict[str, Any]) -> None:
+        report: ModelUpdateReport = ctx["report"]
+        if self.auto_system_plane and report.triggered_refresh:
+            self.activity.append(
+                PlaneActivity(
+                    plane=self.SYSTEM_PLANE,
+                    function="refresh_representations",
+                    succeeded=True,
+                    seconds=report.timings.get("system_refresh", 0.0),
+                    detail={"triggered_by": "certainty"},
+                )
+            )
+
+    def ingest_labeled_data(self, images: np.ndarray, labels: np.ndarray) -> int:
+        """System plane: add newly labeled data to the historical store."""
+        return self._invoke(self.SYSTEM_PLANE, "ingest_labeled_data", images, labels)
+
+    def refresh_representations(self) -> int:
+        """System plane: retrain embedding + clustering and rebuild the store index."""
+        return self._invoke(self.SYSTEM_PLANE, "refresh_representations")
+
+    # -- introspection ----------------------------------------------------------------------
+    def activity_summary(self) -> Dict[str, int]:
+        summary: Dict[str, int] = {}
+        for entry in self.activity:
+            key = f"{entry.plane}:{entry.function}"
+            summary[key] = summary.get(key, 0) + 1
+        return summary
+
+    def shutdown(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "FairDMSService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,58 @@
+"""Data-loading substrate modelled on the PyTorch Dataset/Sampler/DataLoader trio.
+
+The paper extends the PyTorch DataLoader to fetch training data from MongoDB
+with many concurrent clients so per-fetch latency is hidden behind
+computation.  This package rebuilds the three abstractions:
+
+* :class:`~repro.dataio.dataset.Dataset` — index-addressable samples, with
+  concrete implementations backed by in-memory arrays, the document database
+  (:class:`~repro.dataio.dataset.DocumentDBDataset`) and the NFS-like file
+  store (:class:`~repro.dataio.dataset.FileStoreDataset`).
+* :mod:`repro.dataio.sampler` — sequential/random/weighted index generators,
+  including the cluster-PDF-weighted sampler fairDS uses to assemble a
+  retrieved dataset that follows the input data's distribution.
+* :class:`~repro.dataio.dataloader.DataLoader` — batches indices from a
+  sampler and fetches them with a pool of prefetching worker threads.
+"""
+
+from repro.dataio.dataset import (
+    Dataset,
+    ArrayDataset,
+    DocumentDBDataset,
+    FileStoreDataset,
+    TransformDataset,
+)
+from repro.dataio.sampler import (
+    Sampler,
+    SequentialSampler,
+    RandomSampler,
+    WeightedClusterSampler,
+    BatchSampler,
+)
+from repro.dataio.dataloader import DataLoader
+from repro.dataio.transforms import (
+    normalize_unit,
+    add_gaussian_noise,
+    random_rotate90,
+    random_flip,
+    bragg_augmentation,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DocumentDBDataset",
+    "FileStoreDataset",
+    "TransformDataset",
+    "Sampler",
+    "SequentialSampler",
+    "RandomSampler",
+    "WeightedClusterSampler",
+    "BatchSampler",
+    "DataLoader",
+    "normalize_unit",
+    "add_gaussian_noise",
+    "random_rotate90",
+    "random_flip",
+    "bragg_augmentation",
+]

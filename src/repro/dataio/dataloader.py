@@ -1,0 +1,168 @@
+"""Multi-worker, prefetching data loader.
+
+Follows the PyTorch design the paper describes: the ``Sampler`` produces index
+batches; worker threads consume index batches from a queue, fetch the samples
+from the ``Dataset`` (which may hit the document database or the file store),
+and put completed batches on a bounded output queue; the training loop
+iterates over completed batches, so fetch latency overlaps with computation.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataio.dataset import Dataset
+from repro.dataio.sampler import BatchSampler, RandomSampler, Sampler, SequentialSampler
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+_STOP = object()
+
+
+class DataLoader:
+    """Iterates over mini-batches of a :class:`Dataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to read from.
+    batch_size:
+        Samples per batch.
+    shuffle:
+        Draw a fresh random order each epoch.
+    num_workers:
+        Number of prefetching worker threads; ``0`` fetches synchronously in
+        the calling thread (still batched).
+    prefetch_factor:
+        Bound on the number of ready batches queued ahead of the consumer,
+        per worker.
+    sampler:
+        Custom index sampler overriding ``shuffle`` (e.g. the cluster-PDF
+        weighted sampler used by fairDS).
+    drop_last:
+        Drop the final short batch.
+    seed:
+        RNG seed for shuffling.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        num_workers: int = 0,
+        prefetch_factor: int = 2,
+        sampler: Optional[Sampler] = None,
+        drop_last: bool = False,
+        seed: SeedLike = None,
+    ):
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if num_workers < 0:
+            raise ConfigurationError("num_workers must be >= 0")
+        if prefetch_factor < 1:
+            raise ConfigurationError("prefetch_factor must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.num_workers = int(num_workers)
+        self.prefetch_factor = int(prefetch_factor)
+        self.drop_last = bool(drop_last)
+        if sampler is not None:
+            self.sampler = sampler
+        elif shuffle:
+            self.sampler = RandomSampler(len(dataset), seed=seed)
+        else:
+            self.sampler = SequentialSampler(len(dataset))
+
+    def __len__(self) -> int:
+        n = len(self.sampler)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    # -- single-threaded path -------------------------------------------------------
+    def _iter_serial(self) -> Iterator[Batch]:
+        batch_sampler = BatchSampler(self.sampler, self.batch_size, self.drop_last)
+        for indices in batch_sampler:
+            yield self.dataset.fetch_batch(indices)
+
+    # -- multi-worker path --------------------------------------------------------------
+    def _iter_parallel(self) -> Iterator[Batch]:
+        batch_sampler = BatchSampler(self.sampler, self.batch_size, self.drop_last)
+        index_queue: "queue.Queue" = queue.Queue()
+        # Bounded output queue => bounded memory even if workers outrun the consumer.
+        out_queue: "queue.Queue" = queue.Queue(maxsize=self.num_workers * self.prefetch_factor)
+        batches = list(batch_sampler)
+        for i, idxs in enumerate(batches):
+            index_queue.put((i, idxs))
+        for _ in range(self.num_workers):
+            index_queue.put(_STOP)
+
+        errors: List[BaseException] = []
+
+        def worker() -> None:
+            while True:
+                item = index_queue.get()
+                if item is _STOP:
+                    out_queue.put(_STOP)
+                    return
+                order, idxs = item
+                try:
+                    out_queue.put((order, self.dataset.fetch_batch(idxs)))
+                except BaseException as exc:  # propagate to the consumer
+                    errors.append(exc)
+                    out_queue.put(_STOP)
+                    return
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(self.num_workers)]
+        for t in threads:
+            t.start()
+
+        finished_workers = 0
+        pending: dict = {}
+        next_index = 0
+        expected = len(batches)
+        delivered = 0
+        try:
+            while delivered < expected and finished_workers < self.num_workers:
+                item = out_queue.get()
+                if item is _STOP:
+                    finished_workers += 1
+                    if errors:
+                        raise errors[0]
+                    continue
+                order, batch = item
+                pending[order] = batch
+                # Deliver ready batches in order so results are deterministic.
+                while next_index in pending:
+                    yield pending.pop(next_index)
+                    next_index += 1
+                    delivered += 1
+            # Flush anything remaining in order.
+            while next_index in pending:
+                yield pending.pop(next_index)
+                next_index += 1
+                delivered += 1
+            if errors:
+                raise errors[0]
+        finally:
+            for t in threads:
+                t.join(timeout=1.0)
+
+    def __iter__(self) -> Iterator[Batch]:
+        if self.num_workers == 0:
+            return self._iter_serial()
+        return self._iter_parallel()
+
+    # -- convenience for Trainer ----------------------------------------------------------
+    def as_epoch_callable(self):
+        """Return a zero-argument callable yielding one epoch of batches,
+        matching the ``train`` argument accepted by
+        :meth:`repro.nn.trainer.Trainer.fit`."""
+        return lambda: iter(self)

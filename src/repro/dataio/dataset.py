@@ -1,0 +1,118 @@
+"""Dataset abstractions returning ``(sample, target)`` pairs by index."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.documentdb import Collection
+from repro.storage.file_store import FileStore
+from repro.utils.errors import ValidationError
+
+Sample = Tuple[np.ndarray, np.ndarray]
+
+
+class Dataset:
+    """Abstract index-addressable dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Sample:
+        raise NotImplementedError
+
+    def fetch_batch(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        """Fetch several samples and stack them; subclasses may override with a
+        vectorised / bulk-fetch implementation."""
+        xs, ys = zip(*(self[i] for i in indices))
+        return np.stack(xs), np.stack(ys)
+
+
+class ArrayDataset(Dataset):
+    """Dataset over in-memory arrays (the fastest possible baseline)."""
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValidationError("x and y must have the same number of samples")
+        if x.shape[0] == 0:
+            raise ValidationError("dataset cannot be empty")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return self.x.shape[0]
+
+    def __getitem__(self, index: int) -> Sample:
+        return self.x[index], self.y[index]
+
+    def fetch_batch(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        idx = np.asarray(indices, dtype=int)
+        return self.x[idx], self.y[idx]
+
+
+class DocumentDBDataset(Dataset):
+    """Dataset whose samples live as encoded payloads in a document collection.
+
+    Each document must carry a ``payload`` (the sample array, stored through
+    the collection's codec) and a ``label`` field (list or array).  Fetching a
+    batch decodes each payload — this is the deserialisation cost that the
+    Blosc/Pickle configurations of Figs. 6-8 pay and the NFS path does not.
+    """
+
+    def __init__(self, collection: Collection, doc_ids: Optional[Sequence[str]] = None):
+        self.collection = collection
+        self._ids: List[str] = list(doc_ids) if doc_ids is not None else collection.ids()
+        if not self._ids:
+            raise ValidationError("collection holds no documents")
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, index: int) -> Sample:
+        doc = self.collection.get(self._ids[index], decode_payload=True)
+        return np.asarray(doc["payload"]), np.asarray(doc.get("label"))
+
+    def fetch_batch(self, indices: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+        ids = [self._ids[i] for i in indices]
+        payloads = self.collection.fetch_payloads(ids)
+        labels = [self.collection.get(i).get("label") for i in ids]
+        return np.stack([np.asarray(p) for p in payloads]), np.stack(
+            [np.asarray(l) for l in labels]
+        )
+
+
+class FileStoreDataset(Dataset):
+    """Dataset reading samples from a :class:`FileStore` (the "NFS" path)."""
+
+    def __init__(self, store: FileStore, labels: np.ndarray):
+        labels = np.asarray(labels)
+        if len(store) == 0:
+            raise ValidationError("file store is empty")
+        if labels.shape[0] != len(store):
+            raise ValidationError("labels must match the number of stored samples")
+        self.store = store
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self.store.read(index), self.labels[index]
+
+
+class TransformDataset(Dataset):
+    """Applies a transform to the samples of a wrapped dataset on the fly."""
+
+    def __init__(self, base: Dataset, transform: Callable[[np.ndarray], np.ndarray]):
+        self.base = base
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def __getitem__(self, index: int) -> Sample:
+        x, y = self.base[index]
+        return self.transform(x), y

@@ -1,0 +1,84 @@
+"""Sample transforms and physics-inspired augmentations.
+
+The augmentations (rotation by multiples of 90 degrees, mirror flips, additive
+noise) are the ones the paper lists as physically meaningless variations of a
+Bragg peak — BYOL is trained to be invariant to exactly these.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+
+
+def normalize_unit(x: np.ndarray) -> np.ndarray:
+    """Scale an array to [0, 1] (no-op for a constant array)."""
+    x = np.asarray(x, dtype=np.float64)
+    lo, hi = x.min(), x.max()
+    if hi - lo <= 0:
+        return np.zeros_like(x)
+    return (x - lo) / (hi - lo)
+
+
+def add_gaussian_noise(x: np.ndarray, sigma: float = 0.02, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Additive Gaussian noise (detector noise model)."""
+    rng = default_rng(rng)
+    x = np.asarray(x, dtype=np.float64)
+    return x + sigma * rng.standard_normal(x.shape)
+
+
+def _last_two_axes(x: np.ndarray) -> tuple:
+    return (x.ndim - 2, x.ndim - 1)
+
+
+def random_rotate90(x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Rotate the trailing 2-D plane by a random multiple of 90 degrees."""
+    rng = default_rng(rng)
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ValueError("rotate requires at least 2-D input")
+    k = int(rng.integers(0, 4))
+    return np.rot90(x, k=k, axes=_last_two_axes(x)).copy()
+
+
+def random_flip(x: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Randomly mirror the trailing 2-D plane horizontally and/or vertically."""
+    rng = default_rng(rng)
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ValueError("flip requires at least 2-D input")
+    out = x
+    ax_r, ax_c = _last_two_axes(x)
+    if rng.random() < 0.5:
+        out = np.flip(out, axis=ax_r)
+    if rng.random() < 0.5:
+        out = np.flip(out, axis=ax_c)
+    return out.copy()
+
+
+def bragg_augmentation(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Batch augmentation for Bragg-peak patches used when training BYOL.
+
+    Accepts a flattened ``(n, patch*patch)`` or image ``(n, H, W)`` batch and
+    returns an array of the same shape: each sample is independently rotated,
+    flipped, and perturbed with noise.
+    """
+    batch = np.asarray(batch, dtype=np.float64)
+    flat = batch.ndim == 2
+    if flat:
+        side = int(round(np.sqrt(batch.shape[1])))
+        if side * side != batch.shape[1]:
+            # Not a square image; fall back to noise-only augmentation.
+            return add_gaussian_noise(batch, sigma=0.02, rng=rng)
+        imgs = batch.reshape(batch.shape[0], side, side)
+    else:
+        imgs = batch
+    out = np.empty_like(imgs)
+    for i in range(imgs.shape[0]):
+        img = random_rotate90(imgs[i], rng)
+        img = random_flip(img, rng)
+        out[i] = add_gaussian_noise(img, sigma=0.02, rng=rng)
+    return out.reshape(batch.shape) if flat else out

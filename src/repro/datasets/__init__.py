@@ -1,0 +1,37 @@
+"""Synthetic scientific datasets standing in for the paper's experimental data.
+
+The paper evaluates on three datasets that we cannot redistribute (and that
+need APS/LCLS beamtime to regenerate):
+
+* **BraggPeaks** — 1.8 M 15x15-pixel patches, each containing one Bragg
+  diffraction peak, from 27 HEDM experiments.
+* **CookieBox** — simulated 128x128 energy-histogram images of the CookieBox
+  angular array of electron spectrometers.
+* **Tomography** — 2048x2048 synchrotron CT slices.
+
+Each generator here produces data with the same structure and, crucially, a
+parameterised **experiment drift model** (:mod:`repro.datasets.drift`) so that
+successive "scans" slowly change their distribution — the property that makes
+ML models degrade over time (Fig. 2) and makes data/model reuse possible at
+all (similar scans exist in the history).
+"""
+
+from repro.datasets.drift import ExperimentCondition, DriftSchedule, make_two_phase_schedule
+from repro.datasets.bragg import BraggPeakDataset, generate_bragg_scan
+from repro.datasets.cookiebox import CookieBoxDataset, generate_cookiebox_scan
+from repro.datasets.tomography import TomographyDataset, generate_tomography_scan
+from repro.datasets.splits import train_val_test_split, holdout_split
+
+__all__ = [
+    "ExperimentCondition",
+    "DriftSchedule",
+    "make_two_phase_schedule",
+    "BraggPeakDataset",
+    "generate_bragg_scan",
+    "CookieBoxDataset",
+    "generate_cookiebox_scan",
+    "TomographyDataset",
+    "generate_tomography_scan",
+    "train_val_test_split",
+    "holdout_split",
+]

@@ -1,0 +1,150 @@
+"""Synthetic BraggPeaks dataset.
+
+Each sample is a ``patch_size x patch_size`` patch containing a single Bragg
+diffraction peak rendered with the 2-D pseudo-Voigt profile from
+:mod:`repro.labeling.pseudo_voigt`, plus detector noise.  The ground-truth
+label is the peak centre (row, col) in pixels — exactly what BraggNN predicts
+and what the MIDAS-style fitter in :mod:`repro.labeling` recovers.
+
+The generation parameters of a scan come from an
+:class:`~repro.datasets.drift.ExperimentCondition`, so a drifting
+:class:`~repro.datasets.drift.DriftSchedule` yields a sequence of scans whose
+distribution changes over experiment time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.drift import DriftSchedule, ExperimentCondition
+from repro.labeling.pseudo_voigt import PeakParameters, pseudo_voigt_2d
+from repro.models.braggnn import BRAGG_PATCH_SIZE
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+
+@dataclass
+class BraggScan:
+    """One scan's worth of Bragg peak patches.
+
+    Attributes
+    ----------
+    images:
+        ``(n, 1, patch, patch)`` float array in [0, ~1.2].
+    centers:
+        ``(n, 2)`` ground-truth (row, col) peak centres in pixels.
+    condition:
+        The experiment condition the scan was generated under.
+    """
+
+    images: np.ndarray
+    centers: np.ndarray
+    condition: ExperimentCondition
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def normalized_centers(self) -> np.ndarray:
+        """Centres scaled to [0, 1] patch coordinates (the BraggNN target)."""
+        patch = self.images.shape[-1]
+        return self.centers / float(patch)
+
+    def flat_images(self) -> np.ndarray:
+        return self.images.reshape(self.images.shape[0], -1)
+
+
+def generate_bragg_scan(
+    condition: ExperimentCondition,
+    n_peaks: int = 256,
+    patch_size: int = BRAGG_PATCH_SIZE,
+    seed: SeedLike = None,
+) -> BraggScan:
+    """Generate one scan of Bragg peak patches under ``condition``."""
+    if n_peaks < 1:
+        raise ConfigurationError("n_peaks must be >= 1")
+    if patch_size < 5:
+        raise ConfigurationError("patch_size must be >= 5")
+    rng = default_rng(derive_seed(seed, condition.scan_index, 11) if seed is not None
+                      else derive_seed(0, condition.scan_index, 11))
+    center = (patch_size - 1) / 2.0
+    spread = min(condition.center_spread, patch_size / 2.0 - 1.5)
+
+    rows = center + rng.uniform(-spread, spread, size=n_peaks)
+    cols = center + rng.uniform(-spread, spread, size=n_peaks)
+    widths_r = condition.peak_width * rng.uniform(0.8, 1.2, size=n_peaks)
+    widths_c = condition.peak_width * rng.uniform(0.8, 1.2, size=n_peaks)
+    amps = condition.intensity * rng.uniform(0.6, 1.0, size=n_peaks)
+    etas = np.clip(condition.peak_eta + rng.uniform(-0.1, 0.1, size=n_peaks), 0.0, 1.0)
+    backgrounds = rng.uniform(0.0, 0.05, size=n_peaks)
+
+    images = np.empty((n_peaks, 1, patch_size, patch_size), dtype=np.float64)
+    centers = np.empty((n_peaks, 2), dtype=np.float64)
+    for i in range(n_peaks):
+        params = PeakParameters(
+            center_row=float(rows[i]),
+            center_col=float(cols[i]),
+            amplitude=float(amps[i]),
+            sigma_row=float(widths_r[i]),
+            sigma_col=float(widths_c[i]),
+            eta=float(etas[i]),
+            background=float(backgrounds[i]),
+        )
+        clean = pseudo_voigt_2d((patch_size, patch_size), params)
+        noise = condition.noise_level * rng.standard_normal((patch_size, patch_size))
+        images[i, 0] = np.clip(clean + noise, 0.0, None)
+        centers[i] = (params.center_row, params.center_col)
+    return BraggScan(images=images, centers=centers, condition=condition)
+
+
+class BraggPeakDataset:
+    """A multi-scan synthetic HEDM experiment.
+
+    Wraps a :class:`DriftSchedule` and lazily generates (and caches) each
+    scan.  This is the object the fairDS/fairMS evaluation drives: early scans
+    populate the historical data store and model Zoo, later scans arrive as
+    "new" data whose distribution has drifted.
+    """
+
+    def __init__(
+        self,
+        schedule: DriftSchedule,
+        peaks_per_scan: int = 256,
+        patch_size: int = BRAGG_PATCH_SIZE,
+        seed: SeedLike = 0,
+    ):
+        if peaks_per_scan < 1:
+            raise ConfigurationError("peaks_per_scan must be >= 1")
+        self.schedule = schedule
+        self.peaks_per_scan = int(peaks_per_scan)
+        self.patch_size = int(patch_size)
+        self.seed = seed
+        self._cache: dict[int, BraggScan] = {}
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    def scan(self, scan_index: int) -> BraggScan:
+        """Return (generating if necessary) the scan at ``scan_index``."""
+        if scan_index not in self._cache:
+            condition = self.schedule.condition(scan_index)
+            self._cache[scan_index] = generate_bragg_scan(
+                condition,
+                n_peaks=self.peaks_per_scan,
+                patch_size=self.patch_size,
+                seed=derive_seed(self.seed, scan_index),
+            )
+        return self._cache[scan_index]
+
+    def scans(self, indices) -> List[BraggScan]:
+        return [self.scan(i) for i in indices]
+
+    def stacked(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenate ``images`` and ``normalized_centers`` of several scans."""
+        scans = self.scans(indices)
+        images = np.concatenate([s.images for s in scans], axis=0)
+        targets = np.concatenate([s.normalized_centers for s in scans], axis=0)
+        return images, targets

@@ -1,0 +1,50 @@
+"""Dataset splitting helpers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+from repro.utils.rng import SeedLike, default_rng
+
+
+def train_val_test_split(
+    n: int,
+    val_fraction: float = 0.15,
+    test_fraction: float = 0.15,
+    seed: SeedLike = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return shuffled index arrays ``(train, val, test)`` for ``n`` samples."""
+    if n < 3:
+        raise ValidationError("need at least 3 samples to split")
+    if val_fraction < 0 or test_fraction < 0 or val_fraction + test_fraction >= 1.0:
+        raise ValidationError("fractions must be non-negative and sum to < 1")
+    perm = default_rng(seed).permutation(n)
+    n_val = int(round(n * val_fraction))
+    n_test = int(round(n * test_fraction))
+    test = perm[:n_test]
+    val = perm[n_test : n_test + n_val]
+    train = perm[n_test + n_val :]
+    if train.size == 0:
+        raise ValidationError("train split is empty; reduce val/test fractions")
+    return train, val, test
+
+
+def holdout_split(n: int, holdout_fraction: float = 0.2, seed: SeedLike = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(rest, holdout)`` index arrays.
+
+    Mirrors the paper's Fig. 9 protocol: a holdout set ``BH`` is carved out of
+    a new experimental dataset ``BR`` and never used for labeling or training,
+    only for the final error comparison.
+    """
+    if n < 2:
+        raise ValidationError("need at least 2 samples for a holdout split")
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValidationError("holdout_fraction must be in (0, 1)")
+    perm = default_rng(seed).permutation(n)
+    n_holdout = max(1, int(round(n * holdout_fraction)))
+    if n_holdout >= n:
+        n_holdout = n - 1
+    return perm[n_holdout:], perm[:n_holdout]

@@ -1,0 +1,135 @@
+"""Synthetic tomography dataset.
+
+Synchrotron CT slices are reproduced as random "phantom" images: a disc-shaped
+sample containing ellipsoidal inclusions of varying density, the classic
+Shepp-Logan-style construction.  Each sample comes in a clean and a noisy
+(low-dose) version, so the TomoGAN-style denoiser has a supervised target and
+the storage benchmarks (Fig. 6) have large dense arrays to move around.
+
+The paper uses 2048x2048 16-bit slices; the default here is 128x128 to keep
+the CPU-only benchmarks fast — the storage cost trends (serialisation vs file
+reads) are preserved because they depend on bytes per item, not absolute size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.drift import DriftSchedule, ExperimentCondition
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+
+@dataclass
+class TomographyScan:
+    """One scan of tomography slices.
+
+    Attributes
+    ----------
+    noisy:
+        ``(n, 1, H, W)`` low-dose images in [0, 1].
+    clean:
+        ``(n, 1, H, W)`` ground-truth images in [0, 1].
+    condition:
+        Experiment condition of the scan.
+    """
+
+    noisy: np.ndarray
+    clean: np.ndarray
+    condition: ExperimentCondition
+
+    def __len__(self) -> int:
+        return self.noisy.shape[0]
+
+
+def _phantom(size: int, n_inclusions: int, rng: np.random.Generator) -> np.ndarray:
+    """Render a disc-shaped phantom with random ellipsoidal inclusions."""
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
+    cx = cy = (size - 1) / 2.0
+    radius = 0.45 * size
+    img = np.zeros((size, size))
+    sample = ((xx - cx) ** 2 + (yy - cy) ** 2) <= radius**2
+    img[sample] = 0.3
+    for _ in range(n_inclusions):
+        icx = cx + rng.uniform(-0.3, 0.3) * size
+        icy = cy + rng.uniform(-0.3, 0.3) * size
+        a = rng.uniform(0.03, 0.12) * size
+        b = rng.uniform(0.03, 0.12) * size
+        theta = rng.uniform(0, np.pi)
+        density = rng.uniform(0.2, 0.7)
+        xr = (xx - icx) * np.cos(theta) + (yy - icy) * np.sin(theta)
+        yr = -(xx - icx) * np.sin(theta) + (yy - icy) * np.cos(theta)
+        mask = (xr / a) ** 2 + (yr / b) ** 2 <= 1.0
+        img[mask & sample] += density
+    return np.clip(img, 0.0, 1.0)
+
+
+def generate_tomography_scan(
+    condition: ExperimentCondition,
+    n_slices: int = 16,
+    image_size: int = 128,
+    n_inclusions: int = 8,
+    seed: SeedLike = None,
+) -> TomographyScan:
+    """Generate one scan of clean + low-dose tomography slices."""
+    if n_slices < 1 or image_size < 16:
+        raise ConfigurationError("n_slices must be >= 1 and image_size >= 16")
+    rng = default_rng(derive_seed(seed if seed is not None else 0, condition.scan_index, 37))
+    clean = np.empty((n_slices, 1, image_size, image_size), dtype=np.float64)
+    noisy = np.empty_like(clean)
+    for i in range(n_slices):
+        img = _phantom(image_size, n_inclusions, rng)
+        clean[i, 0] = img
+        # Low-dose acquisition: Poisson-like counting noise scaled by intensity
+        # plus additive detector noise.
+        dose = max(condition.intensity * 200.0, 10.0)
+        counts = rng.poisson(img * dose) / dose
+        noise = condition.noise_level * rng.standard_normal(img.shape)
+        noisy[i, 0] = np.clip(counts + noise, 0.0, 1.0)
+    return TomographyScan(noisy=noisy, clean=clean, condition=condition)
+
+
+class TomographyDataset:
+    """Multi-scan synthetic tomography experiment driven by a drift schedule."""
+
+    def __init__(
+        self,
+        schedule: DriftSchedule,
+        slices_per_scan: int = 16,
+        image_size: int = 128,
+        seed: SeedLike = 0,
+    ):
+        if slices_per_scan < 1:
+            raise ConfigurationError("slices_per_scan must be >= 1")
+        self.schedule = schedule
+        self.slices_per_scan = int(slices_per_scan)
+        self.image_size = int(image_size)
+        self.seed = seed
+        self._cache: dict[int, TomographyScan] = {}
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    def scan(self, scan_index: int) -> TomographyScan:
+        if scan_index not in self._cache:
+            condition = self.schedule.condition(scan_index)
+            self._cache[scan_index] = generate_tomography_scan(
+                condition,
+                n_slices=self.slices_per_scan,
+                image_size=self.image_size,
+                seed=derive_seed(self.seed, scan_index),
+            )
+        return self._cache[scan_index]
+
+    def scans(self, indices) -> List[TomographyScan]:
+        return [self.scan(i) for i in indices]
+
+    def stacked(self, indices) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenate (noisy, clean) image stacks of several scans."""
+        scans = self.scans(indices)
+        noisy = np.concatenate([s.noisy for s in scans], axis=0)
+        clean = np.concatenate([s.clean for s in scans], axis=0)
+        return noisy, clean

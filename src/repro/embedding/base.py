@@ -1,0 +1,72 @@
+"""Embedder interface and registry."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+class Embedder:
+    """Maps raw samples (images, flattened or not) to compact embedding vectors.
+
+    Sub-classes implement :meth:`fit` and :meth:`transform`; ``fit_transform``
+    and input flattening are provided here.  The fairDS system plane retrains
+    the embedder whenever the uncertainty trigger fires, so ``fit`` must be
+    callable repeatedly.
+    """
+
+    #: Registry name, overridden by subclasses.
+    name: str = "base"
+
+    def __init__(self, embedding_dim: int = 16):
+        if embedding_dim < 1:
+            raise ConfigurationError("embedding_dim must be >= 1")
+        self.embedding_dim = int(embedding_dim)
+
+    # -- protocol ---------------------------------------------------------------
+    def fit(self, x: np.ndarray, **kwargs) -> "Embedder":
+        raise NotImplementedError
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, x: np.ndarray, **kwargs) -> np.ndarray:
+        return self.fit(x, **kwargs).transform(x)
+
+    # -- helpers ------------------------------------------------------------------
+    @staticmethod
+    def flatten(x: np.ndarray) -> np.ndarray:
+        """Flatten per-sample dimensions: ``(n, ...) -> (n, features)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return x.reshape(1, -1)
+        return x.reshape(x.shape[0], -1)
+
+
+_EMBEDDERS: Dict[str, Type[Embedder]] = {}
+
+
+def register_embedder(cls: Type[Embedder]) -> Type[Embedder]:
+    """Register an embedder class under its ``name`` (usable as a decorator)."""
+    if not getattr(cls, "name", None) or cls.name == "base":
+        raise ConfigurationError("embedder classes must define a unique 'name'")
+    _EMBEDDERS[cls.name] = cls
+    return cls
+
+
+def get_embedder(name: str, **kwargs) -> Embedder:
+    """Instantiate a registered embedder by name.
+
+    Available names: ``autoencoder``, ``contrastive``, ``byol``, ``pca`` plus
+    any user-registered embedders.
+    """
+    try:
+        cls = _EMBEDDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown embedder {name!r}; available: {sorted(_EMBEDDERS)}"
+        ) from None
+    return cls(**kwargs)

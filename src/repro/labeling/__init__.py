@@ -1,0 +1,47 @@
+"""Conventional (physics-based) data labeling.
+
+In the paper the baseline for data annotation is pseudo-Voigt profile fitting
+with the MIDAS package — a compute-intensive procedure run on an 80-core
+workstation ("Voigt-80") or a 1440-core cluster ("Voigt-1440").  This package
+implements that substrate from scratch:
+
+* :mod:`repro.labeling.pseudo_voigt` — 1-D / 2-D pseudo-Voigt profiles used
+  both to *generate* synthetic Bragg peaks and to *fit* them.
+* :mod:`repro.labeling.peak_fitting` — per-patch centre-of-mass labeling via
+  non-linear least squares (the expensive conventional method) plus a cheap
+  intensity-weighted centroid used for sanity checks.
+* :mod:`repro.labeling.parallel` — a labeling engine that fans fits across
+  worker threads and scales measured wall-clock by a simulated core count so
+  the Fig. 15 comparison (fairDMS vs Voigt-80 vs Voigt-1440) can be
+  reproduced on a laptop.
+"""
+
+from repro.labeling.pseudo_voigt import pseudo_voigt_1d, pseudo_voigt_2d, PeakParameters
+from repro.labeling.peak_fitting import (
+    fit_peak_center,
+    intensity_centroid,
+    FitResult,
+    label_patches,
+)
+from repro.labeling.parallel import (
+    LabelingEngine,
+    LabelingReport,
+    CostModel,
+    VOIGT_80,
+    VOIGT_1440,
+)
+
+__all__ = [
+    "VOIGT_80",
+    "VOIGT_1440",
+    "pseudo_voigt_1d",
+    "pseudo_voigt_2d",
+    "PeakParameters",
+    "fit_peak_center",
+    "intensity_centroid",
+    "FitResult",
+    "label_patches",
+    "LabelingEngine",
+    "LabelingReport",
+    "CostModel",
+]

@@ -1,0 +1,43 @@
+"""Application models used in the paper's evaluation.
+
+Two supervised "science" models (the paper's benchmark applications):
+
+* :func:`build_braggnn` — BraggNN, a small convolutional regressor that
+  predicts the sub-pixel centre of mass of a Bragg diffraction peak from a
+  15x15 patch (Liu et al., IUCrJ 2022).
+* :func:`build_cookienetae` — CookieNetAE, an encoder-decoder network that
+  maps a CookieBox energy-histogram image to the per-channel probability
+  density of electron energies.
+* :func:`build_tomogan_denoiser` — a TomoGAN-style convolutional denoiser for
+  the tomography dataset.
+
+Three self-supervised representation learners used by fairDS to embed images:
+
+* :class:`ConvAutoencoder` — reconstruction-based embedding.
+* :class:`SimCLREncoder` / :func:`train_contrastive` — NT-Xent contrastive
+  embedding.
+* :class:`BYOLLearner` — BYOL (online/target networks, EMA updates,
+  augmentation-invariant embedding); this is the method the paper settled on
+  for Bragg peaks after the autoencoder proved too sensitive to pixel-level
+  differences.
+"""
+
+from repro.models.braggnn import build_braggnn, BRAGG_PATCH_SIZE
+from repro.models.cookienetae import build_cookienetae, COOKIEBOX_IMAGE_SIZE
+from repro.models.tomogan import build_tomogan_denoiser
+from repro.models.autoencoder import ConvAutoencoder, DenseAutoencoder
+from repro.models.contrastive import SimCLREncoder, train_contrastive
+from repro.models.byol import BYOLLearner
+
+__all__ = [
+    "build_braggnn",
+    "BRAGG_PATCH_SIZE",
+    "build_cookienetae",
+    "COOKIEBOX_IMAGE_SIZE",
+    "build_tomogan_denoiser",
+    "ConvAutoencoder",
+    "DenseAutoencoder",
+    "SimCLREncoder",
+    "train_contrastive",
+    "BYOLLearner",
+]

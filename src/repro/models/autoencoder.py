@@ -1,0 +1,149 @@
+"""Autoencoder embedding models.
+
+fairDS uses self-supervised models to compress raw detector images into
+compact, semantically meaningful embeddings.  The autoencoder is the simplest
+option: train a bottlenecked reconstruction network and use the bottleneck
+activations as the embedding.  The paper reports that this worked well for
+CookieBox data but poorly for Bragg peaks (too sensitive to pixel-wise
+differences such as rotations); the BYOL learner in
+:mod:`repro.models.byol` addresses that failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.trainer import Trainer, TrainingConfig, TrainingHistory
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, derive_seed
+
+
+class DenseAutoencoder:
+    """Fully connected autoencoder with a ``latent_dim`` bottleneck.
+
+    The encoder and decoder are separate :class:`Sequential` models so the
+    encoder can be used stand-alone after training (``encode``), which is what
+    the fairDS embedding service needs.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        latent_dim: int = 16,
+        hidden: int = 128,
+        sigmoid_output: bool = True,
+        seed: SeedLike = 0,
+    ):
+        if input_dim < 1 or latent_dim < 1 or hidden < 1:
+            raise ValidationError("input_dim, latent_dim and hidden must be positive")
+        if latent_dim >= input_dim:
+            raise ValidationError("latent_dim must be smaller than input_dim for a bottleneck")
+        self.input_dim = int(input_dim)
+        self.latent_dim = int(latent_dim)
+        self.encoder = Sequential(
+            [
+                Dense(input_dim, hidden, seed=derive_seed(seed, 1), name="enc1"),
+                ReLU(),
+                Dense(hidden, latent_dim, seed=derive_seed(seed, 2), name="enc2"),
+            ],
+            name="ae-encoder",
+        )
+        decoder_layers = [
+            Dense(latent_dim, hidden, seed=derive_seed(seed, 3), name="dec1"),
+            ReLU(),
+            Dense(hidden, input_dim, seed=derive_seed(seed, 4), name="dec2"),
+        ]
+        if sigmoid_output:
+            decoder_layers.append(Sigmoid())
+        self.decoder = Sequential(decoder_layers, name="ae-decoder")
+        self._fitted = False
+
+    # -- training --------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed: SeedLike = 0,
+    ) -> TrainingHistory:
+        """Train encoder+decoder to reconstruct ``x`` (flattened samples)."""
+        x = self._validate(x)
+        full = Sequential(self.encoder.layers + self.decoder.layers, name="autoencoder")
+        trainer = Trainer(full, loss=MSELoss())
+        history = trainer.fit(
+            (x, x),
+            val=(x, x),
+            config=TrainingConfig(epochs=epochs, batch_size=batch_size, lr=lr, seed=seed),
+        )
+        self._fitted = True
+        return history
+
+    # -- inference ----------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Return the bottleneck embedding for each sample."""
+        if not self._fitted:
+            raise NotFittedError("DenseAutoencoder.encode() called before fit()")
+        return self.encoder.predict(self._validate(x), batch_size=256)
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("DenseAutoencoder.reconstruct() called before fit()")
+        z = self.encode(x)
+        return self.decoder.predict(z, batch_size=256)
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample mean squared reconstruction error."""
+        x = self._validate(x)
+        recon = self.reconstruct(x)
+        return np.mean((x - recon) ** 2, axis=1)
+
+    # -- helpers --------------------------------------------------------------------
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValidationError(
+                f"expected (n, {self.input_dim}) input, got shape {x.shape}"
+            )
+        return x
+
+
+class ConvAutoencoder(DenseAutoencoder):
+    """Autoencoder for square image patches.
+
+    Convenience wrapper that accepts ``(n, H, W)`` or ``(n, 1, H, W)`` image
+    stacks, flattens them, and otherwise behaves like
+    :class:`DenseAutoencoder`.  (A truly convolutional decoder adds little for
+    the small patches used here while costing considerably more CPU time.)
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int],
+        latent_dim: int = 16,
+        hidden: int = 128,
+        seed: SeedLike = 0,
+    ):
+        h, w = image_shape
+        super().__init__(h * w, latent_dim=latent_dim, hidden=hidden, seed=seed)
+        self.image_shape = (int(h), int(w))
+
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 4 and x.shape[1] == 1:
+            x = x[:, 0]
+        if x.ndim == 3:
+            if x.shape[1:] != self.image_shape:
+                raise ValidationError(
+                    f"expected images of shape {self.image_shape}, got {x.shape[1:]}"
+                )
+            x = x.reshape(x.shape[0], -1)
+        return super()._validate(x)

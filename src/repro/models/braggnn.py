@@ -1,0 +1,69 @@
+"""BraggNN: fast Bragg-peak centre-of-mass regression.
+
+The original BraggNN (Liu et al., IUCrJ 2022) is a small CNN that takes an
+11x11 or 15x15 pixel patch containing a single diffraction peak and predicts
+the peak's centre of mass with sub-pixel accuracy, replacing pseudo-Voigt
+profile fitting at ~200x lower latency.  This reproduction keeps the same
+input/output contract (15x15 patch -> (row, col) in normalised patch
+coordinates) with a reduced-width architecture suitable for CPU training.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, LeakyReLU, MaxPool2D, ReLU
+from repro.nn.network import Sequential
+from repro.utils.rng import SeedLike, derive_seed
+
+#: Side length of the square Bragg-peak patches used throughout the paper.
+BRAGG_PATCH_SIZE = 15
+
+
+def build_braggnn(
+    patch_size: int = BRAGG_PATCH_SIZE,
+    width: int = 8,
+    dropout: float = 0.2,
+    seed: SeedLike = 0,
+) -> Sequential:
+    """Build a BraggNN-style regressor.
+
+    Parameters
+    ----------
+    patch_size:
+        Input patch side length (pixels).  Must be odd so a centre pixel exists.
+    width:
+        Number of channels of the first convolution; the dense head scales
+        with it.  ``width=8`` trains in seconds on a laptop CPU.
+    dropout:
+        Dropout rate of the head; non-zero so MC-dropout uncertainty
+        quantification (Fig. 2) is available.
+    seed:
+        Weight-initialisation seed.
+
+    Returns
+    -------
+    Sequential
+        Model mapping ``(batch, 1, patch_size, patch_size)`` patches to
+        ``(batch, 2)`` centre-of-mass estimates in units of pixels relative to
+        the patch origin, normalised by ``patch_size``.
+    """
+    if patch_size % 2 == 0 or patch_size < 5:
+        raise ValueError(f"patch_size must be an odd integer >= 5, got {patch_size}")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    # Convolution stack: patch -> (patch-2) -> (patch-4), then flatten.
+    conv_out = patch_size - 4
+    flat = 2 * width * conv_out * conv_out
+    layers = [
+        Conv2D(1, width, kernel_size=3, padding=0, seed=derive_seed(seed, 1), name="conv1"),
+        LeakyReLU(0.01),
+        Conv2D(width, 2 * width, kernel_size=3, padding=0, seed=derive_seed(seed, 2), name="conv2"),
+        LeakyReLU(0.01),
+        Flatten(),
+        Dense(flat, 64, seed=derive_seed(seed, 3), name="fc1"),
+        ReLU(),
+        Dropout(dropout, seed=derive_seed(seed, 4)),
+        Dense(64, 32, seed=derive_seed(seed, 5), name="fc2"),
+        ReLU(),
+        Dense(32, 2, seed=derive_seed(seed, 6), name="head"),
+    ]
+    return Sequential(layers, name=f"BraggNN(p{patch_size},w{width})")

@@ -1,0 +1,176 @@
+"""BYOL: Bootstrap Your Own Latent.
+
+The paper reports (Section IV, "An example of failure") that autoencoder
+embeddings were too sensitive to pixel-wise differences for Bragg peaks —
+two peaks that differ only by a rotation are physically identical but land far
+apart in reconstruction space.  BYOL fixes this by learning an embedding that
+is *invariant to the augmentations it is trained with* (rotations, flips,
+noise): an online network is trained to predict a slowly moving target
+network's projection of a differently augmented view, with no negative pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import BYOLLoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+Augmentation = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+def _mlp(in_dim: int, hidden: int, out_dim: int, seed_salt: int, seed: SeedLike, name: str) -> Sequential:
+    return Sequential(
+        [
+            Dense(in_dim, hidden, seed=derive_seed(seed, seed_salt, 1), name=f"{name}1"),
+            ReLU(),
+            Dense(hidden, out_dim, seed=derive_seed(seed, seed_salt, 2), name=f"{name}2"),
+        ],
+        name=name,
+    )
+
+
+class BYOLLearner:
+    """Online/target BYOL learner producing augmentation-invariant embeddings.
+
+    Components
+    ----------
+    * online encoder  (trained)   — produces the embedding used by fairDS.
+    * online projector (trained)
+    * online predictor (trained)  — predicts the target projection.
+    * target encoder/projector    — exponential moving average (EMA) of the
+      online weights; never receives gradients (stop-gradient).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        embedding_dim: int = 16,
+        projection_dim: int = 8,
+        hidden: int = 64,
+        ema_decay: float = 0.99,
+        seed: SeedLike = 0,
+    ):
+        if input_dim < 1 or embedding_dim < 1 or projection_dim < 1:
+            raise ValidationError("dimensions must be positive")
+        if not 0.0 < ema_decay < 1.0:
+            raise ValidationError("ema_decay must be in (0, 1)")
+        self.input_dim = int(input_dim)
+        self.embedding_dim = int(embedding_dim)
+        self.ema_decay = float(ema_decay)
+
+        self.online_encoder = _mlp(input_dim, hidden, embedding_dim, 1, seed, "online_enc")
+        self.online_projector = _mlp(embedding_dim, hidden, projection_dim, 2, seed, "online_proj")
+        self.online_predictor = _mlp(projection_dim, hidden, projection_dim, 3, seed, "online_pred")
+
+        # Target networks start as copies of the online networks.
+        self.target_encoder = self.online_encoder.clone()
+        self.target_projector = self.online_projector.clone()
+
+        self.loss = BYOLLoss()
+        self._fitted = False
+
+    # -- EMA -------------------------------------------------------------------
+    def _ema_update(self) -> None:
+        """target <- decay * target + (1 - decay) * online."""
+        for target_net, online_net in (
+            (self.target_encoder, self.online_encoder),
+            (self.target_projector, self.online_projector),
+        ):
+            for pt, po in zip(target_net.parameters(), online_net.parameters()):
+                pt.data *= self.ema_decay
+                pt.data += (1.0 - self.ema_decay) * po.data
+
+    # -- forward helpers ------------------------------------------------------------
+    def _flatten(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValidationError(f"expected (n, {self.input_dim}) input, got {x.shape}")
+        return x
+
+    def _online_forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        h = self.online_encoder.forward(x, training=training)
+        z = self.online_projector.forward(h, training=training)
+        return self.online_predictor.forward(z, training=training)
+
+    def _online_backward(self, grad: np.ndarray) -> None:
+        g = self.online_predictor.backward(grad)
+        g = self.online_projector.backward(g)
+        self.online_encoder.backward(g)
+
+    def _target_forward(self, x: np.ndarray) -> np.ndarray:
+        return self.target_projector.forward(
+            self.target_encoder.forward(x, training=False), training=False
+        )
+
+    # -- training ------------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        augment: Augmentation,
+        epochs: int = 20,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed: SeedLike = 0,
+    ) -> List[float]:
+        """Train the online network; returns per-epoch loss values."""
+        x = self._flatten(x)
+        if x.shape[0] < 2:
+            raise ValidationError("BYOL training needs at least 2 samples")
+        rng = default_rng(seed)
+        params = (
+            self.online_encoder.parameters()
+            + self.online_projector.parameters()
+            + self.online_predictor.parameters()
+        )
+        optimizer = Adam(params, lr=lr)
+        losses: List[float] = []
+        n = x.shape[0]
+        for _ in range(epochs):
+            perm = rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = perm[start : start + batch_size]
+                if idx.size < 2:
+                    continue
+                batch = x[idx]
+                view_a = augment(batch, rng)
+                view_b = augment(batch, rng)
+
+                # Symmetric BYOL loss: online(A) predicts target(B) and vice versa.
+                pred_a = self._online_forward(view_a, training=True)
+                target_b = self._target_forward(view_b)
+                loss_ab = self.loss.forward(pred_a, target_b)
+                grad_a = self.loss.backward(pred_a, target_b)
+                optimizer.zero_grad()
+                self._online_backward(grad_a)
+
+                pred_b = self._online_forward(view_b, training=True)
+                target_a = self._target_forward(view_a)
+                loss_ba = self.loss.forward(pred_b, target_a)
+                grad_b = self.loss.backward(pred_b, target_a)
+                self._online_backward(grad_b)
+
+                optimizer.step()
+                self._ema_update()
+
+                epoch_loss += 0.5 * (loss_ab + loss_ba)
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        self._fitted = True
+        return losses
+
+    # -- inference --------------------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Return the online-encoder embedding for each sample."""
+        if not self._fitted:
+            raise NotFittedError("BYOLLearner.encode() called before fit()")
+        return self.online_encoder.predict(self._flatten(x), batch_size=256)

@@ -1,0 +1,137 @@
+"""SimCLR-style contrastive representation learning.
+
+Learns an embedding in which two augmented views of the same image are close
+and views of different images are far apart, by minimising the NT-Xent loss.
+Used by fairDS as one of the pluggable embedding back-ends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import NTXentLoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.utils.errors import NotFittedError, ValidationError
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+Augmentation = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class SimCLREncoder:
+    """Encoder + projection head trained with the NT-Xent contrastive loss."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        embedding_dim: int = 16,
+        projection_dim: int = 8,
+        hidden: int = 64,
+        temperature: float = 0.5,
+        seed: SeedLike = 0,
+    ):
+        if input_dim < 1 or embedding_dim < 1 or projection_dim < 1:
+            raise ValidationError("dimensions must be positive")
+        self.input_dim = int(input_dim)
+        self.embedding_dim = int(embedding_dim)
+        self.encoder = Sequential(
+            [
+                Dense(input_dim, hidden, seed=derive_seed(seed, 1), name="enc1"),
+                ReLU(),
+                Dense(hidden, embedding_dim, seed=derive_seed(seed, 2), name="enc2"),
+            ],
+            name="simclr-encoder",
+        )
+        self.projector = Sequential(
+            [
+                Dense(embedding_dim, projection_dim, seed=derive_seed(seed, 3), name="proj"),
+            ],
+            name="simclr-projector",
+        )
+        self.loss = NTXentLoss(temperature=temperature)
+        self._fitted = False
+
+    def _flatten(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValidationError(f"expected (n, {self.input_dim}) input, got {x.shape}")
+        return x
+
+    def _forward_full(self, x: np.ndarray, training: bool) -> np.ndarray:
+        return self.projector.forward(self.encoder.forward(x, training=training), training=training)
+
+    def _backward_full(self, grad: np.ndarray) -> None:
+        self.encoder.backward(self.projector.backward(grad))
+
+    def fit(
+        self,
+        x: np.ndarray,
+        augment: Augmentation,
+        epochs: int = 20,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        seed: SeedLike = 0,
+    ) -> List[float]:
+        """Train with two augmented views per sample; returns per-epoch loss."""
+        x = self._flatten(x)
+        if x.shape[0] < 2:
+            raise ValidationError("contrastive training needs at least 2 samples")
+        rng = default_rng(seed)
+        params = self.encoder.parameters() + self.projector.parameters()
+        optimizer = Adam(params, lr=lr)
+        losses: List[float] = []
+        n = x.shape[0]
+        for _ in range(epochs):
+            perm = rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = perm[start : start + batch_size]
+                if idx.size < 2:
+                    continue
+                batch = x[idx]
+                view_a = augment(batch, rng)
+                view_b = augment(batch, rng)
+                za = self._forward_full(view_a, training=True)
+                zb = self._forward_full(view_b, training=True)
+                # Symmetrised NT-Xent: average of both directions.
+                loss_val = 0.5 * (self.loss.forward(za, zb) + self.loss.forward(zb, za))
+                grad_a = 0.5 * self.loss.backward(za, zb)
+                optimizer.zero_grad()
+                self._backward_full(grad_a)
+                # Second direction: gradient wrt zb.
+                zb2 = self._forward_full(view_b, training=True)
+                grad_b = 0.5 * self.loss.backward(zb2, za)
+                self._backward_full(grad_b)
+                optimizer.step()
+                epoch_loss += loss_val
+                batches += 1
+            losses.append(epoch_loss / max(batches, 1))
+        self._fitted = True
+        return losses
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Return embeddings (without the projection head, as in SimCLR)."""
+        if not self._fitted:
+            raise NotFittedError("SimCLREncoder.encode() called before fit()")
+        return self.encoder.predict(self._flatten(x), batch_size=256)
+
+
+def train_contrastive(
+    x: np.ndarray,
+    augment: Augmentation,
+    embedding_dim: int = 16,
+    epochs: int = 20,
+    seed: SeedLike = 0,
+    **kwargs,
+) -> SimCLREncoder:
+    """Convenience one-call constructor + fit."""
+    x = np.asarray(x, dtype=np.float64)
+    flat_dim = int(np.prod(x.shape[1:]))
+    model = SimCLREncoder(flat_dim, embedding_dim=embedding_dim, seed=seed, **kwargs)
+    model.fit(x, augment, epochs=epochs, seed=seed)
+    return model

@@ -1,0 +1,68 @@
+"""CookieNetAE: energy-angle probability-density estimation for the CookieBox.
+
+The CookieBox detector is an angular array of 16 electron time-of-flight
+spectrometers; CookieNetAE maps a 128x128 image (one row per energy histogram
+bin per channel) to an image of the probability density of electron energies
+per channel.  The reproduction keeps the image-to-PDF contract: the model
+consumes a flattened ``(channels * bins)`` histogram image and emits a
+row-stochastic matrix of the same shape (each channel's output sums to one).
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Dense, Dropout, ReLU, Reshape, Sigmoid, Softmax
+from repro.nn.network import Sequential
+from repro.utils.rng import SeedLike, derive_seed
+
+#: (channels, energy bins) of the full-size CookieBox image in the paper.
+COOKIEBOX_IMAGE_SIZE = (16, 128)
+
+
+def build_cookienetae(
+    n_channels: int = 16,
+    n_bins: int = 64,
+    hidden: int = 128,
+    latent: int = 32,
+    dropout: float = 0.1,
+    seed: SeedLike = 0,
+) -> Sequential:
+    """Build a CookieNetAE-style encoder-decoder.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of spectrometer channels (rows of the image).
+    n_bins:
+        Number of energy bins per channel (columns).  The paper uses 128; the
+        default here is 64 to keep CPU training fast — the dataset generator
+        uses the same value.
+    hidden / latent:
+        Encoder hidden width and bottleneck size.
+    dropout:
+        Dropout rate in the bottleneck, enabling MC-dropout UQ.
+    seed:
+        Weight-initialisation seed.
+
+    Returns
+    -------
+    Sequential
+        Model mapping ``(batch, n_channels * n_bins)`` inputs to
+        ``(batch, n_channels, n_bins)`` per-channel probability densities
+        (each channel row sums to one via a softmax).
+    """
+    if n_channels < 1 or n_bins < 2:
+        raise ValueError("n_channels must be >= 1 and n_bins >= 2")
+    dim = n_channels * n_bins
+    layers = [
+        Dense(dim, hidden, seed=derive_seed(seed, 1), name="enc1"),
+        ReLU(),
+        Dense(hidden, latent, seed=derive_seed(seed, 2), name="enc2"),
+        ReLU(),
+        Dropout(dropout, seed=derive_seed(seed, 3)),
+        Dense(latent, hidden, seed=derive_seed(seed, 4), name="dec1"),
+        ReLU(),
+        Dense(hidden, dim, seed=derive_seed(seed, 5), name="dec2"),
+        Reshape((n_channels, n_bins)),
+        Softmax(),
+    ]
+    return Sequential(layers, name=f"CookieNetAE({n_channels}x{n_bins})")

@@ -1,0 +1,56 @@
+"""TomoGAN-style denoiser for low-dose tomography images.
+
+The paper's third dataset is synchrotron X-ray tomography, where a DNN such as
+TomoGAN is used to denoise low-dose reconstructions.  We reproduce the
+generator half only (the piece relevant to training-throughput and storage
+experiments): a small fully convolutional network mapping a noisy image to a
+clean image of the same shape.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Conv2D, LeakyReLU, Sigmoid
+from repro.nn.network import Sequential
+from repro.utils.rng import SeedLike, derive_seed
+
+
+def build_tomogan_denoiser(
+    width: int = 8,
+    depth: int = 3,
+    seed: SeedLike = 0,
+) -> Sequential:
+    """Build a fully convolutional denoiser.
+
+    Parameters
+    ----------
+    width:
+        Channel count of the hidden convolutions.
+    depth:
+        Number of hidden convolutional blocks (>= 1).
+    seed:
+        Weight-initialisation seed.
+
+    Returns
+    -------
+    Sequential
+        Model mapping ``(batch, 1, H, W)`` noisy images to denoised images of
+        identical shape, with a sigmoid output for data normalised to [0, 1].
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    layers = [
+        Conv2D(1, width, kernel_size=3, padding=1, seed=derive_seed(seed, 0), name="in_conv"),
+        LeakyReLU(0.01),
+    ]
+    for i in range(depth - 1):
+        layers += [
+            Conv2D(width, width, kernel_size=3, padding=1, seed=derive_seed(seed, i + 1), name=f"conv{i + 1}"),
+            LeakyReLU(0.01),
+        ]
+    layers += [
+        Conv2D(width, 1, kernel_size=3, padding=1, seed=derive_seed(seed, depth + 1), name="out_conv"),
+        Sigmoid(),
+    ]
+    return Sequential(layers, name=f"TomoGAN-denoiser(w{width},d{depth})")

@@ -1,0 +1,20 @@
+"""Monitoring: model-degradation detection and system-plane retraining triggers.
+
+* :class:`~repro.monitoring.drift_detector.DegradationDetector` — tracks a
+  model's prediction error and MC-dropout uncertainty over successive scans
+  and flags the onset of degradation (the Fig. 2 behaviour).
+* :class:`~repro.monitoring.triggers.ThresholdTrigger` /
+  :class:`~repro.monitoring.triggers.CertaintyTrigger` — fire when a monitored
+  quantity crosses a threshold; the certainty trigger drives the fairDS
+  system-plane refresh of Fig. 16.
+"""
+
+from repro.monitoring.drift_detector import DegradationDetector, DegradationRecord
+from repro.monitoring.triggers import CertaintyTrigger, ThresholdTrigger
+
+__all__ = [
+    "DegradationDetector",
+    "DegradationRecord",
+    "ThresholdTrigger",
+    "CertaintyTrigger",
+]

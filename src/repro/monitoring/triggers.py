@@ -1,0 +1,66 @@
+"""Threshold-based retraining triggers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.utils.errors import ConfigurationError
+
+
+class ThresholdTrigger:
+    """Fires when an observed value crosses a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Comparison threshold.
+    direction:
+        ``"below"`` fires when the value drops under the threshold (e.g.
+        cluster certainty), ``"above"`` fires when it rises over it (e.g.
+        prediction error).
+    cooldown:
+        Number of observations to ignore after a firing before the trigger can
+        fire again (prevents retraining storms while the refresh takes effect).
+    """
+
+    def __init__(self, threshold: float, direction: str = "below", cooldown: int = 0):
+        if direction not in ("below", "above"):
+            raise ConfigurationError("direction must be 'below' or 'above'")
+        if cooldown < 0:
+            raise ConfigurationError("cooldown must be non-negative")
+        self.threshold = float(threshold)
+        self.direction = direction
+        self.cooldown = int(cooldown)
+        self._cooldown_remaining = 0
+        self.history: List[float] = []
+        self.fired_at: List[int] = []
+
+    def observe(self, value: float) -> bool:
+        """Record a value; returns True when the trigger fires on it."""
+        self.history.append(float(value))
+        if self._cooldown_remaining > 0:
+            self._cooldown_remaining -= 1
+            return False
+        crossed = value < self.threshold if self.direction == "below" else value > self.threshold
+        if crossed:
+            self.fired_at.append(len(self.history) - 1)
+            self._cooldown_remaining = self.cooldown
+        return crossed
+
+    @property
+    def times_fired(self) -> int:
+        return len(self.fired_at)
+
+
+class CertaintyTrigger(ThresholdTrigger):
+    """Fires when fairDS cluster-assignment certainty drops below a percentage.
+
+    The paper triggers system-plane retraining (embedding + clustering + data
+    store update) when certainty drops below 80 % (Fig. 16).
+    """
+
+    def __init__(self, threshold_percent: float = 80.0, cooldown: int = 0):
+        if not 0.0 < threshold_percent <= 100.0:
+            raise ConfigurationError("threshold_percent must be in (0, 100]")
+        super().__init__(threshold_percent, direction="below", cooldown=cooldown)

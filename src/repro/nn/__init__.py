@@ -1,0 +1,88 @@
+"""A small, self-contained neural-network framework built on NumPy.
+
+The paper trains its application models (BraggNN, CookieNetAE, TomoGAN) with
+PyTorch on a V100 GPU.  This package reproduces the pieces of that stack the
+evaluation actually depends on — mini-batch gradient-descent training,
+fine-tuning from a checkpoint with optionally frozen layers, dropout-based
+uncertainty quantification, and state-dict style model serialisation — using
+vectorised NumPy kernels with hand-written backward passes.
+
+Public API
+----------
+* :class:`repro.nn.network.Sequential` — ordered container of layers.
+* :mod:`repro.nn.layers` — ``Dense``, ``Conv2D``, ``MaxPool2D``, activations,
+  ``Dropout``, ``BatchNorm1d``, ``Flatten``.
+* :mod:`repro.nn.losses` — ``MSELoss``, ``MAELoss``, ``BCELoss``,
+  ``SoftmaxCrossEntropy``, ``NTXentLoss``, ``BYOLLoss``.
+* :mod:`repro.nn.optimizers` — ``SGD``, ``Adam``.
+* :class:`repro.nn.trainer.Trainer` — fit / evaluate / fine-tune loops with
+  early stopping and learning-curve history.
+* :func:`repro.nn.mc_dropout.mc_dropout_predict` — MC-dropout uncertainty.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    Flatten,
+    Reshape,
+    ReLU,
+    LeakyReLU,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    Dropout,
+    BatchNorm1d,
+)
+from repro.nn.losses import (
+    Loss,
+    MSELoss,
+    MAELoss,
+    BCELoss,
+    SoftmaxCrossEntropy,
+    NTXentLoss,
+    BYOLLoss,
+)
+from repro.nn.optimizers import Optimizer, SGD, Adam
+from repro.nn.network import Sequential
+from repro.nn.trainer import Trainer, TrainingHistory, TrainingConfig
+from repro.nn.mc_dropout import mc_dropout_predict, prediction_interval_width
+from repro.nn.metrics import mean_squared_error, mean_absolute_error, r2_score
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "Flatten",
+    "Reshape",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Dropout",
+    "BatchNorm1d",
+    "Loss",
+    "MSELoss",
+    "MAELoss",
+    "BCELoss",
+    "SoftmaxCrossEntropy",
+    "NTXentLoss",
+    "BYOLLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "Trainer",
+    "TrainingHistory",
+    "TrainingConfig",
+    "mc_dropout_predict",
+    "prediction_interval_width",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+]

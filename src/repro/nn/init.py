@@ -1,0 +1,31 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation — good default for tanh/sigmoid nets."""
+    rng = default_rng(seed)
+    limit = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int, seed: SeedLike = None) -> np.ndarray:
+    """He/Kaiming normal initialisation — good default for ReLU nets."""
+    rng = default_rng(seed)
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,546 @@
+"""Neural-network layers with vectorised forward and backward passes.
+
+Every layer follows the same protocol:
+
+* ``forward(x, training)`` returns the layer output and caches whatever is
+  needed for the backward pass,
+* ``backward(grad_output)`` accumulates parameter gradients into
+  ``Parameter.grad`` and returns the gradient with respect to the input,
+* ``parameters()`` lists the layer's trainable parameters.
+
+Convolutions use the im2col formulation so the heavy lifting is a single
+matrix multiply per layer (the standard trick for writing fast convolutions
+in pure NumPy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init as initializers
+from repro.nn.parameter import Parameter
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import SeedLike, default_rng
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__
+        self.training = True
+
+    # -- protocol -----------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        return []
+
+    # -- convenience --------------------------------------------------------
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def freeze(self) -> None:
+        """Mark all parameters as non-trainable (used when fine-tuning)."""
+        for p in self.parameters():
+            p.trainable = False
+
+    def unfreeze(self) -> None:
+        for p in self.parameters():
+            p.trainable = True
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {p.name: p.data.copy() for p in self.parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for p in self.parameters():
+            if p.name not in state:
+                raise KeyError(f"missing parameter {p.name!r} in state dict")
+            value = np.asarray(state[p.name], dtype=np.float64)
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {p.name!r}: expected {p.data.shape}, got {value.shape}"
+                )
+            p.data[...] = value
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Dense / fully connected
+# ---------------------------------------------------------------------------
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            initializers.he_normal((in_features, out_features), fan_in=in_features, seed=seed),
+            name=f"{self.name}.weight",
+        )
+        self.bias = (
+            Parameter(initializers.zeros((out_features,)), name=f"{self.name}.bias")
+            if bias
+            else None
+        )
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects 2-D input (batch, features), got shape {x.shape}")
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense {self.name!r}: expected {self.in_features} features, got {x.shape[1]}"
+            )
+        self._x = x if training else None
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.weight.grad += self._x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+# ---------------------------------------------------------------------------
+# Convolution via im2col
+# ---------------------------------------------------------------------------
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute gather indices for the im2col transform of an NCHW tensor."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns: output shape ``(C*kh*kw, N*out_h*out_w)``."""
+    n, c, h, w = x.shape
+    x_padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, pad)
+    cols = x_padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    cols = cols.transpose(1, 2, 0).reshape(c * kh * kw, -1)
+    return cols, out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an NCHW tensor."""
+    n, c, h, w = x_shape
+    h_padded, w_padded = h + 2 * pad, w + 2 * pad
+    x_padded = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
+    k, i, j, out_h, out_w = _im2col_indices(x_shape, kh, kw, stride, pad)
+    cols_reshaped = cols.reshape(c * kh * kw, out_h * out_w, n).transpose(2, 0, 1)
+    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    if pad == 0:
+        return x_padded
+    return x_padded[:, :, pad:-pad, pad:-pad]
+
+
+class Conv2D(Layer):
+    """2-D convolution over NCHW tensors using the im2col matrix-multiply form."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name)
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ConfigurationError("invalid kernel_size/stride/padding")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            initializers.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in, seed=seed
+            ),
+            name=f"{self.name}.weight",
+        )
+        self.bias = (
+            Parameter(initializers.zeros((out_channels,)), name=f"{self.name}.bias")
+            if bias
+            else None
+        )
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+
+    def output_shape(self, h: int, w: int) -> Tuple[int, int]:
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return (h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise ValueError(f"Conv2D expects NCHW input, got shape {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D {self.name!r}: expected {self.in_channels} channels, got {x.shape[1]}"
+            )
+        n = x.shape[0]
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        w_col = self.weight.data.reshape(self.out_channels, -1)
+        out = w_col @ cols  # (out_channels, N*out_h*out_w)
+        if self.bias is not None:
+            out = out + self.bias.data[:, None]
+        out = out.reshape(self.out_channels, out_h, out_w, n).transpose(3, 0, 1, 2)
+        if training:
+            self._cache = (cols, x.shape, out_h, out_w)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        cols, x_shape, out_h, out_w = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        n = x_shape[0]
+        # (out_channels, N*out_h*out_w)
+        grad_flat = grad_output.transpose(1, 2, 3, 0).reshape(self.out_channels, -1)
+        if self.bias is not None:
+            self.bias.grad += grad_flat.sum(axis=1)
+        self.weight.grad += (grad_flat @ cols.T).reshape(self.weight.data.shape)
+        w_col = self.weight.data.reshape(self.out_channels, -1)
+        grad_cols = w_col.T @ grad_flat
+        return col2im(grad_cols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping windows of an NCHW tensor."""
+
+    def __init__(self, pool_size: int = 2, name: Optional[str] = None):
+        super().__init__(name)
+        if pool_size <= 0:
+            raise ConfigurationError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        n, c, h, w = x.shape
+        p = self.pool_size
+        if h % p != 0 or w % p != 0:
+            raise ValueError(
+                f"MaxPool2D: spatial dims ({h}, {w}) must be divisible by pool_size={p}"
+            )
+        x_resh = x.reshape(n, c, h // p, p, w // p, p)
+        out = x_resh.max(axis=(3, 5))
+        if training:
+            mask = x_resh == out[:, :, :, None, :, None]
+            # Break ties so each window contributes exactly one gradient path.
+            self._cache = (mask, x.shape)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        mask, x_shape = self._cache
+        n, c, h, w = x_shape
+        p = self.pool_size
+        grad = grad_output[:, :, :, None, :, None] * mask
+        # Normalise ties: divide by the number of maxima per window.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        grad = grad / np.maximum(counts, 1)
+        return grad.reshape(n, c, h, w)
+
+
+# ---------------------------------------------------------------------------
+# Shape utilities
+# ---------------------------------------------------------------------------
+class Flatten(Layer):
+    """Flatten all dimensions but the batch dimension."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_output).reshape(self._shape)
+
+
+class Reshape(Layer):
+    """Reshape per-sample features to a target shape (excluding batch dim)."""
+
+    def __init__(self, target_shape: Tuple[int, ...], name: Optional[str] = None):
+        super().__init__(name)
+        self.target_shape = tuple(int(s) for s in target_shape)
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_output).reshape(self._shape)
+
+
+# ---------------------------------------------------------------------------
+# Activations
+# ---------------------------------------------------------------------------
+class ReLU(Layer):
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_output) * self._mask
+
+
+class LeakyReLU(Layer):
+    def __init__(self, negative_slope: float = 0.01, name: Optional[str] = None):
+        super().__init__(name)
+        self.negative_slope = float(negative_slope)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_output) * np.where(self._mask, 1.0, self.negative_slope)
+
+
+class Sigmoid(Layer):
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        exp_x = np.exp(x[~pos])
+        out[~pos] = exp_x / (1.0 + exp_x)
+        self._out = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_output) * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() called before forward()")
+        return np.asarray(grad_output) * (1.0 - self._out**2)
+
+
+class Softmax(Layer):
+    """Row-wise softmax (used as the output of the CookieNetAE PDF head)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        self._out = exp / exp.sum(axis=-1, keepdims=True)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward() called before forward()")
+        g = np.asarray(grad_output, dtype=np.float64)
+        s = self._out
+        dot = np.sum(g * s, axis=-1, keepdims=True)
+        return s * (g - dot)
+
+
+# ---------------------------------------------------------------------------
+# Regularisation / normalisation
+# ---------------------------------------------------------------------------
+class Dropout(Layer):
+    """Inverted dropout.
+
+    In addition to its usual regularisation role this layer powers MC-dropout
+    uncertainty quantification: calling the network with ``training=True`` (or
+    via :func:`repro.nn.mc_dropout.mc_dropout_predict`) keeps dropout active at
+    inference time so repeated stochastic forward passes give a predictive
+    distribution.
+    """
+
+    def __init__(self, rate: float = 0.5, seed: SeedLike = None, name: Optional[str] = None):
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return np.asarray(grad_output)
+        return np.asarray(grad_output) * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalisation over the feature dimension of a 2-D input."""
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5, name: Optional[str] = None):
+        super().__init__(name)
+        self.num_features = num_features
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(initializers.ones((num_features,)), name=f"{self.name}.gamma")
+        self.beta = Parameter(initializers.zeros((num_features,)), name=f"{self.name}.beta")
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm1d expects (batch, {self.num_features}) input, got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            x_hat = (x - mean) / np.sqrt(var + self.eps)
+            self._cache = (x_hat, var)
+        else:
+            x_hat = (x - self.running_mean) / np.sqrt(self.running_var + self.eps)
+            self._cache = None
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        x_hat, var = self._cache
+        g = np.asarray(grad_output, dtype=np.float64)
+        n = g.shape[0]
+        self.gamma.grad += np.sum(g * x_hat, axis=0)
+        self.beta.grad += np.sum(g, axis=0)
+        dxhat = g * self.gamma.data
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        return (
+            inv_std / n
+        ) * (n * dxhat - dxhat.sum(axis=0) - x_hat * np.sum(dxhat * x_hat, axis=0))
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state[f"{self.name}.running_mean"] = self.running_mean.copy()
+        state[f"{self.name}.running_var"] = self.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(
+            {k: v for k, v in state.items() if k in (self.gamma.name, self.beta.name)}
+        )
+        if f"{self.name}.running_mean" in state:
+            self.running_mean = np.asarray(state[f"{self.name}.running_mean"], dtype=np.float64).copy()
+        if f"{self.name}.running_var" in state:
+            self.running_var = np.asarray(state[f"{self.name}.running_var"], dtype=np.float64).copy()

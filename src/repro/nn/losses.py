@@ -1,0 +1,173 @@
+"""Loss functions.
+
+Besides the regression/classification losses needed by BraggNN and
+CookieNetAE, this module implements the two self-supervised objectives the
+paper's embedding service relies on: the NT-Xent contrastive loss (SimCLR)
+and the BYOL regression loss on L2-normalised projections.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class: ``forward`` returns a scalar, ``backward`` the gradient wrt predictions."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(pred, target)
+
+
+class MSELoss(Loss):
+    """Mean squared error averaged over all elements."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        return float(np.mean((pred - target) ** 2))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        return 2.0 * (pred - target) / pred.size
+
+
+class MAELoss(Loss):
+    """Mean absolute error averaged over all elements."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        return float(np.mean(np.abs(np.asarray(pred) - np.asarray(target))))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        return np.sign(pred - target) / pred.size
+
+
+class BCELoss(Loss):
+    """Binary cross entropy on probabilities in (0, 1)."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0 - _EPS)
+        t = np.asarray(target, dtype=np.float64)
+        return float(-np.mean(t * np.log(p) + (1 - t) * np.log(1 - p)))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0 - _EPS)
+        t = np.asarray(target, dtype=np.float64)
+        return (p - t) / (p * (1 - p)) / p.size
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross entropy on logits with integrated softmax (numerically stable)."""
+
+    def _softmax(self, logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        logits = np.asarray(pred, dtype=np.float64)
+        probs = self._softmax(logits)
+        target = np.asarray(target)
+        if target.ndim == 1:  # class indices
+            n = logits.shape[0]
+            return float(-np.mean(np.log(probs[np.arange(n), target.astype(int)] + _EPS)))
+        return float(-np.mean(np.sum(target * np.log(probs + _EPS), axis=-1)))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        logits = np.asarray(pred, dtype=np.float64)
+        probs = self._softmax(logits)
+        target = np.asarray(target)
+        n = logits.shape[0]
+        if target.ndim == 1:
+            onehot = np.zeros_like(probs)
+            onehot[np.arange(n), target.astype(int)] = 1.0
+            target = onehot
+        return (probs - target) / n
+
+
+def _l2_normalize(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return row-normalised ``x`` and the norms used (for backward)."""
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    norms = np.maximum(norms, _EPS)
+    return x / norms, norms
+
+
+class NTXentLoss(Loss):
+    """Normalised temperature-scaled cross entropy (SimCLR).
+
+    ``pred`` and ``target`` are the two augmented views' projections of shape
+    ``(batch, dim)``; view ``i`` of ``pred`` is the positive of view ``i`` of
+    ``target`` and every other sample is a negative.  The backward pass only
+    returns the gradient with respect to ``pred``; the trainer computes the
+    symmetric term by swapping the arguments.
+    """
+
+    def __init__(self, temperature: float = 0.5):
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = float(temperature)
+
+    def _logits(self, pred: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        za, _ = _l2_normalize(np.asarray(pred, dtype=np.float64))
+        zb, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+        logits = (za @ zb.T) / self.temperature
+        return za, zb, logits
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        _, _, logits = self._logits(pred, target)
+        n = logits.shape[0]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return float(-np.mean(log_probs[np.arange(n), np.arange(n)]))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=np.float64)
+        za, norms = _l2_normalize(pred)
+        zb, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+        logits = (za @ zb.T) / self.temperature
+        n = logits.shape[0]
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        grad_logits = probs.copy()
+        grad_logits[np.arange(n), np.arange(n)] -= 1.0
+        grad_logits /= n * self.temperature
+        grad_za = grad_logits @ zb
+        # Back-propagate through the L2 normalisation of ``pred``.
+        dot = np.sum(grad_za * za, axis=1, keepdims=True)
+        return (grad_za - za * dot) / norms
+
+
+class BYOLLoss(Loss):
+    """BYOL regression loss: ``2 - 2 <p, z> / (|p||z|)`` averaged over the batch.
+
+    ``pred`` is the online network's prediction, ``target`` the (stop-gradient)
+    target network projection — the backward pass therefore only differentiates
+    with respect to ``pred``.
+    """
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        p, _ = _l2_normalize(np.asarray(pred, dtype=np.float64))
+        z, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+        return float(np.mean(2.0 - 2.0 * np.sum(p * z, axis=1)))
+
+    def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=np.float64)
+        p, norms = _l2_normalize(pred)
+        z, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+        n = pred.shape[0]
+        grad_p = -2.0 * z / n
+        dot = np.sum(grad_p * p, axis=1, keepdims=True)
+        return (grad_p - p * dot) / norms

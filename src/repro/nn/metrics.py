@@ -1,0 +1,49 @@
+"""Evaluation metrics for regression models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_squared_error(pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean((pred - target) ** 2))
+
+
+def mean_absolute_error(pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return float(np.mean(np.abs(pred - target)))
+
+
+def r2_score(pred: np.ndarray, target: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is a perfect fit."""
+    pred = np.asarray(pred, dtype=np.float64).ravel()
+    target = np.asarray(target, dtype=np.float64).ravel()
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    ss_res = np.sum((target - pred) ** 2)
+    ss_tot = np.sum((target - target.mean()) ** 2)
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def euclidean_pixel_error(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Per-sample Euclidean distance in pixels between predicted and true peak centres.
+
+    This is the error metric reported for BraggNN throughout the paper
+    ("error [distance in pixel]").
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.ndim != 2 or pred.shape[1] != 2:
+        raise ValueError("expected (n, 2) arrays of (row, col) centres")
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    return np.sqrt(np.sum((pred - target) ** 2, axis=1))

@@ -1,0 +1,154 @@
+"""The :class:`Sequential` network container."""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Layer
+from repro.nn.parameter import Parameter
+
+
+class Sequential:
+    """An ordered stack of layers executed front to back.
+
+    Supports the checkpoint/fine-tune operations fairMS depends on:
+
+    * ``state_dict()`` / ``load_state_dict()`` for moving weights between
+      model instances of the same architecture (the Zoo stores state dicts,
+      not live objects),
+    * ``to_bytes()`` / ``from_bytes()`` for persisting a model inside the
+      document store,
+    * ``freeze_layers(n)`` for freezing the first ``n`` parameterised layers
+      when fine-tuning on a small new dataset,
+    * ``clone()`` for deep-copying architecture + weights.
+    """
+
+    def __init__(self, layers: Sequence[Layer], name: str = "model"):
+        self.layers: List[Layer] = list(layers)
+        self.name = name
+        self._ensure_unique_parameter_names()
+
+    def _ensure_unique_parameter_names(self) -> None:
+        seen: Dict[str, int] = {}
+        for layer in self.layers:
+            for p in layer.parameters():
+                if p.name in seen:
+                    seen[p.name] += 1
+                    p.name = f"{p.name}_{seen[p.name]}"
+                else:
+                    seen[p.name] = 0
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def predict(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Inference helper that optionally batches large inputs."""
+        x = np.asarray(x, dtype=np.float64)
+        if batch_size is None or x.shape[0] <= batch_size:
+            return self.forward(x, training=False)
+        chunks = [
+            self.forward(x[i : i + batch_size], training=False)
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # -- parameters ----------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- freezing for fine-tuning ---------------------------------------------
+    def parameterised_layers(self) -> List[Layer]:
+        return [l for l in self.layers if l.parameters()]
+
+    def freeze_layers(self, n_layers: int) -> int:
+        """Freeze the first ``n_layers`` parameterised layers; returns how many were frozen."""
+        frozen = 0
+        for layer in self.parameterised_layers():
+            if frozen >= n_layers:
+                break
+            layer.freeze()
+            frozen += 1
+        return frozen
+
+    def unfreeze_all(self) -> None:
+        for layer in self.layers:
+            layer.unfreeze()
+
+    def trainable_parameters(self) -> List[Parameter]:
+        return [p for p in self.parameters() if p.trainable]
+
+    # -- dropout control (MC dropout) ----------------------------------------
+    def has_dropout(self) -> bool:
+        return any(isinstance(l, Dropout) for l in self.layers)
+
+    # -- serialisation ---------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            state.update(layer.state_dict())
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for layer in self.layers:
+            if layer.parameters() or layer.state_dict():
+                layer.load_state_dict(state)
+
+    def to_bytes(self) -> bytes:
+        """Serialise architecture + weights (pickle of layers and state dict)."""
+        payload = {
+            "name": self.name,
+            "layers": self.layers,
+            "state": self.state_dict(),
+        }
+        buf = io.BytesIO()
+        pickle.dump(payload, buf, protocol=pickle.HIGHEST_PROTOCOL)
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Sequential":
+        payload = pickle.loads(blob)
+        model = cls(payload["layers"], name=payload.get("name", "model"))
+        model.load_state_dict(payload["state"])
+        return model
+
+    def clone(self) -> "Sequential":
+        """Deep copy of architecture and weights (gradients are reset)."""
+        return Sequential.from_bytes(self.to_bytes())
+
+    def summary(self) -> str:
+        lines = [f"Sequential(name={self.name!r})"]
+        for i, layer in enumerate(self.layers):
+            n = layer.num_parameters()
+            lines.append(f"  [{i:2d}] {type(layer).__name__:<14s} params={n}")
+        lines.append(f"  total parameters: {self.num_parameters()}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Sequential(name={self.name!r}, layers={len(self.layers)}, params={self.num_parameters()})"

@@ -1,0 +1,45 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array plus its accumulated gradient.
+
+    ``data`` and ``grad`` are plain ``float64`` NumPy arrays; optimizers update
+    ``data`` in place so layer code can keep references.  ``trainable`` is the
+    hook used by fine-tuning to freeze early layers: frozen parameters still
+    participate in the forward/backward pass (gradients flow *through* them to
+    earlier layers) but the optimizer skips their update.
+    """
+
+    __slots__ = ("name", "data", "grad", "trainable")
+
+    def __init__(self, data: np.ndarray, name: str = "param", trainable: bool = True):
+        self.name = name
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.trainable = bool(trainable)
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def copy(self) -> "Parameter":
+        p = Parameter(self.data.copy(), name=self.name, trainable=self.trainable)
+        p.grad = self.grad.copy()
+        return p
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}, trainable={self.trainable})"

@@ -1,0 +1,70 @@
+"""Document model for the embedded document database."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from repro.utils.errors import ValidationError
+
+_counter = itertools.count()
+_counter_lock = threading.Lock()
+
+
+def new_object_id() -> str:
+    """Generate a unique, time-ordered object id (Mongo-style)."""
+    with _counter_lock:
+        seq = next(_counter)
+    return f"{int(time.time() * 1000):013x}-{seq:08x}"
+
+
+class Document(dict):
+    """A JSON-like document with an ``_id`` field.
+
+    Behaves exactly like a ``dict``; construction assigns a fresh ``_id`` if
+    one is not supplied.  Binary payloads (serialised samples) are stored
+    under ordinary keys, typically ``"payload"``.
+    """
+
+    def __init__(self, data: Optional[Mapping[str, Any]] = None, **kwargs):
+        super().__init__()
+        if data is not None:
+            if not isinstance(data, Mapping):
+                raise ValidationError("Document data must be a mapping")
+            self.update(data)
+        if kwargs:
+            self.update(kwargs)
+        if "_id" not in self:
+            self["_id"] = new_object_id()
+
+    @property
+    def id(self) -> str:
+        return self["_id"]
+
+    def without_id(self) -> Dict[str, Any]:
+        return {k: v for k, v in self.items() if k != "_id"}
+
+    def matches(self, query: Mapping[str, Any]) -> bool:
+        """Simple equality filter used by :meth:`Collection.find`."""
+        for key, expected in query.items():
+            if key not in self:
+                return False
+            actual = self[key]
+            if isinstance(expected, Mapping) and set(expected) <= {"$gte", "$lte", "$gt", "$lt", "$in", "$ne"}:
+                if "$gte" in expected and not actual >= expected["$gte"]:
+                    return False
+                if "$lte" in expected and not actual <= expected["$lte"]:
+                    return False
+                if "$gt" in expected and not actual > expected["$gt"]:
+                    return False
+                if "$lt" in expected and not actual < expected["$lt"]:
+                    return False
+                if "$in" in expected and actual not in expected["$in"]:
+                    return False
+                if "$ne" in expected and actual == expected["$ne"]:
+                    return False
+            elif actual != expected:
+                return False
+        return True

@@ -1,0 +1,302 @@
+"""An embedded, MongoDB-like document database.
+
+Implements the subset of MongoDB behaviour fairDS relies on:
+
+* named collections with ``insert_one`` / ``insert_many`` / ``find`` /
+  ``find_one`` / ``update_one`` / ``delete_many`` / ``count``,
+* equality and range filters (``{"cluster_id": 3}``,
+  ``{"scan": {"$gte": 10}}``),
+* secondary hash indexes for O(1) equality lookups on indexed fields,
+* serialisation of array payloads through a pluggable
+  :class:`~repro.storage.codecs.Codec`,
+* a readers-writer lock so many DataLoader workers can read concurrently
+  while system-plane updates take exclusive write access, and
+* an optional :class:`NetworkModel` adding per-operation latency and
+  bandwidth-proportional transfer time, which is how the "MongoDB hosted
+  remotely over 100 GbE" configuration of Figs. 6-8 is reproduced on a
+  single machine.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.storage.codecs import Codec, PickleCodec
+from repro.storage.concurrency import ReadWriteLock
+from repro.storage.document import Document
+from repro.utils.errors import ConfigurationError, StorageError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Simulated network between the client and the (remote) database.
+
+    ``latency_s`` is added once per operation; payload bytes are charged at
+    ``bandwidth_bytes_per_s``.  ``NetworkModel.local()`` disables both.
+    """
+
+    latency_s: float = 0.0
+    bandwidth_bytes_per_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    @staticmethod
+    def local() -> "NetworkModel":
+        return NetworkModel(0.0, float("inf"))
+
+    def charge(self, n_bytes: int) -> None:
+        """Sleep for the simulated transfer time of ``n_bytes``."""
+        delay = self.latency_s
+        if np.isfinite(self.bandwidth_bytes_per_s):
+            delay += n_bytes / self.bandwidth_bytes_per_s
+        if delay > 0:
+            time.sleep(delay)
+
+
+class Collection:
+    """A named collection of documents with optional secondary indexes."""
+
+    def __init__(self, name: str, codec: Codec, network: NetworkModel, lock: ReadWriteLock):
+        self.name = name
+        self.codec = codec
+        self.network = network
+        self._lock = lock
+        self._docs: Dict[str, Document] = {}
+        self._indexes: Dict[str, Dict[Any, set]] = {}
+
+    # -- indexes -----------------------------------------------------------------
+    def create_index(self, field: str) -> None:
+        """Create (or rebuild) a hash index on ``field``."""
+        with self._lock.write():
+            index: Dict[Any, set] = defaultdict(set)
+            for doc_id, doc in self._docs.items():
+                if field in doc:
+                    index[doc[field]].add(doc_id)
+            self._indexes[field] = dict(index)
+
+    def indexed_fields(self) -> List[str]:
+        return sorted(self._indexes)
+
+    def _index_add(self, doc: Document) -> None:
+        for field, index in self._indexes.items():
+            if field in doc:
+                index.setdefault(doc[field], set()).add(doc.id)
+
+    def _index_remove(self, doc: Document) -> None:
+        for field, index in self._indexes.items():
+            if field in doc and doc[field] in index:
+                index[doc[field]].discard(doc.id)
+                if not index[doc[field]]:
+                    del index[doc[field]]
+
+    # -- writes ------------------------------------------------------------------
+    def insert_one(self, data: Mapping[str, Any], payload: Any = None) -> str:
+        """Insert a document; ``payload`` (if given) is encoded with the codec."""
+        return self.insert_many([data], [payload] if payload is not None else None)[0]
+
+    def insert_many(
+        self, datas: Sequence[Mapping[str, Any]], payloads: Optional[Sequence[Any]] = None
+    ) -> List[str]:
+        if payloads is not None and len(payloads) != len(datas):
+            raise StorageError("payloads must match datas in length")
+        docs = []
+        total_bytes = 0
+        for i, data in enumerate(datas):
+            doc = Document(dict(data))
+            if payloads is not None:
+                blob = self.codec.encode(payloads[i])
+                doc["payload"] = blob
+                doc["payload_bytes"] = len(blob)
+                total_bytes += len(blob)
+            docs.append(doc)
+        self.network.charge(total_bytes)
+        with self._lock.write():
+            for doc in docs:
+                if doc.id in self._docs:
+                    raise StorageError(f"duplicate _id {doc.id!r}")
+                self._docs[doc.id] = doc
+                self._index_add(doc)
+        return [d.id for d in docs]
+
+    def update_one(self, query: Mapping[str, Any], changes: Mapping[str, Any]) -> bool:
+        """Update the first document matching ``query``; returns True if found."""
+        self.network.charge(0)
+        with self._lock.write():
+            for doc in self._docs.values():
+                if doc.matches(query):
+                    self._index_remove(doc)
+                    doc.update({k: v for k, v in changes.items() if k != "_id"})
+                    self._index_add(doc)
+                    return True
+        return False
+
+    def delete_many(self, query: Mapping[str, Any]) -> int:
+        self.network.charge(0)
+        with self._lock.write():
+            doomed = [doc_id for doc_id, doc in self._docs.items() if doc.matches(query)]
+            for doc_id in doomed:
+                self._index_remove(self._docs[doc_id])
+                del self._docs[doc_id]
+        return len(doomed)
+
+    # -- reads ---------------------------------------------------------------------
+    def _candidates(self, query: Mapping[str, Any]) -> Iterable[Document]:
+        # Use the most selective applicable index for equality terms.
+        for field, index in self._indexes.items():
+            if field in query and not isinstance(query[field], Mapping):
+                ids = index.get(query[field], set())
+                return [self._docs[i] for i in ids if i in self._docs]
+        return list(self._docs.values())
+
+    def find(
+        self,
+        query: Optional[Mapping[str, Any]] = None,
+        limit: Optional[int] = None,
+        decode_payload: bool = False,
+    ) -> List[Document]:
+        """Return documents matching ``query`` (all documents if ``None``)."""
+        query = query or {}
+        with self._lock.read():
+            matches = [doc for doc in self._candidates(query) if doc.matches(query)]
+        if limit is not None:
+            matches = matches[:limit]
+        transferred = sum(doc.get("payload_bytes", 0) for doc in matches)
+        self.network.charge(transferred)
+        if decode_payload:
+            out = []
+            for doc in matches:
+                copy = Document(dict(doc))
+                if "payload" in copy:
+                    copy["payload"] = self.codec.decode(copy["payload"])
+                out.append(copy)
+            return out
+        return matches
+
+    def find_one(self, query: Optional[Mapping[str, Any]] = None, decode_payload: bool = False) -> Optional[Document]:
+        results = self.find(query, limit=1, decode_payload=decode_payload)
+        return results[0] if results else None
+
+    def get(self, doc_id: str, decode_payload: bool = False) -> Document:
+        with self._lock.read():
+            doc = self._docs.get(doc_id)
+        if doc is None:
+            raise StorageError(f"document {doc_id!r} not found in {self.name!r}")
+        self.network.charge(doc.get("payload_bytes", 0))
+        if decode_payload and "payload" in doc:
+            copy = Document(dict(doc))
+            copy["payload"] = self.codec.decode(copy["payload"])
+            return copy
+        return doc
+
+    def fetch_payloads(self, doc_ids: Sequence[str]) -> List[Any]:
+        """Decode the payloads of the given document ids (training fetch path)."""
+        with self._lock.read():
+            docs = []
+            for doc_id in doc_ids:
+                doc = self._docs.get(doc_id)
+                if doc is None:
+                    raise StorageError(f"document {doc_id!r} not found in {self.name!r}")
+                docs.append(doc)
+        self.network.charge(sum(d.get("payload_bytes", 0) for d in docs))
+        return [self.codec.decode(d["payload"]) if "payload" in d else None for d in docs]
+
+    def ids(self) -> List[str]:
+        with self._lock.read():
+            return list(self._docs.keys())
+
+    def count(self, query: Optional[Mapping[str, Any]] = None) -> int:
+        if not query:
+            with self._lock.read():
+                return len(self._docs)
+        return len(self.find(query))
+
+    def storage_bytes(self) -> int:
+        with self._lock.read():
+            return sum(doc.get("payload_bytes", 0) for doc in self._docs.values())
+
+
+class DocumentDB:
+    """A database holding named collections, sharing a codec and network model."""
+
+    def __init__(self, codec: Optional[Codec] = None, network: Optional[NetworkModel] = None):
+        self.codec = codec or PickleCodec()
+        self.network = network or NetworkModel.local()
+        self._collections: Dict[str, Collection] = {}
+        self._lock = ReadWriteLock()
+
+    def collection(self, name: str) -> Collection:
+        """Get (creating if needed) the collection called ``name``."""
+        if not name:
+            raise ConfigurationError("collection name must be non-empty")
+        if name not in self._collections:
+            self._collections[name] = Collection(name, self.codec, self.network, ReadWriteLock())
+        return self._collections[name]
+
+    def drop_collection(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> List[str]:
+        return sorted(self._collections)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            name: {"documents": coll.count(), "payload_bytes": coll.storage_bytes()}
+            for name, coll in self._collections.items()
+        }
+
+    # -- persistence -----------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Persist every collection (documents + indexes) to ``path``.
+
+        Returns the number of documents written.  The codec and network model
+        are *not* persisted — they are runtime configuration supplied when the
+        database is re-opened.
+        """
+        snapshot: Dict[str, Dict[str, Any]] = {}
+        total = 0
+        for name, coll in self._collections.items():
+            with coll._lock.read():
+                docs = [dict(doc) for doc in coll._docs.values()]
+            snapshot[name] = {"documents": docs, "indexes": coll.indexed_fields()}
+            total += len(docs)
+        payload = pickle.dumps({"version": 1, "collections": snapshot},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(payload)
+        return total
+
+    @classmethod
+    def load(cls, path: str, codec: Optional[Codec] = None,
+             network: Optional[NetworkModel] = None) -> "DocumentDB":
+        """Re-open a database previously written with :meth:`save`."""
+        target = Path(path)
+        if not target.exists():
+            raise StorageError(f"no database snapshot at {path!r}")
+        try:
+            payload = pickle.loads(target.read_bytes())
+        except Exception as exc:
+            raise StorageError(f"failed to read database snapshot: {exc}") from exc
+        if not isinstance(payload, dict) or "collections" not in payload:
+            raise StorageError("malformed database snapshot")
+        db = cls(codec=codec, network=network)
+        for name, content in payload["collections"].items():
+            coll = db.collection(name)
+            with coll._lock.write():
+                for doc in content["documents"]:
+                    restored = Document(doc)
+                    coll._docs[restored.id] = restored
+            for field in content.get("indexes", []):
+                coll.create_index(field)
+        return db

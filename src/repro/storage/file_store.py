@@ -1,0 +1,89 @@
+"""NFS-like file store: one ``.npy`` file per sample.
+
+This is the baseline storage configuration of Figs. 6-8 — the training loop
+reads samples straight from the (network) filesystem with no database or
+serialisation layer in between.  Reads memory-map nothing and copy the array,
+mirroring what a PyTorch ``Dataset`` wrapping files would do.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.errors import StorageError
+
+
+class FileStore:
+    """Stores numbered array samples as individual ``.npy`` files.
+
+    Parameters
+    ----------
+    root:
+        Directory to store files in.  When omitted a temporary directory is
+        created and removed by :meth:`cleanup` (or on interpreter exit when
+        used as a context manager).
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            self._root = Path(tempfile.mkdtemp(prefix="repro_filestore_"))
+            self._owns_root = True
+        else:
+            self._root = Path(root)
+            self._root.mkdir(parents=True, exist_ok=True)
+            self._owns_root = False
+        self._count = 0
+
+    # -- context manager -----------------------------------------------------
+    def __enter__(self) -> "FileStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path(self, index: int) -> Path:
+        return self._root / f"sample_{index:08d}.npy"
+
+    # -- writes ----------------------------------------------------------------
+    def write(self, array: np.ndarray) -> int:
+        """Append one sample; returns its index."""
+        index = self._count
+        np.save(self._path(index), np.asarray(array))
+        self._count += 1
+        return index
+
+    def write_many(self, arrays: Iterable[np.ndarray]) -> List[int]:
+        return [self.write(a) for a in arrays]
+
+    # -- reads ------------------------------------------------------------------
+    def read(self, index: int) -> np.ndarray:
+        path = self._path(index)
+        if not path.exists():
+            raise StorageError(f"sample {index} not found in {self._root}")
+        return np.load(path)
+
+    def read_many(self, indices: Sequence[int]) -> List[np.ndarray]:
+        return [self.read(i) for i in indices]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def storage_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self._root.glob("sample_*.npy"))
+
+    # -- lifecycle ------------------------------------------------------------------
+    def cleanup(self) -> None:
+        """Remove the backing directory if this store created it."""
+        if self._owns_root and self._root.exists():
+            shutil.rmtree(self._root, ignore_errors=True)
+        self._count = 0

@@ -1,0 +1,120 @@
+"""Nearest-neighbour indexes over embedding vectors.
+
+fairDS looks up "the most similar historical sample" for a new embedding.  A
+flat (exact) index scales linearly with the database — the cost the paper
+calls out for naive instance discrimination — while the cluster-partitioned
+index implements the paper's two-level hierarchical search: first find the
+nearest cluster centre, then search only within that cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import NotFittedError, StorageError, ValidationError
+from repro.utils.stats import pairwise_squared_distances
+
+
+class VectorIndex:
+    """Exact nearest-neighbour index with incremental adds."""
+
+    def __init__(self, dim: int):
+        if dim < 1:
+            raise ValidationError("dim must be >= 1")
+        self.dim = int(dim)
+        self._vectors: List[np.ndarray] = []
+        self._keys: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        if len(keys) != vectors.shape[0]:
+            raise ValidationError("keys and vectors must have the same length")
+        self._keys.extend(str(k) for k in keys)
+        self._vectors.extend(vectors)
+
+    def _matrix(self) -> np.ndarray:
+        if not self._vectors:
+            raise StorageError("vector index is empty")
+        return np.vstack(self._vectors)
+
+    def query(self, vector: np.ndarray, k: int = 1) -> List[Tuple[str, float]]:
+        """Return the ``k`` nearest ``(key, distance)`` pairs for ``vector``."""
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        if vector.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {vector.shape[1]}")
+        mat = self._matrix()
+        d2 = pairwise_squared_distances(vector, mat)[0]
+        k = min(k, d2.size)
+        order = np.argpartition(d2, k - 1)[:k]
+        order = order[np.argsort(d2[order])]
+        return [(self._keys[i], float(np.sqrt(d2[i]))) for i in order]
+
+    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[List[Tuple[str, float]]]:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        return [self.query(v, k=k) for v in vectors]
+
+
+class ClusteredVectorIndex:
+    """Two-level (cluster -> sample) nearest-neighbour index.
+
+    Built from cluster centres (from the fairDS clustering module) plus the
+    per-sample embedding and cluster assignment.  A query first picks the
+    ``n_probe`` nearest cluster centres and then searches only the members of
+    those clusters — sub-linear lookup for large historical stores.
+    """
+
+    def __init__(self, centers: np.ndarray, n_probe: int = 1):
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        if centers.shape[0] < 1:
+            raise ValidationError("need at least one cluster centre")
+        if n_probe < 1:
+            raise ValidationError("n_probe must be >= 1")
+        self.centers = centers
+        self.dim = centers.shape[1]
+        self.n_probe = int(min(n_probe, centers.shape[0]))
+        self._partitions: Dict[int, VectorIndex] = {}
+
+    def add(self, keys: Sequence[str], vectors: np.ndarray, cluster_ids: Sequence[int]) -> None:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        cluster_ids = np.asarray(cluster_ids, dtype=int)
+        if not (len(keys) == vectors.shape[0] == cluster_ids.shape[0]):
+            raise ValidationError("keys, vectors and cluster_ids must have equal length")
+        if np.any(cluster_ids < 0) or np.any(cluster_ids >= self.centers.shape[0]):
+            raise ValidationError("cluster_ids out of range")
+        for cid in np.unique(cluster_ids):
+            mask = cluster_ids == cid
+            part = self._partitions.setdefault(int(cid), VectorIndex(self.dim))
+            part.add([keys[i] for i in np.nonzero(mask)[0]], vectors[mask])
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._partitions.values())
+
+    def query(self, vector: np.ndarray, k: int = 1) -> List[Tuple[str, float]]:
+        if len(self) == 0:
+            raise StorageError("clustered vector index is empty")
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        if vector.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {vector.shape[1]}")
+        d2 = pairwise_squared_distances(vector, self.centers)[0]
+        probe_order = np.argsort(d2)
+        candidates: List[Tuple[str, float]] = []
+        probed = 0
+        for cid in probe_order:
+            part = self._partitions.get(int(cid))
+            if part is None or len(part) == 0:
+                continue
+            candidates.extend(part.query(vector[0], k=min(k, len(part))))
+            probed += 1
+            if probed >= self.n_probe and len(candidates) >= k:
+                break
+        candidates.sort(key=lambda kv: kv[1])
+        return candidates[:k]

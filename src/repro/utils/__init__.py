@@ -1,0 +1,50 @@
+"""Shared utilities for the fairDMS reproduction.
+
+The :mod:`repro.utils` package collects the small, dependency-free building
+blocks used throughout the library: deterministic random-number handling,
+wall-clock timing, distribution statistics (histograms, Jensen-Shannon
+divergence, percentiles), light-weight thread-pool helpers and the common
+exception hierarchy.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    StorageError,
+    NotFittedError,
+    ValidationError,
+)
+from repro.utils.rng import default_rng, spawn_rngs, set_global_seed, get_global_seed
+from repro.utils.timing import Timer, StopWatch, timed
+from repro.utils.stats import (
+    jensen_shannon_divergence,
+    kl_divergence,
+    normalize_distribution,
+    histogram_pdf,
+    percentile_summary,
+    running_mean,
+)
+from repro.utils.parallel import thread_map, WorkerPool
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "StorageError",
+    "NotFittedError",
+    "ValidationError",
+    "default_rng",
+    "spawn_rngs",
+    "set_global_seed",
+    "get_global_seed",
+    "Timer",
+    "StopWatch",
+    "timed",
+    "jensen_shannon_divergence",
+    "kl_divergence",
+    "normalize_distribution",
+    "histogram_pdf",
+    "percentile_summary",
+    "running_mean",
+    "thread_map",
+    "WorkerPool",
+]

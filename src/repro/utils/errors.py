@@ -1,0 +1,28 @@
+"""Exception hierarchy shared across the library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers embedding fairDMS inside a larger experiment-control loop can catch a
+single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed or called with invalid options."""
+
+
+class StorageError(ReproError):
+    """Raised by the storage substrate (document DB, file store, codecs)."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model/service is used before it has been fitted or trained."""
+
+
+class ValidationError(ReproError):
+    """Raised when user-supplied data fails validation (shape, dtype, range)."""

@@ -1,0 +1,28 @@
+"""Minimal structured logging used by services and the benchmark harness."""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Return a configured logger; repeated calls reuse the same handler."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def set_verbosity(level: int, prefix: str = "repro") -> None:
+    """Set the log level for every logger under ``prefix``."""
+    for name in list(logging.Logger.manager.loggerDict):
+        if name == prefix or name.startswith(prefix + "."):
+            logging.getLogger(name).setLevel(level)

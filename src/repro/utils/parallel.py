@@ -1,0 +1,115 @@
+"""Thread-pool helpers.
+
+The storage and labeling substrates need bounded parallelism: concurrent
+readers fetching training mini-batches from the document store, and the
+pseudo-Voigt labeler fanning peak fits across workers.  NumPy releases the GIL
+for most heavy kernels, so thread-based parallelism is an adequate stand-in
+for the multi-process/multi-node execution used in the paper.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def thread_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int = 4,
+    chunk: bool = False,
+) -> List[R]:
+    """Apply ``fn`` to every item using a thread pool, preserving order.
+
+    Parameters
+    ----------
+    fn:
+        Callable applied to each item.
+    items:
+        Input sequence.
+    max_workers:
+        Number of worker threads.  ``max_workers <= 1`` runs serially, which
+        keeps small workloads free of pool overhead.
+    chunk:
+        When ``True`` the items are split into ``max_workers`` contiguous
+        chunks and ``fn`` is applied to each chunk instead of each item
+        (useful when per-item work is tiny).
+    """
+    items = list(items)
+    if not items:
+        return []
+    if max_workers <= 1:
+        if chunk:
+            return [fn(items)]  # type: ignore[list-item]
+        return [fn(it) for it in items]
+    if chunk:
+        n = max(1, len(items) // max_workers)
+        chunks = [items[i : i + n] for i in range(0, len(items), n)]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, chunks))  # type: ignore[arg-type]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))
+
+
+class WorkerPool:
+    """A long-lived pool of worker threads consuming tasks from a queue.
+
+    Unlike :func:`thread_map`, which is for one-shot fan-out, ``WorkerPool``
+    is used by the data loader: workers continuously pull index batches from
+    an input queue, fetch the corresponding samples, and push the results onto
+    an output queue so the training loop overlaps I/O with computation
+    (prefetching).
+    """
+
+    def __init__(self, num_workers: int, target: Callable[..., None]) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        self.num_workers = num_workers
+        self._target = target
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    def start(self, *args, **kwargs) -> None:
+        if self._started:
+            raise RuntimeError("WorkerPool already started")
+        self._started = True
+        for worker_id in range(self.num_workers):
+            t = threading.Thread(
+                target=self._target, args=(worker_id, *args), kwargs=kwargs, daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+
+class ClosableQueue(queue.Queue):
+    """A queue with a sentinel-based close protocol for producer/consumer loops."""
+
+    _SENTINEL = object()
+
+    def close(self, n: int = 1) -> None:
+        """Signal ``n`` consumers that no more items will arrive."""
+        for _ in range(n):
+            self.put(self._SENTINEL)
+
+    def __iter__(self):
+        while True:
+            item = self.get()
+            try:
+                if item is self._SENTINEL:
+                    return
+                yield item
+            finally:
+                self.task_done()

@@ -1,0 +1,105 @@
+"""Deterministic random-number helpers.
+
+All stochastic components in the library (weight initialisation, data
+generators, samplers, k-means initialisation, augmentations) accept either an
+integer seed or a :class:`numpy.random.Generator`.  These helpers provide the
+single conversion point so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+_GLOBAL_SEED: int = 0
+
+
+def set_global_seed(seed: int) -> None:
+    """Set the library-wide default seed used when ``seed=None`` is passed."""
+    global _GLOBAL_SEED
+    _GLOBAL_SEED = int(seed)
+
+
+def get_global_seed() -> int:
+    """Return the library-wide default seed."""
+    return _GLOBAL_SEED
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (use the global seed), an integer, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = _GLOBAL_SEED
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` statistically independent generators from ``seed``.
+
+    Used to give each data-loader worker / parallel labeling worker its own
+    stream without correlated draws.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the parent's bit generator.
+        children = seed.bit_generator.seed_seq.spawn(n)  # type: ignore[union-attr]
+        return [np.random.default_rng(c) for c in children]
+    if seed is None:
+        seed = _GLOBAL_SEED
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(c) for c in ss.spawn(n)]
+
+
+def derive_seed(seed: SeedLike, *salt: int) -> int:
+    """Derive a deterministic integer seed from ``seed`` and salt values."""
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**31 - 1))
+    elif seed is None:
+        base = _GLOBAL_SEED
+    elif isinstance(seed, np.random.SeedSequence):
+        base = int(seed.generate_state(1)[0])
+    else:
+        base = int(seed)
+    mixed = np.random.SeedSequence([base, *[int(s) for s in salt]])
+    return int(mixed.generate_state(1)[0] % (2**31 - 1))
+
+
+def shuffled_indices(n: int, seed: SeedLike = None) -> np.ndarray:
+    """Return a random permutation of ``range(n)``."""
+    return default_rng(seed).permutation(n)
+
+
+def bootstrap_indices(n: int, size: Optional[int] = None, seed: SeedLike = None) -> np.ndarray:
+    """Sample ``size`` indices from ``range(n)`` with replacement."""
+    rng = default_rng(seed)
+    return rng.integers(0, n, size=n if size is None else size)
+
+
+def weighted_choice(
+    weights: Sequence[float], size: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw ``size`` indices proportionally to ``weights`` (with replacement)."""
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        # Degenerate: fall back to uniform.
+        p = np.full(w.size, 1.0 / w.size)
+    else:
+        p = w / total
+    return default_rng(seed).choice(w.size, size=size, p=p)

@@ -1,0 +1,156 @@
+"""Distribution statistics used by fairDS/fairMS.
+
+The model-recommendation logic of the paper ranks Zoo models by the
+Jensen-Shannon divergence (JSD) between the cluster probability distribution
+of the new input dataset and that of each model's training dataset.  This
+module provides the JSD implementation along with the histogram/percentile
+helpers used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def normalize_distribution(p: Sequence[float]) -> np.ndarray:
+    """Return ``p`` normalised to sum to one.
+
+    A zero-sum vector is mapped to the uniform distribution (this happens when
+    an empty dataset is summarised).
+    """
+    arr = np.asarray(p, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot normalise an empty distribution")
+    if np.any(arr < -1e-9):
+        raise ValueError("distribution entries must be non-negative")
+    arr = np.clip(arr, 0.0, None)
+    total = arr.sum()
+    if total <= 0:
+        return np.full(arr.size, 1.0 / arr.size)
+    return arr / total
+
+
+def kl_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """Kullback-Leibler divergence ``KL(p || q)`` in bits.
+
+    Both inputs are normalised first; zero entries are handled with the usual
+    convention ``0 * log(0/q) = 0``.
+    """
+    p_arr = normalize_distribution(p)
+    q_arr = normalize_distribution(q)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(
+            f"distributions must have the same length, got {p_arr.shape} vs {q_arr.shape}"
+        )
+    mask = p_arr > 0
+    return float(np.sum(p_arr[mask] * np.log2(p_arr[mask] / (q_arr[mask] + _EPS))))
+
+
+def jensen_shannon_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """Jensen-Shannon divergence between two discrete distributions.
+
+    Bounded in ``[0, 1]`` when computed with base-2 logarithms: ``0`` means the
+    distributions are identical, ``1`` means they have disjoint support.  This
+    is the similarity measure used by the fairMS Model Manager.
+    """
+    p_arr = normalize_distribution(p)
+    q_arr = normalize_distribution(q)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(
+            f"distributions must have the same length, got {p_arr.shape} vs {q_arr.shape}"
+        )
+    m = 0.5 * (p_arr + q_arr)
+    jsd = 0.5 * kl_divergence(p_arr, m) + 0.5 * kl_divergence(q_arr, m)
+    # Numerical noise can push the value a hair outside [0, 1].
+    return float(np.clip(jsd, 0.0, 1.0))
+
+
+def jensen_shannon_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """Square root of the JSD — a true metric on distributions."""
+    return float(np.sqrt(jensen_shannon_divergence(p, q)))
+
+
+def histogram_pdf(
+    values: Sequence[float], bins: int = 32, range_: Tuple[float, float] | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(pdf, bin_edges)`` for ``values`` as a normalised histogram."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty array")
+    counts, edges = np.histogram(arr, bins=bins, range=range_)
+    return normalize_distribution(counts), edges
+
+
+def percentile_summary(
+    errors: Sequence[float], percentiles: Iterable[float] = (50, 75, 95)
+) -> Dict[str, float]:
+    """Return the percentile summary reported in Fig. 9 of the paper.
+
+    Keys are formatted as ``"P50"``, ``"P75"``, ``"P95"`` etc.
+    """
+    arr = np.asarray(errors, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty error array")
+    return {f"P{int(p)}": float(np.percentile(arr, p)) for p in percentiles}
+
+
+def running_mean(values: Sequence[float], window: int = 5) -> np.ndarray:
+    """Simple centred running mean used for smoothing learning curves."""
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if window == 1 or arr.size == 0:
+        return arr.copy()
+    window = min(window, arr.size)
+    kernel = np.ones(window) / window
+    # 'same' keeps the output aligned with the input length.
+    return np.convolve(arr, kernel, mode="same")
+
+
+def pairwise_squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorised squared Euclidean distances between rows of ``a`` and ``b``.
+
+    Uses the ``|a|^2 + |b|^2 - 2 a.b`` expansion so no Python-level loops are
+    required (see the HPC guide on vectorising loops).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("inputs must be 2-D (n_samples, n_features)")
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"feature dimensions differ: {a.shape[1]} vs {b.shape[1]}")
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    d2 = a_sq + b_sq - 2.0 * (a @ b.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def normalized_euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance between rows after per-feature standardisation.
+
+    The paper's clustering module assigns samples with a *normalized* Euclidean
+    distance; standardising by the pooled per-feature standard deviation makes
+    features with large dynamic range not dominate the assignment.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    pooled = np.vstack([a, b])
+    scale = pooled.std(axis=0)
+    scale[scale == 0] = 1.0
+    return np.sqrt(pairwise_squared_distances(a / scale, b / scale))
+
+
+def correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (used to verify the error-vs-JSD trend)."""
+    x_arr = np.asarray(x, dtype=np.float64).ravel()
+    y_arr = np.asarray(y, dtype=np.float64).ravel()
+    if x_arr.size != y_arr.size or x_arr.size < 2:
+        raise ValueError("inputs must have the same length >= 2")
+    if np.std(x_arr) == 0 or np.std(y_arr) == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])

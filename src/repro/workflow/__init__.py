@@ -1,0 +1,30 @@
+"""Orchestration substrate standing in for Globus Flows, funcX, and Globus Transfer.
+
+The paper's end-to-end deployment uses Globus Flows to define the workflow,
+funcX as a serverless function-execution fabric, and Globus Transfer to move
+data and models between the experimental facility and the compute cluster.
+Locally we reproduce the same structure:
+
+* :class:`~repro.workflow.flows.Flow` — an ordered list of named steps with
+  per-step timing, retries, and a result object the caller can inspect.
+* :class:`~repro.workflow.funcx.FuncXExecutor` — register functions, submit
+  invocations to a thread pool, await futures (optionally with a simulated
+  cold-start latency per task).
+* :class:`~repro.workflow.transfer.TransferService` — models a WAN link with
+  latency + bandwidth and "transfers" byte payloads, recording the simulated
+  durations that feed the end-to-end timing breakdown of Fig. 15.
+"""
+
+from repro.workflow.flows import Flow, FlowResult, FlowStep
+from repro.workflow.funcx import FuncXExecutor, FunctionNotRegistered
+from repro.workflow.transfer import TransferService, TransferRecord
+
+__all__ = [
+    "Flow",
+    "FlowResult",
+    "FlowStep",
+    "FuncXExecutor",
+    "FunctionNotRegistered",
+    "TransferService",
+    "TransferRecord",
+]

@@ -1,0 +1,100 @@
+"""A small typed flow engine (Globus Flows stand-in)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class FlowStep:
+    """A named step of a flow.
+
+    ``fn`` receives the shared flow context dict and returns a value stored
+    under ``output_key`` (when given).  ``retries`` re-runs a failed step
+    before giving up.
+    """
+
+    name: str
+    fn: Callable[[Dict[str, Any]], Any]
+    output_key: Optional[str] = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("flow steps must be named")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be non-negative")
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a flow run: final context, per-step timings, and status."""
+
+    context: Dict[str, Any]
+    step_times: Dict[str, float] = field(default_factory=dict)
+    step_attempts: Dict[str, int] = field(default_factory=dict)
+    succeeded: bool = True
+    failed_step: Optional[str] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def total_time(self) -> float:
+        return float(sum(self.step_times.values()))
+
+
+class Flow:
+    """An ordered sequence of :class:`FlowStep` executed with a shared context."""
+
+    def __init__(self, name: str, steps: Optional[List[FlowStep]] = None):
+        if not name:
+            raise ConfigurationError("flow must have a name")
+        self.name = name
+        self.steps: List[FlowStep] = list(steps or [])
+
+    def add_step(
+        self,
+        name: str,
+        fn: Callable[[Dict[str, Any]], Any],
+        output_key: Optional[str] = None,
+        retries: int = 0,
+    ) -> "Flow":
+        """Append a step; returns ``self`` for chaining."""
+        self.steps.append(FlowStep(name=name, fn=fn, output_key=output_key, retries=retries))
+        return self
+
+    def run(self, initial_context: Optional[Dict[str, Any]] = None, raise_on_error: bool = False) -> FlowResult:
+        """Execute all steps in order.
+
+        On failure the flow stops; the partial context and the failing step are
+        recorded in the result (or the exception re-raised when
+        ``raise_on_error`` is set).
+        """
+        context: Dict[str, Any] = dict(initial_context or {})
+        result = FlowResult(context=context)
+        for step in self.steps:
+            attempts = 0
+            start = time.perf_counter()
+            while True:
+                attempts += 1
+                try:
+                    value = step.fn(context)
+                    break
+                except Exception as exc:
+                    if attempts > step.retries:
+                        result.step_times[step.name] = time.perf_counter() - start
+                        result.step_attempts[step.name] = attempts
+                        result.succeeded = False
+                        result.failed_step = step.name
+                        result.error = exc
+                        if raise_on_error:
+                            raise
+                        return result
+            result.step_times[step.name] = time.perf_counter() - start
+            result.step_attempts[step.name] = attempts
+            if step.output_key is not None:
+                context[step.output_key] = value
+        return result

@@ -1,0 +1,83 @@
+"""Serverless function executor (funcX stand-in)."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.utils.errors import ConfigurationError, ReproError
+
+
+class FunctionNotRegistered(ReproError):
+    """Raised when submitting to an unknown function id."""
+
+
+class FuncXExecutor:
+    """Register functions and submit invocations to a local worker pool.
+
+    Mirrors the funcX usage pattern in the paper: user-plane and system-plane
+    functions are registered once and then invoked by id from the workflow.
+    ``cold_start_s`` adds a fixed latency to each submission to model the
+    serverless dispatch overhead.
+    """
+
+    def __init__(self, max_workers: int = 4, cold_start_s: float = 0.0):
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        if cold_start_s < 0:
+            raise ConfigurationError("cold_start_s must be non-negative")
+        self.max_workers = int(max_workers)
+        self.cold_start_s = float(cold_start_s)
+        self._functions: Dict[str, Callable] = {}
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        self._task_count = 0
+
+    # -- registration -----------------------------------------------------------
+    def register_function(self, fn: Callable, function_id: Optional[str] = None) -> str:
+        """Register ``fn`` and return its function id."""
+        fid = function_id or f"fn-{len(self._functions):04d}-{fn.__name__}"
+        if fid in self._functions:
+            raise ConfigurationError(f"function id {fid!r} already registered")
+        self._functions[fid] = fn
+        return fid
+
+    def registered(self) -> list:
+        return sorted(self._functions)
+
+    # -- execution -----------------------------------------------------------------
+    def submit(self, function_id: str, *args, **kwargs) -> Future:
+        """Submit an invocation; returns a future."""
+        if function_id not in self._functions:
+            raise FunctionNotRegistered(f"unknown function id {function_id!r}")
+        fn = self._functions[function_id]
+        self._task_count += 1
+
+        def call():
+            if self.cold_start_s:
+                time.sleep(self.cold_start_s)
+            return fn(*args, **kwargs)
+
+        return self._pool.submit(call)
+
+    def run(self, function_id: str, *args, **kwargs) -> Any:
+        """Submit and wait for the result."""
+        return self.submit(function_id, *args, **kwargs).result()
+
+    def map(self, function_id: str, items) -> list:
+        """Invoke the function once per item, in parallel, preserving order."""
+        futures = [self.submit(function_id, item) for item in items]
+        return [f.result() for f in futures]
+
+    @property
+    def tasks_submitted(self) -> int:
+        return self._task_count
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FuncXExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,86 @@
+"""Data/model transfer service (Globus Transfer stand-in).
+
+Models the experimental-facility <-> compute-cluster link as latency plus
+bandwidth.  Transfers are "performed" by sleeping a configurable fraction of
+the simulated duration (zero by default so tests stay fast) and always
+recording the full simulated duration, which the end-to-end Fig. 15 bench adds
+to its timing breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer."""
+
+    label: str
+    n_bytes: int
+    simulated_seconds: float
+
+
+class TransferService:
+    """Simulated wide-area transfer with latency + bandwidth.
+
+    Parameters
+    ----------
+    bandwidth_bytes_per_s:
+        Link bandwidth; the paper's testbed uses 100 GbE (~1.25e10 B/s).
+    latency_s:
+        Per-transfer setup latency (endpoint negotiation etc.).
+    realtime_fraction:
+        Fraction of the simulated duration to actually sleep; keep at 0 for
+        tests, raise for demos where pacing matters.
+    """
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_s: float = 1.25e10,
+        latency_s: float = 0.05,
+        realtime_fraction: float = 0.0,
+    ):
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if not 0.0 <= realtime_fraction <= 1.0:
+            raise ConfigurationError("realtime_fraction must be in [0, 1]")
+        self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
+        self.latency_s = float(latency_s)
+        self.realtime_fraction = float(realtime_fraction)
+        self.records: List[TransferRecord] = []
+
+    def simulated_duration(self, n_bytes: int) -> float:
+        if n_bytes < 0:
+            raise ValidationError("n_bytes must be non-negative")
+        return self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_bytes(self, n_bytes: int, label: str = "transfer") -> TransferRecord:
+        """Record (and optionally pace) a transfer of ``n_bytes``."""
+        duration = self.simulated_duration(int(n_bytes))
+        if self.realtime_fraction > 0:
+            time.sleep(duration * self.realtime_fraction)
+        record = TransferRecord(label=label, n_bytes=int(n_bytes), simulated_seconds=duration)
+        self.records.append(record)
+        return record
+
+    def transfer_array(self, array: np.ndarray, label: str = "dataset") -> TransferRecord:
+        """Transfer a NumPy array (payload size = ``array.nbytes``)."""
+        return self.transfer_bytes(np.asarray(array).nbytes, label=label)
+
+    def total_seconds(self) -> float:
+        return float(sum(r.simulated_seconds for r in self.records))
+
+    def total_bytes(self) -> int:
+        return int(sum(r.n_bytes for r in self.records))
+
+    def reset(self) -> None:
+        self.records.clear()

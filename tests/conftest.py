@@ -1,0 +1,55 @@
+"""Shared pytest fixtures and numerical-gradient-check helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function ``fn`` wrt array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = fn()
+        x[idx] = orig - eps
+        f_minus = fn()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_layer_gradients(layer, x: np.ndarray, atol: float = 1e-5) -> None:
+    """Verify a layer's analytic input and parameter gradients against finite differences."""
+    x = np.asarray(x, dtype=np.float64)
+
+    def loss_fn() -> float:
+        out = layer.forward(x, training=True)
+        return float(np.sum(out**2) / 2.0)
+
+    # Analytic gradients: forward (training), backward with dL/dout = out.
+    out = layer.forward(x, training=True)
+    layer.zero_grad()
+    grad_in = layer.backward(out)
+
+    num_grad_in = numerical_gradient(loss_fn, x)
+    np.testing.assert_allclose(grad_in, num_grad_in, atol=atol, rtol=1e-4)
+
+    for p in layer.parameters():
+        # Recompute analytic gradients so parameter grads correspond to the
+        # current parameter values.
+        layer.zero_grad()
+        out = layer.forward(x, training=True)
+        layer.backward(out)
+        analytic = p.grad.copy()
+        numeric = numerical_gradient(loss_fn, p.data)
+        np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)

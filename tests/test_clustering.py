@@ -1,0 +1,223 @@
+"""Tests for k-means, fuzzy c-means, the elbow method, and clustering metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.elbow import detect_elbow, elbow_curve, select_k_elbow
+from repro.clustering.fuzzy import FuzzyCMeans, assignment_certainty, membership_matrix
+from repro.clustering.kmeans import KMeans
+from repro.clustering.metrics import silhouette_score, within_cluster_ss
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def _blobs(n_per=50, centers=((0, 0), (10, 10), (-10, 10)), spread=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    data = []
+    labels = []
+    for i, c in enumerate(centers):
+        data.append(np.asarray(c) + spread * rng.normal(size=(n_per, len(c))))
+        labels.extend([i] * n_per)
+    return np.vstack(data), np.array(labels)
+
+
+# -- KMeans --------------------------------------------------------------------
+def test_kmeans_recovers_separated_blobs():
+    x, truth = _blobs()
+    km = KMeans(n_clusters=3, seed=0).fit(x)
+    labels = km.labels_
+    # Each true blob should be assigned (almost) entirely to one cluster.
+    for t in range(3):
+        counts = np.bincount(labels[truth == t], minlength=3)
+        assert counts.max() / counts.sum() > 0.98
+    assert km.inertia_ is not None and km.inertia_ > 0
+    assert km.n_iter_ >= 1
+
+
+def test_kmeans_predict_matches_fit_labels():
+    x, _ = _blobs()
+    km = KMeans(n_clusters=3, seed=0).fit(x)
+    np.testing.assert_array_equal(km.predict(x), km.labels_)
+
+
+def test_kmeans_transform_shape_and_nonnegative():
+    x, _ = _blobs(n_per=20)
+    km = KMeans(n_clusters=3, seed=0).fit(x)
+    d = km.transform(x)
+    assert d.shape == (60, 3)
+    assert np.all(d >= 0)
+
+
+def test_kmeans_cluster_pdf_sums_to_one():
+    x, _ = _blobs(n_per=30)
+    km = KMeans(n_clusters=3, seed=0).fit(x)
+    pdf = km.cluster_pdf(x)
+    assert pdf.shape == (3,)
+    assert pdf.sum() == pytest.approx(1.0)
+    np.testing.assert_allclose(np.sort(pdf), [1 / 3] * 3, atol=0.05)
+
+
+def test_kmeans_handles_more_clusters_than_distinct_points():
+    x = np.array([[0.0, 0.0]] * 5 + [[1.0, 1.0]] * 5)
+    km = KMeans(n_clusters=3, seed=0).fit(x)
+    assert km.cluster_centers_.shape == (3, 2)
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValidationError):
+        KMeans(n_clusters=0)
+    with pytest.raises(ValidationError):
+        KMeans(max_iter=0)
+    with pytest.raises(ValidationError):
+        KMeans(tol=-1)
+    with pytest.raises(ValidationError):
+        KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+    with pytest.raises(ValidationError):
+        KMeans().fit(np.zeros(10))
+    with pytest.raises(NotFittedError):
+        KMeans().predict(np.zeros((2, 2)))
+    km = KMeans(n_clusters=2, seed=0).fit(np.random.default_rng(0).normal(size=(10, 3)))
+    with pytest.raises(ValidationError):
+        km.predict(np.zeros((2, 5)))
+
+
+def test_kmeans_deterministic_for_seed():
+    x, _ = _blobs(n_per=20)
+    a = KMeans(n_clusters=3, seed=7).fit(x)
+    b = KMeans(n_clusters=3, seed=7).fit(x)
+    np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_kmeans_inertia_decreases_with_k_property(seed):
+    x = np.random.default_rng(seed).normal(size=(60, 4))
+    i2 = KMeans(n_clusters=2, seed=0, n_init=2).fit(x).inertia_
+    i6 = KMeans(n_clusters=6, seed=0, n_init=2).fit(x).inertia_
+    assert i6 <= i2 + 1e-9
+
+
+# -- fuzzy c-means -------------------------------------------------------------------
+def test_membership_matrix_rows_sum_to_one():
+    x, _ = _blobs(n_per=10)
+    centers = np.array([[0, 0], [10, 10], [-10, 10]], dtype=float)
+    u = membership_matrix(x, centers)
+    assert u.shape == (30, 3)
+    np.testing.assert_allclose(u.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all((u >= 0) & (u <= 1))
+
+
+def test_membership_at_center_is_one():
+    centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+    u = membership_matrix(np.array([[0.0, 0.0]]), centers)
+    assert u[0, 0] == pytest.approx(1.0)
+    assert u[0, 1] == pytest.approx(0.0)
+
+
+def test_membership_invalid_fuzzifier():
+    with pytest.raises(ValidationError):
+        membership_matrix(np.zeros((2, 2)), np.zeros((2, 2)), m=1.0)
+
+
+def test_assignment_certainty_high_for_tight_clusters_low_for_drifted():
+    x, _ = _blobs(spread=0.5)
+    centers = np.array([[0, 0], [10, 10], [-10, 10]], dtype=float)
+    tight = assignment_certainty(x, centers)
+    drifted = assignment_certainty(x + 5.0, centers)  # shift all data between centres
+    assert tight > 95.0
+    assert drifted < tight
+
+
+def test_assignment_certainty_validation():
+    with pytest.raises(ValidationError):
+        assignment_certainty(np.zeros((2, 2)), np.zeros((2, 2)), confidence=1.5)
+
+
+def test_fuzzy_cmeans_fit_and_certainty():
+    x, truth = _blobs(n_per=30, spread=0.8)
+    fcm = FuzzyCMeans(n_clusters=3, seed=0).fit(x)
+    assert fcm.cluster_centers_.shape == (3, 2)
+    hard = fcm.predict(x)
+    # Cluster labels are arbitrary, but each true blob maps to a single cluster.
+    for t in range(3):
+        counts = np.bincount(hard[truth == t], minlength=3)
+        assert counts.max() / counts.sum() > 0.9
+    assert fcm.certainty(x) > 80.0
+
+
+def test_fuzzy_cmeans_validation():
+    with pytest.raises(ValidationError):
+        FuzzyCMeans(n_clusters=0)
+    with pytest.raises(ValidationError):
+        FuzzyCMeans(m=1.0)
+    with pytest.raises(NotFittedError):
+        FuzzyCMeans().predict(np.zeros((2, 2)))
+    with pytest.raises(ValidationError):
+        FuzzyCMeans(n_clusters=5).fit(np.zeros((2, 2)))
+
+
+# -- elbow ---------------------------------------------------------------------------
+def test_elbow_curve_monotone_decreasing():
+    x, _ = _blobs(n_per=40)
+    curve = elbow_curve(x, range(1, 7), seed=0)
+    ks = sorted(curve)
+    wss = [curve[k] for k in ks]
+    assert all(wss[i] >= wss[i + 1] - 1e-6 for i in range(len(wss) - 1))
+
+
+def test_select_k_elbow_finds_true_cluster_count():
+    x, _ = _blobs(n_per=40, spread=0.8)
+    best_k, curve = select_k_elbow(x, k_min=1, k_max=8, seed=0)
+    assert best_k == 3
+    assert set(curve) == set(range(1, 9))
+
+
+def test_detect_elbow_synthetic_knee():
+    # WSS drops sharply until k=4, then flattens.
+    curve = {1: 100.0, 2: 60.0, 3: 30.0, 4: 10.0, 5: 9.0, 6: 8.5, 7: 8.2}
+    assert detect_elbow(curve) == 4
+
+
+def test_elbow_validation():
+    x = np.random.default_rng(0).normal(size=(10, 2))
+    with pytest.raises(ValidationError):
+        elbow_curve(x, [])
+    with pytest.raises(ValidationError):
+        elbow_curve(x, [0, 2])
+    with pytest.raises(ValidationError):
+        elbow_curve(x, [20])
+    with pytest.raises(ValidationError):
+        select_k_elbow(x, k_min=5, k_max=2)
+
+
+# -- metrics -----------------------------------------------------------------------------
+def test_within_cluster_ss_matches_kmeans_inertia():
+    x, _ = _blobs(n_per=25)
+    km = KMeans(n_clusters=3, seed=0).fit(x)
+    wss = within_cluster_ss(x, km.labels_, km.cluster_centers_)
+    assert wss == pytest.approx(km.inertia_, rel=1e-6)
+
+
+def test_within_cluster_ss_validation():
+    with pytest.raises(ValidationError):
+        within_cluster_ss(np.zeros((3, 2)), np.zeros(2, dtype=int), np.zeros((2, 2)))
+    with pytest.raises(ValidationError):
+        within_cluster_ss(np.zeros((3, 2)), np.array([0, 1, 5]), np.zeros((2, 2)))
+
+
+def test_silhouette_score_high_for_separated_blobs():
+    x, truth = _blobs(n_per=20, spread=0.5)
+    assert silhouette_score(x, truth) > 0.8
+
+
+def test_silhouette_score_low_for_random_labels():
+    x, _ = _blobs(n_per=20)
+    rng = np.random.default_rng(0)
+    random_labels = rng.integers(0, 3, size=x.shape[0])
+    assert silhouette_score(x, random_labels) < 0.2
+
+
+def test_silhouette_requires_two_clusters():
+    with pytest.raises(ValidationError):
+        silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int))

@@ -1,0 +1,224 @@
+"""Tests for the synthetic dataset generators and the drift model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bragg import BraggPeakDataset, generate_bragg_scan
+from repro.datasets.cookiebox import CookieBoxDataset, generate_cookiebox_scan
+from repro.datasets.drift import DriftSchedule, ExperimentCondition, make_two_phase_schedule
+from repro.datasets.splits import holdout_split, train_val_test_split
+from repro.datasets.tomography import TomographyDataset, generate_tomography_scan
+from repro.labeling.peak_fitting import intensity_centroid
+from repro.utils.errors import ConfigurationError, ValidationError
+
+
+# -- ExperimentCondition / DriftSchedule ----------------------------------------
+def test_condition_validation():
+    with pytest.raises(ConfigurationError):
+        ExperimentCondition(0, peak_width=0)
+    with pytest.raises(ConfigurationError):
+        ExperimentCondition(0, peak_eta=1.5)
+    with pytest.raises(ConfigurationError):
+        ExperimentCondition(0, noise_level=-1)
+    with pytest.raises(ConfigurationError):
+        ExperimentCondition(0, intensity=0)
+
+
+def test_condition_as_dict_roundtrip_fields():
+    cond = ExperimentCondition(3, peak_width=2.5, phase=1)
+    d = cond.as_dict()
+    assert d["scan_index"] == 3 and d["peak_width"] == 2.5 and d["phase"] == 1
+
+
+def test_drift_schedule_smooth_drift_is_monotone():
+    sched = DriftSchedule(n_scans=10, drift_per_scan={"peak_width": 0.1})
+    widths = [sched.condition(i).peak_width for i in range(10)]
+    assert widths == sorted(widths)
+    assert widths[-1] == pytest.approx(widths[0] + 0.9, rel=1e-6)
+
+
+def test_drift_schedule_phase_change_applies_from_scan_onward():
+    sched = DriftSchedule(n_scans=10, phase_changes={5: {"peak_width": 4.0}})
+    assert sched.condition(4).peak_width == pytest.approx(2.0)
+    assert sched.condition(5).peak_width == pytest.approx(4.0)
+    assert sched.condition(4).phase == 0
+    assert sched.condition(5).phase == 1
+
+
+def test_drift_schedule_deterministic_with_jitter():
+    sched = DriftSchedule(n_scans=5, drift_per_scan={"noise_level": 0.01}, jitter=0.1, seed=3)
+    a = [sched.condition(i).noise_level for i in range(5)]
+    b = [sched.condition(i).noise_level for i in range(5)]
+    assert a == b
+
+
+def test_drift_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        DriftSchedule(n_scans=0)
+    with pytest.raises(ConfigurationError):
+        DriftSchedule(n_scans=3, drift_per_scan={"bogus": 1.0})
+    with pytest.raises(ConfigurationError):
+        DriftSchedule(n_scans=3, phase_changes={1: {"bogus": 1.0}})
+    with pytest.raises(IndexError):
+        DriftSchedule(n_scans=3).condition(5)
+
+
+def test_drift_schedule_iteration_and_len():
+    sched = DriftSchedule(n_scans=4)
+    conds = list(sched)
+    assert len(sched) == 4 and len(conds) == 4
+    assert [c.scan_index for c in conds] == [0, 1, 2, 3]
+
+
+def test_two_phase_schedule_has_distinct_phases():
+    sched = make_two_phase_schedule(n_scans=20, change_at=10)
+    early = sched.condition(2)
+    late = sched.condition(15)
+    assert early.phase == 0 and late.phase == 1
+    assert late.peak_width > early.peak_width
+    with pytest.raises(ConfigurationError):
+        make_two_phase_schedule(n_scans=5, change_at=5)
+
+
+# -- Bragg ------------------------------------------------------------------------
+def test_generate_bragg_scan_shapes_and_labels():
+    cond = ExperimentCondition(scan_index=0)
+    scan = generate_bragg_scan(cond, n_peaks=32, seed=0)
+    assert scan.images.shape == (32, 1, 15, 15)
+    assert scan.centers.shape == (32, 2)
+    assert len(scan) == 32
+    assert np.all(scan.images >= 0)
+    # The labelled centre is close to the intensity centroid of the image.
+    for i in range(5):
+        centroid = intensity_centroid(scan.images[i, 0])
+        assert np.linalg.norm(np.array(centroid) - scan.centers[i]) < 1.5
+
+
+def test_generate_bragg_scan_deterministic():
+    cond = ExperimentCondition(scan_index=1)
+    a = generate_bragg_scan(cond, n_peaks=8, seed=5)
+    b = generate_bragg_scan(cond, n_peaks=8, seed=5)
+    np.testing.assert_array_equal(a.images, b.images)
+    np.testing.assert_array_equal(a.centers, b.centers)
+
+
+def test_generate_bragg_scan_drift_changes_distribution():
+    wide = generate_bragg_scan(ExperimentCondition(0, peak_width=3.5), n_peaks=64, seed=0)
+    narrow = generate_bragg_scan(ExperimentCondition(0, peak_width=1.0), n_peaks=64, seed=0)
+    # Wider peaks spread intensity: mean pixel value relative to max increases.
+    assert wide.images.mean() > narrow.images.mean()
+
+
+def test_generate_bragg_scan_validation():
+    with pytest.raises(ConfigurationError):
+        generate_bragg_scan(ExperimentCondition(0), n_peaks=0)
+    with pytest.raises(ConfigurationError):
+        generate_bragg_scan(ExperimentCondition(0), patch_size=3)
+
+
+def test_bragg_dataset_caching_and_stacking():
+    ds = BraggPeakDataset(DriftSchedule(n_scans=4), peaks_per_scan=16, seed=0)
+    assert len(ds) == 4
+    scan_a = ds.scan(1)
+    scan_b = ds.scan(1)
+    assert scan_a is scan_b  # cached
+    x, y = ds.stacked([0, 1])
+    assert x.shape == (32, 1, 15, 15)
+    assert y.shape == (32, 2)
+    assert np.all((y >= 0) & (y <= 1))
+
+
+def test_bragg_normalized_centers_match_centers():
+    ds = BraggPeakDataset(DriftSchedule(n_scans=1), peaks_per_scan=4, seed=0)
+    scan = ds.scan(0)
+    np.testing.assert_allclose(scan.normalized_centers * 15, scan.centers)
+
+
+# -- CookieBox ------------------------------------------------------------------------
+def test_generate_cookiebox_scan_shapes():
+    scan = generate_cookiebox_scan(ExperimentCondition(0), n_samples=10, n_channels=8, n_bins=32, seed=0)
+    assert scan.images.shape == (10, 8, 32)
+    assert scan.densities.shape == (10, 8, 32)
+    np.testing.assert_allclose(scan.densities.sum(axis=-1), 1.0, atol=1e-9)
+    assert np.all(scan.images >= 0) and np.all(scan.images <= 1)
+
+
+def test_generate_cookiebox_energy_shift_moves_spectrum():
+    base = generate_cookiebox_scan(ExperimentCondition(0), n_samples=20, n_bins=64, seed=1)
+    shifted = generate_cookiebox_scan(
+        ExperimentCondition(0, energy_shift=12.0), n_samples=20, n_bins=64, seed=1
+    )
+    bins = np.arange(64)
+    com_base = (base.densities.mean(axis=(0, 1)) * bins).sum()
+    com_shift = (shifted.densities.mean(axis=(0, 1)) * bins).sum()
+    assert com_shift > com_base + 5
+
+
+def test_generate_cookiebox_validation():
+    with pytest.raises(ConfigurationError):
+        generate_cookiebox_scan(ExperimentCondition(0), n_samples=0)
+
+
+def test_cookiebox_dataset_stacked():
+    ds = CookieBoxDataset(DriftSchedule(n_scans=3), samples_per_scan=6, n_channels=4, n_bins=16, seed=0)
+    x, y = ds.stacked([0, 2])
+    assert x.shape == (12, 4 * 16)
+    assert y.shape == (12, 4, 16)
+    assert len(ds) == 3
+
+
+# -- Tomography -----------------------------------------------------------------------
+def test_generate_tomography_scan_shapes_and_range():
+    scan = generate_tomography_scan(ExperimentCondition(0), n_slices=4, image_size=32, seed=0)
+    assert scan.noisy.shape == (4, 1, 32, 32)
+    assert scan.clean.shape == (4, 1, 32, 32)
+    assert len(scan) == 4
+    assert np.all((scan.clean >= 0) & (scan.clean <= 1))
+    assert np.all((scan.noisy >= 0) & (scan.noisy <= 1))
+
+
+def test_tomography_noise_level_increases_error():
+    quiet = generate_tomography_scan(ExperimentCondition(0, noise_level=0.0), n_slices=4, image_size=32, seed=0)
+    loud = generate_tomography_scan(ExperimentCondition(0, noise_level=0.2), n_slices=4, image_size=32, seed=0)
+    err_quiet = np.mean((quiet.noisy - quiet.clean) ** 2)
+    err_loud = np.mean((loud.noisy - loud.clean) ** 2)
+    assert err_loud > err_quiet
+
+
+def test_tomography_validation():
+    with pytest.raises(ConfigurationError):
+        generate_tomography_scan(ExperimentCondition(0), n_slices=0)
+    with pytest.raises(ConfigurationError):
+        generate_tomography_scan(ExperimentCondition(0), image_size=8)
+
+
+def test_tomography_dataset_stacked():
+    ds = TomographyDataset(DriftSchedule(n_scans=2), slices_per_scan=3, image_size=32, seed=0)
+    noisy, clean = ds.stacked([0, 1])
+    assert noisy.shape == (6, 1, 32, 32)
+    assert clean.shape == (6, 1, 32, 32)
+
+
+# -- splits --------------------------------------------------------------------------------
+def test_train_val_test_split_partitions_everything():
+    train, val, test = train_val_test_split(100, 0.2, 0.1, seed=0)
+    all_idx = np.concatenate([train, val, test])
+    assert sorted(all_idx.tolist()) == list(range(100))
+    assert len(val) == 20 and len(test) == 10 and len(train) == 70
+
+
+def test_train_val_test_split_validation():
+    with pytest.raises(ValidationError):
+        train_val_test_split(2)
+    with pytest.raises(ValidationError):
+        train_val_test_split(10, 0.6, 0.5)
+
+
+def test_holdout_split():
+    rest, hold = holdout_split(50, 0.2, seed=1)
+    assert len(hold) == 10 and len(rest) == 40
+    assert set(rest.tolist()).isdisjoint(hold.tolist())
+    with pytest.raises(ValidationError):
+        holdout_split(1)
+    with pytest.raises(ValidationError):
+        holdout_split(10, 1.5)

@@ -1,0 +1,172 @@
+"""Tests for the embedding service (interface, registry, and all embedders)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bragg import generate_bragg_scan
+from repro.datasets.drift import ExperimentCondition
+from repro.embedding.autoencoder_embedder import AutoencoderEmbedder
+from repro.embedding.base import Embedder, get_embedder, register_embedder
+from repro.embedding.byol_embedder import BYOLEmbedder
+from repro.embedding.contrastive_embedder import ContrastiveEmbedder
+from repro.embedding.pca_embedder import PCAEmbedder
+from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
+
+
+def _two_phase_patches(n_per_phase=60, seed=0):
+    """Bragg patches from two clearly different experiment conditions."""
+    early = generate_bragg_scan(
+        ExperimentCondition(0, peak_width=1.2, center_spread=1.0), n_peaks=n_per_phase, seed=seed
+    )
+    late = generate_bragg_scan(
+        ExperimentCondition(1, peak_width=3.5, center_spread=3.5, noise_level=0.05),
+        n_peaks=n_per_phase,
+        seed=seed + 1,
+    )
+    x = np.concatenate([early.images, late.images], axis=0)
+    phases = np.array([0] * n_per_phase + [1] * n_per_phase)
+    return x, phases
+
+
+def _phase_separation(z, phases):
+    """Ratio of between-phase centroid distance to mean within-phase spread."""
+    c0 = z[phases == 0].mean(axis=0)
+    c1 = z[phases == 1].mean(axis=0)
+    between = np.linalg.norm(c0 - c1)
+    within = 0.5 * (
+        np.linalg.norm(z[phases == 0] - c0, axis=1).mean()
+        + np.linalg.norm(z[phases == 1] - c1, axis=1).mean()
+    )
+    return between / max(within, 1e-12)
+
+
+# -- registry ---------------------------------------------------------------------
+def test_registry_provides_all_builtin_embedders():
+    assert isinstance(get_embedder("pca", embedding_dim=4), PCAEmbedder)
+    assert isinstance(get_embedder("autoencoder", embedding_dim=4), AutoencoderEmbedder)
+    assert isinstance(get_embedder("contrastive", embedding_dim=4), ContrastiveEmbedder)
+    assert isinstance(get_embedder("byol", embedding_dim=4), BYOLEmbedder)
+    with pytest.raises(ConfigurationError):
+        get_embedder("nope")
+
+
+def test_register_custom_embedder():
+    @register_embedder
+    class MeanEmbedder(Embedder):
+        name = "mean"
+
+        def fit(self, x, **kwargs):
+            return self
+
+        def transform(self, x):
+            flat = self.flatten(x)
+            return flat.mean(axis=1, keepdims=True)
+
+    emb = get_embedder("mean", embedding_dim=1)
+    out = emb.fit_transform(np.ones((3, 4)))
+    np.testing.assert_allclose(out, 1.0)
+
+
+def test_register_embedder_requires_name():
+    class Nameless(Embedder):
+        name = "base"
+
+        def fit(self, x, **kwargs):
+            return self
+
+        def transform(self, x):
+            return self.flatten(x)
+
+    with pytest.raises(ConfigurationError):
+        register_embedder(Nameless)
+
+
+def test_embedder_base_validation():
+    with pytest.raises(ConfigurationError):
+        PCAEmbedder(embedding_dim=0)
+
+
+# -- PCA --------------------------------------------------------------------------------
+def test_pca_embedder_shapes_and_explained_variance(rng):
+    x = rng.normal(size=(50, 20))
+    emb = PCAEmbedder(embedding_dim=5).fit(x)
+    z = emb.transform(x)
+    assert z.shape == (50, 5)
+    assert emb.explained_variance_ratio_.shape == (5,)
+    assert np.all(np.diff(emb.explained_variance_ratio_) <= 1e-12)
+
+
+def test_pca_embedder_reconstructs_low_rank_structure(rng):
+    # Data that genuinely lies in a 2-D subspace is captured exactly.
+    basis = rng.normal(size=(2, 10))
+    coeffs = rng.normal(size=(40, 2))
+    x = coeffs @ basis
+    emb = PCAEmbedder(embedding_dim=2).fit(x)
+    assert emb.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+
+def test_pca_embedder_pads_when_dim_exceeds_rank(rng):
+    x = rng.normal(size=(5, 3))
+    z = PCAEmbedder(embedding_dim=8).fit(x).transform(x)
+    assert z.shape == (5, 8)
+    np.testing.assert_allclose(z[:, 3:], 0.0)
+
+
+def test_pca_embedder_errors(rng):
+    emb = PCAEmbedder(embedding_dim=2)
+    with pytest.raises(NotFittedError):
+        emb.transform(rng.normal(size=(3, 4)))
+    with pytest.raises(ValidationError):
+        emb.fit(rng.normal(size=(1, 4)))
+    emb.fit(rng.normal(size=(10, 4)))
+    with pytest.raises(ValidationError):
+        emb.transform(rng.normal(size=(3, 7)))
+
+
+def test_pca_whiten_unit_variance(rng):
+    x = rng.normal(size=(200, 6)) * np.array([10, 5, 1, 1, 1, 1])
+    z = PCAEmbedder(embedding_dim=2, whiten=True).fit(x).transform(x)
+    np.testing.assert_allclose(z.std(axis=0), 1.0, atol=0.2)
+
+
+def test_pca_separates_drift_phases():
+    x, phases = _two_phase_patches()
+    z = PCAEmbedder(embedding_dim=4).fit_transform(x)
+    assert _phase_separation(z, phases) > 1.0
+
+
+# -- trained embedders (kept small for CPU time) -------------------------------------------
+def test_autoencoder_embedder_separates_drift_phases():
+    x, phases = _two_phase_patches(n_per_phase=40)
+    emb = AutoencoderEmbedder(embedding_dim=4, hidden=32, epochs=8, seed=0)
+    z = emb.fit_transform(x)
+    assert z.shape == (80, 4)
+    assert _phase_separation(z, phases) > 0.8
+
+
+def test_byol_embedder_shapes_and_not_fitted():
+    x, _ = _two_phase_patches(n_per_phase=30)
+    emb = BYOLEmbedder(embedding_dim=4, hidden=32, epochs=3, seed=0)
+    with pytest.raises(NotFittedError):
+        emb.transform(x)
+    z = emb.fit_transform(x)
+    assert z.shape == (60, 4)
+    assert np.all(np.isfinite(z))
+
+
+def test_contrastive_embedder_shapes():
+    x, _ = _two_phase_patches(n_per_phase=30)
+    emb = ContrastiveEmbedder(embedding_dim=4, hidden=32, epochs=3, seed=0)
+    z = emb.fit_transform(x)
+    assert z.shape == (60, 4)
+    assert np.all(np.isfinite(z))
+
+
+def test_autoencoder_embedder_not_fitted(rng):
+    with pytest.raises(NotFittedError):
+        AutoencoderEmbedder(embedding_dim=2).transform(rng.normal(size=(2, 8)))
+
+
+def test_contrastive_embedder_not_fitted(rng):
+    with pytest.raises(NotFittedError):
+        ContrastiveEmbedder(embedding_dim=2).transform(rng.normal(size=(2, 8)))

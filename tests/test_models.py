@@ -1,0 +1,218 @@
+"""Tests for the application models (BraggNN, CookieNetAE, TomoGAN, embedders)."""
+
+import numpy as np
+import pytest
+
+from repro.models.autoencoder import ConvAutoencoder, DenseAutoencoder
+from repro.models.braggnn import BRAGG_PATCH_SIZE, build_braggnn
+from repro.models.byol import BYOLLearner
+from repro.models.contrastive import SimCLREncoder, train_contrastive
+from repro.models.cookienetae import build_cookienetae
+from repro.models.tomogan import build_tomogan_denoiser
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.utils.errors import NotFittedError, ValidationError
+
+
+def _noise_augment(batch, rng):
+    return batch + 0.05 * rng.standard_normal(batch.shape)
+
+
+# -- BraggNN -----------------------------------------------------------------
+def test_braggnn_output_shape(rng):
+    model = build_braggnn(width=4)
+    x = rng.random((6, 1, BRAGG_PATCH_SIZE, BRAGG_PATCH_SIZE))
+    assert model.forward(x).shape == (6, 2)
+
+
+def test_braggnn_has_dropout_for_mc_uq():
+    assert build_braggnn().has_dropout()
+
+
+def test_braggnn_invalid_patch_size():
+    with pytest.raises(ValueError):
+        build_braggnn(patch_size=14)
+    with pytest.raises(ValueError):
+        build_braggnn(patch_size=3)
+    with pytest.raises(ValueError):
+        build_braggnn(width=0)
+
+
+def test_braggnn_learns_peak_centers():
+    """BraggNN should learn to localise synthetic peaks better than chance."""
+    from repro.datasets.drift import ExperimentCondition
+    from repro.datasets.bragg import generate_bragg_scan
+
+    scan = generate_bragg_scan(ExperimentCondition(scan_index=0), n_peaks=200, seed=0)
+    x, y = scan.images, scan.normalized_centers
+    model = build_braggnn(width=4, seed=0)
+    trainer = Trainer(model)
+    hist = trainer.fit((x[:160], y[:160]), val=(x[160:], y[160:]),
+                       config=TrainingConfig(epochs=15, batch_size=32, lr=3e-3, seed=0))
+    # Predicting the patch centre for everything gives ~ (spread/patch)^2 MSE;
+    # the trained model must beat a generous multiple of chance.
+    baseline = np.mean((y[160:] - 0.5) ** 2)
+    assert hist.val_loss[-1] < baseline
+
+
+# -- CookieNetAE -------------------------------------------------------------------
+def test_cookienetae_outputs_row_stochastic(rng):
+    model = build_cookienetae(n_channels=4, n_bins=16)
+    x = rng.random((5, 4 * 16))
+    out = model.forward(x)
+    assert out.shape == (5, 4, 16)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+def test_cookienetae_invalid_config():
+    with pytest.raises(ValueError):
+        build_cookienetae(n_channels=0)
+    with pytest.raises(ValueError):
+        build_cookienetae(n_bins=1)
+
+
+# -- TomoGAN denoiser ----------------------------------------------------------------
+def test_tomogan_preserves_shape(rng):
+    model = build_tomogan_denoiser(width=2, depth=2)
+    x = rng.random((2, 1, 16, 16))
+    out = model.forward(x)
+    assert out.shape == x.shape
+    assert np.all((out >= 0) & (out <= 1))
+
+
+def test_tomogan_invalid_config():
+    with pytest.raises(ValueError):
+        build_tomogan_denoiser(depth=0)
+    with pytest.raises(ValueError):
+        build_tomogan_denoiser(width=0)
+
+
+# -- DenseAutoencoder ------------------------------------------------------------------
+def test_autoencoder_fit_and_encode(rng):
+    x = rng.random((80, 32))
+    ae = DenseAutoencoder(32, latent_dim=4, hidden=32, seed=0)
+    hist = ae.fit(x, epochs=10, batch_size=16, seed=0)
+    assert hist.train_loss[-1] < hist.train_loss[0]
+    z = ae.encode(x)
+    assert z.shape == (80, 4)
+    recon = ae.reconstruct(x)
+    assert recon.shape == x.shape
+    errs = ae.reconstruction_error(x)
+    assert errs.shape == (80,)
+    assert np.all(errs >= 0)
+
+
+def test_autoencoder_encode_before_fit_raises(rng):
+    ae = DenseAutoencoder(16, latent_dim=2)
+    with pytest.raises(NotFittedError):
+        ae.encode(rng.random((3, 16)))
+
+
+def test_autoencoder_validates_dimensions():
+    with pytest.raises(ValidationError):
+        DenseAutoencoder(8, latent_dim=8)  # no bottleneck
+    with pytest.raises(ValidationError):
+        DenseAutoencoder(0, latent_dim=2)
+
+
+def test_autoencoder_rejects_wrong_input_width(rng):
+    ae = DenseAutoencoder(16, latent_dim=2)
+    with pytest.raises(ValidationError):
+        ae.fit(rng.random((10, 8)), epochs=1)
+
+
+def test_conv_autoencoder_accepts_image_stacks(rng):
+    ae = ConvAutoencoder((8, 8), latent_dim=3, hidden=32, seed=0)
+    imgs = rng.random((40, 8, 8))
+    ae.fit(imgs, epochs=5, batch_size=16, seed=0)
+    z = ae.encode(imgs)
+    assert z.shape == (40, 3)
+    # (n, 1, H, W) form also accepted.
+    z4 = ae.encode(imgs[:, None, :, :])
+    np.testing.assert_allclose(z, z4)
+
+
+def test_conv_autoencoder_rejects_wrong_image_shape(rng):
+    ae = ConvAutoencoder((8, 8), latent_dim=3)
+    with pytest.raises(ValidationError):
+        ae.fit(rng.random((4, 6, 6)), epochs=1)
+
+
+# -- SimCLR ---------------------------------------------------------------------------
+def test_simclr_fit_and_encode(rng):
+    x = rng.random((60, 20))
+    enc = SimCLREncoder(20, embedding_dim=4, projection_dim=3, hidden=16, seed=0)
+    losses = enc.fit(x, _noise_augment, epochs=4, batch_size=16, seed=0)
+    assert len(losses) == 4
+    z = enc.encode(x)
+    assert z.shape == (60, 4)
+
+
+def test_simclr_encode_before_fit(rng):
+    enc = SimCLREncoder(10, embedding_dim=2)
+    with pytest.raises(NotFittedError):
+        enc.encode(rng.random((3, 10)))
+
+
+def test_simclr_requires_two_samples(rng):
+    enc = SimCLREncoder(10, embedding_dim=2)
+    with pytest.raises(ValidationError):
+        enc.fit(rng.random((1, 10)), _noise_augment, epochs=1)
+
+
+def test_train_contrastive_convenience(rng):
+    x = rng.random((30, 4, 4))
+    enc = train_contrastive(x, _noise_augment, embedding_dim=3, epochs=2, seed=0, hidden=16)
+    assert enc.encode(x).shape == (30, 3)
+
+
+# -- BYOL ---------------------------------------------------------------------------------
+def test_byol_fit_and_encode(rng):
+    x = rng.random((60, 20))
+    learner = BYOLLearner(20, embedding_dim=4, projection_dim=3, hidden=16, seed=0)
+    losses = learner.fit(x, _noise_augment, epochs=4, batch_size=16, seed=0)
+    assert len(losses) == 4
+    assert all(0.0 <= l <= 4.0 for l in losses)
+    z = learner.encode(x)
+    assert z.shape == (60, 4)
+
+
+def test_byol_loss_decreases(rng):
+    x = rng.random((100, 16))
+    learner = BYOLLearner(16, embedding_dim=4, projection_dim=4, hidden=32, seed=0)
+    losses = learner.fit(x, _noise_augment, epochs=8, batch_size=32, lr=2e-3, seed=0)
+    assert losses[-1] < losses[0]
+
+
+def test_byol_target_network_tracks_online(rng):
+    x = rng.random((40, 10))
+    learner = BYOLLearner(10, embedding_dim=3, hidden=8, ema_decay=0.5, seed=0)
+    before = [p.data.copy() for p in learner.target_encoder.parameters()]
+    learner.fit(x, _noise_augment, epochs=2, batch_size=20, seed=0)
+    after = learner.target_encoder.parameters()
+    assert any(not np.allclose(b, a.data) for b, a in zip(before, after))
+
+
+def test_byol_validation():
+    with pytest.raises(ValidationError):
+        BYOLLearner(0, embedding_dim=2)
+    with pytest.raises(ValidationError):
+        BYOLLearner(8, embedding_dim=2, ema_decay=1.5)
+
+
+def test_byol_encode_before_fit(rng):
+    learner = BYOLLearner(8, embedding_dim=2)
+    with pytest.raises(NotFittedError):
+        learner.encode(rng.random((2, 8)))
+
+
+def test_byol_embedding_is_augmentation_invariant(rng):
+    """The reason the paper chose BYOL: embeddings should barely move under the
+    augmentations the model was trained with, relative to inter-sample distances."""
+    x = rng.random((80, 16))
+    learner = BYOLLearner(16, embedding_dim=4, hidden=32, seed=0)
+    learner.fit(x, _noise_augment, epochs=10, batch_size=32, lr=2e-3, seed=0)
+    z = learner.encode(x)
+    z_aug = learner.encode(_noise_augment(x, np.random.default_rng(1)))
+    drift = np.linalg.norm(z - z_aug, axis=1).mean()
+    spread = np.linalg.norm(z - z.mean(axis=0), axis=1).mean()
+    assert drift < spread

@@ -1,0 +1,104 @@
+"""Tests for degradation detection and retraining triggers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bragg import generate_bragg_scan
+from repro.datasets.drift import ExperimentCondition, make_two_phase_schedule
+from repro.models.braggnn import build_braggnn
+from repro.monitoring.drift_detector import DegradationDetector
+from repro.monitoring.triggers import CertaintyTrigger, ThresholdTrigger
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.utils.errors import ConfigurationError, ValidationError
+
+
+# -- triggers ---------------------------------------------------------------------
+def test_threshold_trigger_below_direction():
+    trig = ThresholdTrigger(80.0, direction="below")
+    assert not trig.observe(95.0)
+    assert not trig.observe(81.0)
+    assert trig.observe(79.0)
+    assert trig.times_fired == 1
+    assert trig.history == [95.0, 81.0, 79.0]
+
+
+def test_threshold_trigger_above_direction():
+    trig = ThresholdTrigger(0.3, direction="above")
+    assert not trig.observe(0.1)
+    assert trig.observe(0.5)
+
+
+def test_threshold_trigger_cooldown_suppresses_repeat_firing():
+    trig = ThresholdTrigger(80.0, direction="below", cooldown=2)
+    assert trig.observe(10.0)
+    assert not trig.observe(10.0)  # cooldown
+    assert not trig.observe(10.0)  # cooldown
+    assert trig.observe(10.0)
+    assert trig.times_fired == 2
+
+
+def test_trigger_validation():
+    with pytest.raises(ConfigurationError):
+        ThresholdTrigger(1.0, direction="sideways")
+    with pytest.raises(ConfigurationError):
+        ThresholdTrigger(1.0, cooldown=-1)
+    with pytest.raises(ConfigurationError):
+        CertaintyTrigger(threshold_percent=0.0)
+
+
+def test_certainty_trigger_defaults_to_below_80():
+    trig = CertaintyTrigger()
+    assert not trig.observe(97.0)
+    assert trig.observe(60.0)
+
+
+# -- DegradationDetector --------------------------------------------------------------
+def _trained_braggnn_on_phase0(seed=0):
+    schedule = make_two_phase_schedule(n_scans=12, change_at=6, seed=seed)
+    early = [generate_bragg_scan(schedule.condition(i), n_peaks=80, seed=i) for i in range(3)]
+    x = np.concatenate([s.images for s in early])
+    y = np.concatenate([s.normalized_centers for s in early])
+    model = build_braggnn(width=4, seed=seed)
+    Trainer(model).fit((x, y), val=(x, y),
+                       config=TrainingConfig(epochs=12, batch_size=32, lr=3e-3, seed=seed))
+    return model, schedule
+
+
+def test_degradation_detector_flags_phase_change():
+    """Reproduces the Fig. 2 behaviour: error jumps after the configuration change."""
+    model, schedule = _trained_braggnn_on_phase0()
+    detector = DegradationDetector(model, baseline_scans=3, error_factor=1.5, mc_samples=5, error_metric="mse")
+    for i in range(12):
+        scan = generate_bragg_scan(schedule.condition(i), n_peaks=40, seed=100 + i)
+        detector.evaluate_scan(i, scan.images, scan.normalized_centers)
+    series = detector.series()
+    assert len(series["scan_index"]) == 12
+    onset = detector.degradation_onset()
+    assert onset is not None and onset >= 6  # degradation only after the phase change
+    early_err = np.mean(series["prediction_error"][:6])
+    late_err = np.mean(series["prediction_error"][6:])
+    assert late_err > early_err
+
+
+def test_degradation_detector_baseline_not_available_early():
+    model, _ = _trained_braggnn_on_phase0()
+    detector = DegradationDetector(model, baseline_scans=3, mc_samples=5)
+    assert detector.baseline_error is None
+    scan = generate_bragg_scan(ExperimentCondition(0), n_peaks=10, seed=0)
+    rec = detector.evaluate_scan(0, scan.images, scan.centers / 15.0)
+    assert not rec.degraded  # cannot be degraded before a baseline exists
+
+
+def test_degradation_detector_validation():
+    model = build_braggnn(width=4)
+    with pytest.raises(ConfigurationError):
+        DegradationDetector(model, baseline_scans=0)
+    with pytest.raises(ConfigurationError):
+        DegradationDetector(model, error_factor=1.0)
+    with pytest.raises(ConfigurationError):
+        DegradationDetector(model, mc_samples=1)
+    with pytest.raises(ConfigurationError):
+        DegradationDetector(model, error_metric="bogus")
+    detector = DegradationDetector(model, mc_samples=5)
+    with pytest.raises(ValidationError):
+        detector.evaluate_scan(0, np.zeros((0, 1, 15, 15)), np.zeros((0, 2)))

@@ -1,0 +1,123 @@
+"""Gradient checks and behavioural tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    BCELoss,
+    BYOLLoss,
+    MAELoss,
+    MSELoss,
+    NTXentLoss,
+    SoftmaxCrossEntropy,
+)
+
+from tests.conftest import numerical_gradient
+
+
+def _check_loss_gradient(loss, pred, target, atol=1e-5):
+    pred = np.asarray(pred, dtype=np.float64)
+    analytic = loss.backward(pred, target)
+    numeric = numerical_gradient(lambda: loss.forward(pred, target), pred)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+# -- MSE / MAE ----------------------------------------------------------------
+def test_mse_value():
+    assert MSELoss().forward(np.array([1.0, 2.0]), np.array([0.0, 0.0])) == pytest.approx(2.5)
+
+
+def test_mse_gradient(rng):
+    _check_loss_gradient(MSELoss(), rng.normal(size=(4, 3)), rng.normal(size=(4, 3)))
+
+
+def test_mae_value():
+    assert MAELoss().forward(np.array([1.0, -2.0]), np.array([0.0, 0.0])) == pytest.approx(1.5)
+
+
+def test_mae_gradient_away_from_kinks(rng):
+    pred = rng.normal(size=(4, 3)) + 5.0
+    target = rng.normal(size=(4, 3)) - 5.0
+    _check_loss_gradient(MAELoss(), pred, target)
+
+
+# -- BCE -------------------------------------------------------------------------
+def test_bce_perfect_prediction_near_zero():
+    pred = np.array([0.999999, 0.000001])
+    target = np.array([1.0, 0.0])
+    assert BCELoss().forward(pred, target) < 1e-4
+
+
+def test_bce_gradient(rng):
+    pred = rng.uniform(0.1, 0.9, size=(5, 2))
+    target = rng.integers(0, 2, size=(5, 2)).astype(float)
+    _check_loss_gradient(BCELoss(), pred, target, atol=1e-4)
+
+
+def test_bce_clips_extreme_probabilities():
+    val = BCELoss().forward(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+    assert np.isfinite(val)
+
+
+# -- SoftmaxCrossEntropy ------------------------------------------------------------
+def test_softmax_ce_with_class_indices(rng):
+    logits = rng.normal(size=(6, 4))
+    targets = rng.integers(0, 4, size=6)
+    loss = SoftmaxCrossEntropy()
+    assert loss.forward(logits, targets) > 0
+    _check_loss_gradient(loss, logits, targets)
+
+
+def test_softmax_ce_with_onehot(rng):
+    logits = rng.normal(size=(5, 3))
+    onehot = np.eye(3)[rng.integers(0, 3, size=5)]
+    _check_loss_gradient(SoftmaxCrossEntropy(), logits, onehot)
+
+
+def test_softmax_ce_confident_correct_is_small():
+    logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    targets = np.array([0, 1])
+    assert SoftmaxCrossEntropy().forward(logits, targets) < 1e-4
+
+
+# -- NT-Xent ------------------------------------------------------------------------
+def test_ntxent_positive_pairs_lower_loss(rng):
+    loss = NTXentLoss(temperature=0.5)
+    z = rng.normal(size=(8, 16))
+    aligned = loss.forward(z, z + 0.01 * rng.normal(size=z.shape))
+    shuffled = loss.forward(z, z[::-1].copy())
+    assert aligned < shuffled
+
+
+def test_ntxent_gradient(rng):
+    loss = NTXentLoss(temperature=0.7)
+    pred = rng.normal(size=(5, 8))
+    target = rng.normal(size=(5, 8))
+    _check_loss_gradient(loss, pred, target, atol=1e-5)
+
+
+def test_ntxent_invalid_temperature():
+    with pytest.raises(ValueError):
+        NTXentLoss(temperature=0.0)
+
+
+# -- BYOL --------------------------------------------------------------------------
+def test_byol_loss_zero_for_aligned_vectors(rng):
+    z = rng.normal(size=(6, 10))
+    assert BYOLLoss().forward(z, 3.0 * z) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_byol_loss_max_for_opposite_vectors(rng):
+    z = rng.normal(size=(6, 10))
+    assert BYOLLoss().forward(z, -z) == pytest.approx(4.0, abs=1e-9)
+
+
+def test_byol_loss_range(rng):
+    val = BYOLLoss().forward(rng.normal(size=(10, 8)), rng.normal(size=(10, 8)))
+    assert 0.0 <= val <= 4.0
+
+
+def test_byol_gradient(rng):
+    _check_loss_gradient(
+        BYOLLoss(), rng.normal(size=(4, 6)), rng.normal(size=(4, 6)), atol=1e-5
+    )

@@ -1,0 +1,175 @@
+"""Tests for optimizers, the Sequential container, and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.losses import MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.parameter import Parameter
+from repro.utils.errors import ConfigurationError
+
+
+def _quadratic_problem(opt_factory, steps=200):
+    """Minimise ||W x - y||^2 for a fixed batch with the given optimizer."""
+    rng = np.random.default_rng(0)
+    w_true = rng.normal(size=(3, 2))
+    x = rng.normal(size=(50, 3))
+    y = x @ w_true
+    layer = Dense(3, 2, bias=False, seed=1)
+    model = Sequential([layer])
+    loss = MSELoss()
+    opt = opt_factory(model.parameters())
+    first = None
+    for _ in range(steps):
+        pred = model.forward(x, training=True)
+        l = loss.forward(pred, y)
+        if first is None:
+            first = l
+        grad = loss.backward(pred, y)
+        opt.zero_grad()
+        model.backward(grad)
+        opt.step()
+    final = loss.forward(model.forward(x), y)
+    return first, final
+
+
+def test_sgd_reduces_loss():
+    first, final = _quadratic_problem(lambda p: SGD(p, lr=0.05))
+    assert final < first * 0.01
+
+
+def test_sgd_momentum_reduces_loss():
+    first, final = _quadratic_problem(lambda p: SGD(p, lr=0.02, momentum=0.9))
+    assert final < first * 0.01
+
+
+def test_adam_reduces_loss():
+    first, final = _quadratic_problem(lambda p: Adam(p, lr=0.05))
+    assert final < first * 0.01
+
+
+def test_weight_decay_shrinks_weights():
+    p = Parameter(np.ones((4, 4)) * 10.0)
+    opt = SGD([p], lr=0.1, weight_decay=0.5)
+    for _ in range(5):
+        p.zero_grad()  # zero task gradient, only decay acts
+        opt.step()
+    assert np.all(np.abs(p.data) < 10.0)
+
+
+def test_optimizer_skips_frozen_parameters():
+    p_frozen = Parameter(np.ones(3), trainable=False)
+    p_live = Parameter(np.ones(3))
+    p_frozen.grad[:] = 1.0
+    p_live.grad[:] = 1.0
+    opt = SGD([p_frozen, p_live], lr=0.5)
+    opt.step()
+    np.testing.assert_array_equal(p_frozen.data, 1.0)
+    np.testing.assert_array_equal(p_live.data, 0.5)
+
+
+def test_optimizer_invalid_lr():
+    with pytest.raises(ConfigurationError):
+        SGD([Parameter(np.zeros(2))], lr=0.0)
+    with pytest.raises(ConfigurationError):
+        Adam([Parameter(np.zeros(2))], lr=-1.0)
+
+
+def test_sgd_invalid_momentum():
+    with pytest.raises(ConfigurationError):
+        SGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.0)
+
+
+def test_set_lr():
+    opt = SGD([Parameter(np.zeros(2))], lr=0.1)
+    opt.set_lr(0.01)
+    assert opt.lr == 0.01
+    with pytest.raises(ConfigurationError):
+        opt.set_lr(0)
+
+
+# -- Sequential -------------------------------------------------------------------
+def _make_model(seed=0):
+    return Sequential(
+        [Dense(4, 8, seed=seed, name="fc1"), ReLU(), Dropout(0.2, seed=seed), Dense(8, 2, seed=seed + 1, name="fc2")],
+        name="toy",
+    )
+
+
+def test_sequential_forward_shape(rng):
+    model = _make_model()
+    assert model.forward(rng.normal(size=(5, 4))).shape == (5, 2)
+
+
+def test_sequential_predict_batched_matches_full(rng):
+    model = _make_model()
+    x = rng.normal(size=(37, 4))
+    np.testing.assert_allclose(model.predict(x), model.predict(x, batch_size=8))
+
+
+def test_sequential_num_parameters():
+    model = _make_model()
+    assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+def test_state_dict_roundtrip(rng):
+    a = _make_model(seed=0)
+    b = _make_model(seed=42)
+    b.load_state_dict(a.state_dict())
+    x = rng.normal(size=(3, 4))
+    np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+
+def test_to_bytes_from_bytes_roundtrip(rng):
+    model = _make_model()
+    blob = model.to_bytes()
+    restored = Sequential.from_bytes(blob)
+    x = rng.normal(size=(3, 4))
+    np.testing.assert_allclose(model.forward(x), restored.forward(x))
+    assert restored.name == model.name
+
+
+def test_clone_is_independent(rng):
+    model = _make_model()
+    clone = model.clone()
+    x = rng.normal(size=(2, 4))
+    np.testing.assert_allclose(model.forward(x), clone.forward(x))
+    # Mutating the clone must not affect the original.
+    clone.parameters()[0].data += 1.0
+    assert not np.allclose(model.forward(x), clone.forward(x))
+
+
+def test_freeze_layers_counts_parameterised_only():
+    model = _make_model()
+    frozen = model.freeze_layers(1)
+    assert frozen == 1
+    fc1_params = model.layers[0].parameters()
+    fc2_params = model.layers[3].parameters()
+    assert all(not p.trainable for p in fc1_params)
+    assert all(p.trainable for p in fc2_params)
+    model.unfreeze_all()
+    assert all(p.trainable for p in model.parameters())
+
+
+def test_trainable_parameters_after_freeze():
+    model = _make_model()
+    total = len(model.parameters())
+    model.freeze_layers(1)
+    assert len(model.trainable_parameters()) == total - 2
+
+
+def test_has_dropout():
+    assert _make_model().has_dropout()
+    assert not Sequential([Dense(2, 2)]).has_dropout()
+
+
+def test_duplicate_parameter_names_are_uniquified():
+    model = Sequential([Dense(2, 2, name="d"), Dense(2, 2, name="d")])
+    names = [p.name for p in model.parameters()]
+    assert len(names) == len(set(names))
+
+
+def test_summary_mentions_total():
+    assert "total parameters" in _make_model().summary()

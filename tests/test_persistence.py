@@ -1,0 +1,102 @@
+"""Tests for database persistence and FAIR-style Zoo discovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.distribution import DatasetDistribution
+from repro.core.model_zoo import ModelZoo
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.storage import DocumentDB, get_codec
+from repro.utils.errors import StorageError
+
+
+def _populated_db(n=15):
+    db = DocumentDB(codec=get_codec("blosc"))
+    coll = db.collection("samples")
+    rng = np.random.default_rng(0)
+    coll.insert_many(
+        [{"cluster_id": int(i % 3), "label": [float(i)]} for i in range(n)],
+        [rng.normal(size=(4, 4)) for _ in range(n)],
+    )
+    coll.create_index("cluster_id")
+    db.collection("empty")
+    return db
+
+
+# -- DocumentDB.save / load ---------------------------------------------------------
+def test_documentdb_save_and_load_roundtrip(tmp_path):
+    db = _populated_db()
+    path = tmp_path / "snapshots" / "db.pkl"
+    written = db.save(str(path))
+    assert written == 15
+    assert path.exists()
+
+    restored = DocumentDB.load(str(path), codec=get_codec("blosc"))
+    assert restored.collection_names() == db.collection_names()
+    coll = restored.collection("samples")
+    assert coll.count() == 15
+    assert coll.count({"cluster_id": 1}) == 5
+    assert coll.indexed_fields() == ["cluster_id"]
+    # Payloads decode identically after reload.
+    original = db.collection("samples").find_one({"cluster_id": 2}, decode_payload=True)
+    reloaded = coll.find_one({"_id": original.id}, decode_payload=True)
+    np.testing.assert_allclose(reloaded["payload"], original["payload"])
+
+
+def test_documentdb_load_missing_or_corrupt(tmp_path):
+    with pytest.raises(StorageError):
+        DocumentDB.load(str(tmp_path / "nope.pkl"))
+    bad = tmp_path / "bad.pkl"
+    bad.write_bytes(b"not a pickle")
+    with pytest.raises(StorageError):
+        DocumentDB.load(str(bad))
+    import pickle
+
+    weird = tmp_path / "weird.pkl"
+    weird.write_bytes(pickle.dumps([1, 2, 3]))
+    with pytest.raises(StorageError):
+        DocumentDB.load(str(weird))
+
+
+def test_documentdb_reload_supports_further_writes(tmp_path):
+    db = _populated_db()
+    path = tmp_path / "db.pkl"
+    db.save(str(path))
+    restored = DocumentDB.load(str(path), codec=get_codec("blosc"))
+    coll = restored.collection("samples")
+    coll.insert_one({"cluster_id": 99, "label": [0.0]}, payload=np.zeros((4, 4)))
+    assert coll.count() == 16
+    assert coll.count({"cluster_id": 99}) == 1
+
+
+# -- ModelZoo persistence through the DB + discovery -----------------------------------
+def _zoo_with_models():
+    zoo = ModelZoo()
+    dist = DatasetDistribution(pdf=np.array([0.5, 0.5]), n_samples=10)
+    for i, origin in enumerate(["bootstrap", "scan-5", "scan-9"]):
+        model = Sequential([Dense(3, 2, seed=i, name=f"fc{i}")], name=f"braggnn-v{i}")
+        zoo.add(model, dist, name=f"braggnn-v{i}", origin=origin, scans=[i, i + 1])
+    return zoo
+
+
+def test_model_zoo_find_by_name_and_metadata():
+    zoo = _zoo_with_models()
+    assert len(zoo.find(name_contains="braggnn")) == 3
+    assert len(zoo.find(name_contains="v1")) == 1
+    assert [r.name for r in zoo.find(origin="bootstrap")] == ["braggnn-v0"]
+    assert zoo.find(origin="scan-5", scans=[1, 2])[0].name == "braggnn-v1"
+    assert zoo.find(origin="nonexistent") == []
+
+
+def test_model_zoo_survives_db_save_load(tmp_path):
+    zoo = _zoo_with_models()
+    path = tmp_path / "zoo.pkl"
+    zoo.db.save(str(path))
+    restored_zoo = ModelZoo(db=DocumentDB.load(str(path)))
+    assert len(restored_zoo) == 3
+    record = restored_zoo.find(origin="scan-9")[0]
+    model = restored_zoo.load_model(record.model_id)
+    x = np.random.default_rng(0).normal(size=(2, 3))
+    original = zoo.load_model(zoo.find(origin="scan-9")[0].model_id)
+    np.testing.assert_allclose(model.forward(x), original.forward(x))

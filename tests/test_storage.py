@@ -1,0 +1,413 @@
+"""Tests for the storage substrate: codecs, document DB, file store, vector indexes."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.codecs import (
+    CompressedCodec,
+    PickleCodec,
+    RawArrayCodec,
+    get_codec,
+    register_codec,
+    Codec,
+)
+from repro.storage.concurrency import ReadWriteLock
+from repro.storage.document import Document, new_object_id
+from repro.storage.documentdb import DocumentDB, NetworkModel
+from repro.storage.file_store import FileStore
+from repro.storage.vector_index import ClusteredVectorIndex, VectorIndex
+from repro.utils.errors import ConfigurationError, StorageError, ValidationError
+
+
+# -- codecs ---------------------------------------------------------------------
+@pytest.mark.parametrize("codec", [PickleCodec(), CompressedCodec(), RawArrayCodec()])
+def test_codec_roundtrip_array(codec, rng):
+    arr = rng.normal(size=(7, 5)).astype(np.float32)
+    out = codec.decode(codec.encode(arr))
+    np.testing.assert_array_equal(out, arr)
+    assert out.dtype == arr.dtype
+
+
+def test_compressed_codec_is_smaller_for_redundant_data():
+    arr = np.zeros((256, 256))
+    assert len(CompressedCodec().encode(arr)) < len(PickleCodec().encode(arr))
+
+
+def test_compressed_codec_invalid_level():
+    with pytest.raises(ConfigurationError):
+        CompressedCodec(level=99)
+
+
+def test_raw_codec_rejects_garbage():
+    with pytest.raises(StorageError):
+        RawArrayCodec().decode(b"xx")
+
+
+def test_pickle_codec_rejects_non_bytes():
+    with pytest.raises(StorageError):
+        PickleCodec().decode(123)  # type: ignore[arg-type]
+
+
+def test_get_codec_by_name():
+    assert isinstance(get_codec("pickle"), PickleCodec)
+    assert isinstance(get_codec("blosc"), CompressedCodec)
+    assert isinstance(get_codec("raw"), RawArrayCodec)
+    with pytest.raises(ConfigurationError):
+        get_codec("nope")
+
+
+def test_register_custom_codec():
+    class UpperCodec(Codec):
+        name = "upper"
+
+        def encode(self, obj):
+            return str(obj).upper().encode()
+
+        def decode(self, payload):
+            return payload.decode()
+
+    register_codec(UpperCodec)
+    assert get_codec("upper").encode("hi") == b"HI"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    seed=st.integers(0, 1000),
+)
+def test_codec_roundtrip_property(shape, seed):
+    arr = np.random.default_rng(seed).normal(size=shape)
+    for codec in (PickleCodec(), CompressedCodec(), RawArrayCodec()):
+        np.testing.assert_array_equal(codec.decode(codec.encode(arr)), arr)
+
+
+# -- Document ---------------------------------------------------------------------
+def test_document_assigns_unique_ids():
+    a, b = Document({"x": 1}), Document({"x": 2})
+    assert a.id != b.id
+    assert a["x"] == 1
+    assert a.without_id() == {"x": 1}
+
+
+def test_new_object_ids_unique_under_threads():
+    ids = []
+    lock = threading.Lock()
+
+    def gen():
+        for _ in range(200):
+            i = new_object_id()
+            with lock:
+                ids.append(i)
+
+    threads = [threading.Thread(target=gen) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(ids) == len(set(ids))
+
+
+def test_document_matches_equality_and_ranges():
+    doc = Document({"cluster": 3, "scan": 17})
+    assert doc.matches({"cluster": 3})
+    assert not doc.matches({"cluster": 4})
+    assert doc.matches({"scan": {"$gte": 10, "$lte": 20}})
+    assert not doc.matches({"scan": {"$gt": 17}})
+    assert doc.matches({"scan": {"$in": [17, 18]}})
+    assert doc.matches({"scan": {"$ne": 4}})
+    assert not doc.matches({"missing": 1})
+
+
+def test_document_rejects_non_mapping():
+    with pytest.raises(ValidationError):
+        Document([1, 2, 3])  # type: ignore[arg-type]
+
+
+# -- ReadWriteLock ------------------------------------------------------------------
+def test_rwlock_allows_concurrent_readers():
+    lock = ReadWriteLock()
+    active = []
+
+    def reader():
+        with lock.read():
+            active.append(1)
+            time.sleep(0.05)
+            active.pop()
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    peak = 0
+
+    def watcher():
+        nonlocal peak
+        for _ in range(50):
+            peak = max(peak, len(active))
+            time.sleep(0.005)
+
+    w = threading.Thread(target=watcher)
+    w.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    w.join()
+    assert peak >= 2
+
+
+def test_rwlock_writer_excludes_readers():
+    lock = ReadWriteLock()
+    log = []
+
+    def writer():
+        with lock.write():
+            log.append("w-start")
+            time.sleep(0.05)
+            log.append("w-end")
+
+    def reader():
+        time.sleep(0.01)
+        with lock.read():
+            log.append("r")
+
+    tw = threading.Thread(target=writer)
+    tr = threading.Thread(target=reader)
+    tw.start()
+    tr.start()
+    tw.join()
+    tr.join()
+    assert log.index("w-end") < log.index("r")
+
+
+# -- DocumentDB -------------------------------------------------------------------------
+def _populated_collection(codec_name="pickle", n=20):
+    db = DocumentDB(codec=get_codec(codec_name))
+    coll = db.collection("bragg")
+    rng = np.random.default_rng(0)
+    metas = [{"cluster_id": int(i % 4), "scan": int(i), "label": [float(i), float(i)]} for i in range(n)]
+    payloads = [rng.normal(size=(15, 15)) for _ in range(n)]
+    coll.insert_many(metas, payloads)
+    return db, coll, payloads
+
+
+def test_insert_and_count():
+    _, coll, _ = _populated_collection()
+    assert coll.count() == 20
+    assert coll.count({"cluster_id": 1}) == 5
+
+
+def test_find_with_filters_and_limit():
+    _, coll, _ = _populated_collection()
+    docs = coll.find({"scan": {"$gte": 15}})
+    assert len(docs) == 5
+    limited = coll.find({}, limit=3)
+    assert len(limited) == 3
+
+
+def test_find_decode_payload_roundtrip():
+    _, coll, payloads = _populated_collection("blosc")
+    doc = coll.find_one({"scan": 7}, decode_payload=True)
+    np.testing.assert_allclose(doc["payload"], payloads[7])
+
+
+def test_get_and_fetch_payloads():
+    _, coll, payloads = _populated_collection()
+    ids = coll.ids()
+    fetched = coll.fetch_payloads(ids[:5])
+    for got, want in zip(fetched, payloads[:5]):
+        np.testing.assert_allclose(got, want)
+    with pytest.raises(StorageError):
+        coll.get("missing-id")
+    with pytest.raises(StorageError):
+        coll.fetch_payloads(["missing-id"])
+
+
+def test_secondary_index_used_for_equality_queries():
+    _, coll, _ = _populated_collection()
+    coll.create_index("cluster_id")
+    assert coll.indexed_fields() == ["cluster_id"]
+    docs = coll.find({"cluster_id": 2})
+    assert len(docs) == 5
+    assert all(d["cluster_id"] == 2 for d in docs)
+
+
+def test_index_stays_consistent_after_update_and_delete():
+    _, coll, _ = _populated_collection()
+    coll.create_index("cluster_id")
+    assert coll.update_one({"scan": 3}, {"cluster_id": 99})
+    assert coll.count({"cluster_id": 99}) == 1
+    deleted = coll.delete_many({"cluster_id": 99})
+    assert deleted == 1
+    assert coll.count({"cluster_id": 99}) == 0
+    assert coll.count() == 19
+
+
+def test_update_one_missing_returns_false():
+    _, coll, _ = _populated_collection()
+    assert not coll.update_one({"scan": 12345}, {"cluster_id": 1})
+
+
+def test_insert_many_payload_length_mismatch():
+    db = DocumentDB()
+    with pytest.raises(StorageError):
+        db.collection("x").insert_many([{"a": 1}], [np.zeros(2), np.zeros(2)])
+
+
+def test_db_collection_management():
+    db = DocumentDB()
+    db.collection("a").insert_one({"k": 1}, payload=np.zeros(3))
+    db.collection("b")
+    assert db.collection_names() == ["a", "b"]
+    stats = db.stats()
+    assert stats["a"]["documents"] == 1
+    assert stats["a"]["payload_bytes"] > 0
+    db.drop_collection("a")
+    assert db.collection_names() == ["b"]
+    with pytest.raises(ConfigurationError):
+        db.collection("")
+
+
+def test_network_model_latency_slows_fetches():
+    fast_db = DocumentDB(network=NetworkModel.local())
+    slow_db = DocumentDB(network=NetworkModel(latency_s=0.002))
+    for db in (fast_db, slow_db):
+        db.collection("c").insert_many(
+            [{"i": i} for i in range(10)], [np.zeros(4) for _ in range(10)]
+        )
+    start = time.perf_counter()
+    fast_db.collection("c").fetch_payloads(fast_db.collection("c").ids())
+    fast_time = time.perf_counter() - start
+    start = time.perf_counter()
+    slow_db.collection("c").fetch_payloads(slow_db.collection("c").ids())
+    slow_time = time.perf_counter() - start
+    assert slow_time > fast_time
+
+
+def test_network_model_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkModel(latency_s=-1)
+    with pytest.raises(ConfigurationError):
+        NetworkModel(bandwidth_bytes_per_s=0)
+
+
+def test_concurrent_reads_during_writes_are_safe():
+    db, coll, _ = _populated_collection(n=50)
+    errors = []
+
+    def reader():
+        try:
+            for _ in range(30):
+                coll.find({"cluster_id": 1})
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def writer():
+        try:
+            for i in range(30):
+                coll.insert_one({"cluster_id": 1, "scan": 1000 + i, "label": [0, 0]},
+                                payload=np.zeros((4, 4)))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)] + [threading.Thread(target=writer)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert coll.count({"cluster_id": 1}) >= 5 + 30
+
+
+# -- FileStore -------------------------------------------------------------------------------
+def test_file_store_roundtrip(rng):
+    with FileStore() as store:
+        arrays = [rng.normal(size=(8, 8)) for _ in range(5)]
+        idxs = store.write_many(arrays)
+        assert idxs == [0, 1, 2, 3, 4]
+        assert len(store) == 5
+        np.testing.assert_allclose(store.read(3), arrays[3])
+        batch = store.read_many([0, 4])
+        np.testing.assert_allclose(batch[1], arrays[4])
+        assert store.storage_bytes() > 0
+
+
+def test_file_store_missing_sample_raises():
+    with FileStore() as store:
+        with pytest.raises(StorageError):
+            store.read(0)
+
+
+def test_file_store_explicit_root(tmp_path, rng):
+    store = FileStore(root=str(tmp_path / "data"))
+    store.write(rng.normal(size=(3,)))
+    assert (tmp_path / "data").exists()
+    store.cleanup()  # does not delete user-provided roots
+    assert (tmp_path / "data").exists()
+
+
+# -- VectorIndex ----------------------------------------------------------------------------------
+def test_vector_index_exact_nearest(rng):
+    index = VectorIndex(dim=4)
+    vectors = rng.normal(size=(20, 4))
+    keys = [f"k{i}" for i in range(20)]
+    index.add(keys, vectors)
+    assert len(index) == 20
+    query = vectors[7] + 1e-6
+    results = index.query(query, k=3)
+    assert results[0][0] == "k7"
+    assert results[0][1] == pytest.approx(0.0, abs=1e-3)
+    assert len(results) == 3
+    assert results[0][1] <= results[1][1] <= results[2][1]
+
+
+def test_vector_index_validation(rng):
+    index = VectorIndex(dim=3)
+    with pytest.raises(ValidationError):
+        index.add(["a"], rng.normal(size=(1, 4)))
+    with pytest.raises(ValidationError):
+        index.add(["a", "b"], rng.normal(size=(1, 3)))
+    with pytest.raises(StorageError):
+        index.query(np.zeros(3))
+    index.add(["a"], np.zeros((1, 3)))
+    with pytest.raises(ValidationError):
+        index.query(np.zeros(4))
+    with pytest.raises(ValidationError):
+        index.query(np.zeros(3), k=0)
+    with pytest.raises(ValidationError):
+        VectorIndex(dim=0)
+
+
+def test_clustered_index_matches_exact_for_probed_cluster(rng):
+    vectors = np.vstack([
+        rng.normal(loc=0.0, size=(30, 3)),
+        rng.normal(loc=10.0, size=(30, 3)),
+    ])
+    keys = [f"k{i}" for i in range(60)]
+    cluster_ids = np.array([0] * 30 + [1] * 30)
+    centers = np.array([[0.0, 0.0, 0.0], [10.0, 10.0, 10.0]])
+    cindex = ClusteredVectorIndex(centers, n_probe=1)
+    cindex.add(keys, vectors, cluster_ids)
+    assert len(cindex) == 60
+
+    flat = VectorIndex(3)
+    flat.add(keys, vectors)
+
+    query = rng.normal(loc=10.0, size=3)
+    assert cindex.query(query, k=1)[0][0] == flat.query(query, k=1)[0][0]
+
+
+def test_clustered_index_validation(rng):
+    centers = np.zeros((2, 3))
+    cindex = ClusteredVectorIndex(centers)
+    with pytest.raises(StorageError):
+        cindex.query(np.zeros(3))
+    with pytest.raises(ValidationError):
+        cindex.add(["a"], np.zeros((1, 3)), [5])
+    with pytest.raises(ValidationError):
+        ClusteredVectorIndex(centers, n_probe=0)
+    cindex.add(["a"], np.zeros((1, 3)), [0])
+    with pytest.raises(ValidationError):
+        cindex.query(np.zeros(4))

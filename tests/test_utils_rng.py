@@ -1,0 +1,102 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils import rng as rng_mod
+from repro.utils.rng import (
+    bootstrap_indices,
+    default_rng,
+    derive_seed,
+    get_global_seed,
+    set_global_seed,
+    shuffled_indices,
+    spawn_rngs,
+    weighted_choice,
+)
+
+
+def test_default_rng_is_deterministic_for_seed():
+    a = default_rng(42).random(5)
+    b = default_rng(42).random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_default_rng_passthrough_generator():
+    gen = np.random.default_rng(7)
+    assert default_rng(gen) is gen
+
+
+def test_global_seed_roundtrip():
+    old = get_global_seed()
+    try:
+        set_global_seed(99)
+        assert get_global_seed() == 99
+        a = default_rng(None).random(3)
+        b = default_rng(99).random(3)
+        np.testing.assert_array_equal(a, b)
+    finally:
+        set_global_seed(old)
+
+
+def test_spawn_rngs_independent_streams():
+    rngs = spawn_rngs(5, 3)
+    assert len(rngs) == 3
+    draws = [r.random(4) for r in rngs]
+    assert not np.allclose(draws[0], draws[1])
+    assert not np.allclose(draws[1], draws[2])
+
+
+def test_spawn_rngs_deterministic():
+    a = [r.random(2) for r in spawn_rngs(11, 2)]
+    b = [r.random(2) for r in spawn_rngs(11, 2)]
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)
+
+
+def test_spawn_rngs_from_generator():
+    gen = np.random.default_rng(3)
+    rngs = spawn_rngs(gen, 2)
+    assert len(rngs) == 2
+
+
+def test_derive_seed_deterministic_and_salted():
+    assert derive_seed(10, 1, 2) == derive_seed(10, 1, 2)
+    assert derive_seed(10, 1, 2) != derive_seed(10, 2, 1)
+
+
+def test_shuffled_indices_is_permutation():
+    idx = shuffled_indices(20, seed=1)
+    assert sorted(idx.tolist()) == list(range(20))
+
+
+def test_bootstrap_indices_shape_and_range():
+    idx = bootstrap_indices(10, size=25, seed=2)
+    assert idx.shape == (25,)
+    assert idx.min() >= 0 and idx.max() < 10
+
+
+def test_weighted_choice_respects_zero_weights():
+    idx = weighted_choice([0.0, 1.0, 0.0], size=50, seed=3)
+    assert set(idx.tolist()) == {1}
+
+
+def test_weighted_choice_uniform_fallback_for_zero_sum():
+    idx = weighted_choice([0.0, 0.0, 0.0], size=100, seed=4)
+    assert set(idx.tolist()) <= {0, 1, 2}
+    assert len(set(idx.tolist())) > 1
+
+
+def test_weighted_choice_rejects_negative():
+    with pytest.raises(ValueError):
+        weighted_choice([-1.0, 2.0], size=3)
+
+
+def test_weighted_choice_rejects_empty():
+    with pytest.raises(ValueError):
+        weighted_choice([], size=3)

@@ -1,0 +1,199 @@
+"""Tests for repro.utils.stats, incl. property-based tests of the JSD metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.stats import (
+    correlation,
+    histogram_pdf,
+    jensen_shannon_distance,
+    jensen_shannon_divergence,
+    kl_divergence,
+    normalize_distribution,
+    normalized_euclidean,
+    pairwise_squared_distances,
+    percentile_summary,
+    running_mean,
+)
+
+
+# -- normalisation -------------------------------------------------------------
+def test_normalize_distribution_sums_to_one():
+    p = normalize_distribution([1.0, 3.0, 6.0])
+    assert p.sum() == pytest.approx(1.0)
+    np.testing.assert_allclose(p, [0.1, 0.3, 0.6])
+
+
+def test_normalize_distribution_zero_sum_gives_uniform():
+    p = normalize_distribution([0.0, 0.0, 0.0, 0.0])
+    np.testing.assert_allclose(p, 0.25)
+
+
+def test_normalize_distribution_rejects_negative():
+    with pytest.raises(ValueError):
+        normalize_distribution([1.0, -0.5])
+
+
+def test_normalize_distribution_rejects_empty():
+    with pytest.raises(ValueError):
+        normalize_distribution([])
+
+
+# -- KL / JSD --------------------------------------------------------------------
+def test_kl_divergence_zero_for_identical():
+    assert kl_divergence([0.2, 0.8], [0.2, 0.8]) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_kl_divergence_positive_for_different():
+    assert kl_divergence([0.9, 0.1], [0.1, 0.9]) > 0
+
+
+def test_kl_divergence_shape_mismatch():
+    with pytest.raises(ValueError):
+        kl_divergence([0.5, 0.5], [0.3, 0.3, 0.4])
+
+
+def test_jsd_identical_is_zero():
+    assert jensen_shannon_divergence([0.25, 0.25, 0.5], [0.25, 0.25, 0.5]) == pytest.approx(
+        0.0, abs=1e-9
+    )
+
+
+def test_jsd_disjoint_support_is_one():
+    assert jensen_shannon_divergence([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_jsd_symmetric():
+    p, q = [0.7, 0.2, 0.1], [0.1, 0.1, 0.8]
+    assert jensen_shannon_divergence(p, q) == pytest.approx(jensen_shannon_divergence(q, p))
+
+
+def test_jsd_accepts_unnormalised_counts():
+    # Cluster histograms are passed as raw counts by fairDS.
+    a = jensen_shannon_divergence([10, 20, 70], [0.1, 0.2, 0.7])
+    assert a == pytest.approx(0.0, abs=1e-9)
+
+
+def test_jsd_shape_mismatch():
+    with pytest.raises(ValueError):
+        jensen_shannon_divergence([0.5, 0.5], [1.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=arrays(np.float64, 8, elements=st.floats(0, 100)),
+    q=arrays(np.float64, 8, elements=st.floats(0, 100)),
+)
+def test_jsd_bounded_and_symmetric_property(p, q):
+    d_pq = jensen_shannon_divergence(p, q)
+    d_qp = jensen_shannon_divergence(q, p)
+    assert 0.0 <= d_pq <= 1.0
+    assert d_pq == pytest.approx(d_qp, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=arrays(np.float64, 6, elements=st.floats(0.01, 100)))
+def test_jsd_self_is_zero_property(p):
+    assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=arrays(np.float64, 5, elements=st.floats(0.001, 10)),
+    q=arrays(np.float64, 5, elements=st.floats(0.001, 10)),
+    r=arrays(np.float64, 5, elements=st.floats(0.001, 10)),
+)
+def test_js_distance_triangle_inequality(p, q, r):
+    # sqrt(JSD) is a metric; triangle inequality should hold (with tolerance).
+    d_pq = jensen_shannon_distance(p, q)
+    d_qr = jensen_shannon_distance(q, r)
+    d_pr = jensen_shannon_distance(p, r)
+    assert d_pr <= d_pq + d_qr + 1e-9
+
+
+# -- histogram / percentiles -------------------------------------------------------
+def test_histogram_pdf_normalised():
+    pdf, edges = histogram_pdf(np.random.default_rng(0).normal(size=500), bins=16)
+    assert pdf.shape == (16,)
+    assert edges.shape == (17,)
+    assert pdf.sum() == pytest.approx(1.0)
+
+
+def test_histogram_pdf_empty_raises():
+    with pytest.raises(ValueError):
+        histogram_pdf([])
+
+
+def test_percentile_summary_keys_and_ordering():
+    errors = np.linspace(0, 1, 101)
+    summary = percentile_summary(errors)
+    assert set(summary) == {"P50", "P75", "P95"}
+    assert summary["P50"] <= summary["P75"] <= summary["P95"]
+    assert summary["P50"] == pytest.approx(0.5)
+
+
+def test_percentile_summary_empty_raises():
+    with pytest.raises(ValueError):
+        percentile_summary([])
+
+
+def test_running_mean_constant_preserved():
+    out = running_mean(np.full(10, 3.0), window=3)
+    np.testing.assert_allclose(out[1:-1], 3.0)
+
+
+def test_running_mean_window_one_is_identity():
+    x = np.arange(5, dtype=float)
+    np.testing.assert_array_equal(running_mean(x, window=1), x)
+
+
+def test_running_mean_invalid_window():
+    with pytest.raises(ValueError):
+        running_mean([1.0, 2.0], window=0)
+
+
+# -- distances --------------------------------------------------------------------
+def test_pairwise_squared_distances_matches_naive(rng):
+    a = rng.normal(size=(7, 4))
+    b = rng.normal(size=(5, 4))
+    d2 = pairwise_squared_distances(a, b)
+    naive = np.array([[np.sum((x - y) ** 2) for y in b] for x in a])
+    np.testing.assert_allclose(d2, naive, atol=1e-9)
+
+
+def test_pairwise_squared_distances_nonnegative(rng):
+    a = rng.normal(size=(6, 3))
+    d2 = pairwise_squared_distances(a, a)
+    assert np.all(d2 >= 0)
+    np.testing.assert_allclose(np.diag(d2), 0.0, atol=1e-9)
+
+
+def test_pairwise_squared_distances_dim_mismatch(rng):
+    with pytest.raises(ValueError):
+        pairwise_squared_distances(rng.normal(size=(3, 4)), rng.normal(size=(3, 5)))
+
+
+def test_normalized_euclidean_scale_invariant(rng):
+    a = rng.normal(size=(4, 3))
+    b = rng.normal(size=(4, 3))
+    d1 = normalized_euclidean(a, b)
+    d2 = normalized_euclidean(a * 100.0, b * 100.0)
+    np.testing.assert_allclose(d1, d2, rtol=1e-9)
+
+
+def test_correlation_perfect_and_inverse():
+    x = np.arange(10, dtype=float)
+    assert correlation(x, 2 * x + 1) == pytest.approx(1.0)
+    assert correlation(x, -x) == pytest.approx(-1.0)
+
+
+def test_correlation_constant_input_is_zero():
+    assert correlation([1, 1, 1, 1], [1, 2, 3, 4]) == 0.0
+
+
+def test_correlation_length_mismatch():
+    with pytest.raises(ValueError):
+        correlation([1, 2], [1, 2, 3])

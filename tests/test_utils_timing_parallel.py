@@ -1,0 +1,151 @@
+"""Tests for repro.utils.timing and repro.utils.parallel."""
+
+import threading
+import time
+
+import pytest
+
+from repro.utils.parallel import ClosableQueue, WorkerPool, thread_map
+from repro.utils.timing import RateMeter, StopWatch, Timer, timed
+
+
+# -- Timer ---------------------------------------------------------------------
+def test_timer_context_manager_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.005
+
+
+def test_timer_start_stop():
+    t = Timer().start()
+    time.sleep(0.005)
+    elapsed = t.stop()
+    assert elapsed > 0
+    assert t.elapsed == elapsed
+
+
+def test_timer_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+# -- StopWatch -------------------------------------------------------------------
+def test_stopwatch_accumulates_named_segments():
+    sw = StopWatch()
+    with sw.measure("label"):
+        time.sleep(0.005)
+    with sw.measure("label"):
+        time.sleep(0.005)
+    with sw.measure("train"):
+        pass
+    assert sw.get("label") >= 0.008
+    assert sw.counts["label"] == 2
+    assert sw.total() == pytest.approx(sw.get("label") + sw.get("train"))
+
+
+def test_stopwatch_add_simulated_duration():
+    sw = StopWatch()
+    sw.add("label", 12.5)
+    sw.add("label", 2.5)
+    assert sw.get("label") == pytest.approx(15.0)
+    assert sw.as_dict() == {"label": pytest.approx(15.0)}
+
+
+def test_stopwatch_add_negative_raises():
+    with pytest.raises(ValueError):
+        StopWatch().add("x", -1.0)
+
+
+def test_stopwatch_reset():
+    sw = StopWatch()
+    sw.add("a", 1.0)
+    sw.reset()
+    assert sw.total() == 0.0
+
+
+# -- timed decorator ----------------------------------------------------------------
+def test_timed_returns_result_and_duration():
+    @timed
+    def add(a, b):
+        return a + b
+
+    result, elapsed = add(2, 3)
+    assert result == 5
+    assert elapsed >= 0.0
+
+
+# -- RateMeter -----------------------------------------------------------------------
+def test_rate_meter_counts_items():
+    meter = RateMeter()
+    meter.update(10)
+    meter.update(5)
+    assert meter.total_items == 15
+    assert meter.rate > 0
+
+
+# -- thread_map ------------------------------------------------------------------------
+def test_thread_map_preserves_order():
+    out = thread_map(lambda x: x * x, list(range(20)), max_workers=4)
+    assert out == [x * x for x in range(20)]
+
+
+def test_thread_map_serial_path():
+    out = thread_map(lambda x: x + 1, [1, 2, 3], max_workers=1)
+    assert out == [2, 3, 4]
+
+
+def test_thread_map_empty_input():
+    assert thread_map(lambda x: x, [], max_workers=4) == []
+
+
+def test_thread_map_chunked():
+    out = thread_map(lambda chunk: sum(chunk), list(range(10)), max_workers=2, chunk=True)
+    assert sum(out) == sum(range(10))
+
+
+def test_thread_map_actually_uses_threads():
+    seen = set()
+
+    def record(x):
+        seen.add(threading.get_ident())
+        time.sleep(0.01)
+        return x
+
+    thread_map(record, list(range(8)), max_workers=4)
+    assert len(seen) >= 2
+
+
+# -- WorkerPool / ClosableQueue ------------------------------------------------------------
+def test_worker_pool_runs_target_per_worker():
+    results = []
+    lock = threading.Lock()
+
+    def work(worker_id, items):
+        with lock:
+            results.append(worker_id)
+
+    pool = WorkerPool(3, work)
+    pool.start([1, 2, 3])
+    pool.join(timeout=2)
+    assert sorted(results) == [0, 1, 2]
+
+
+def test_worker_pool_double_start_raises():
+    pool = WorkerPool(1, lambda worker_id: None)
+    pool.start()
+    pool.join(timeout=1)
+    with pytest.raises(RuntimeError):
+        pool.start()
+
+
+def test_worker_pool_negative_workers():
+    with pytest.raises(ValueError):
+        WorkerPool(-1, lambda worker_id: None)
+
+
+def test_closable_queue_iteration_stops_at_sentinel():
+    q = ClosableQueue()
+    for i in range(5):
+        q.put(i)
+    q.close()
+    assert list(q) == [0, 1, 2, 3, 4]

@@ -1,0 +1,146 @@
+"""Tests for the orchestration substrate (flows, funcX executor, transfer)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.errors import ConfigurationError, ValidationError
+from repro.workflow.flows import Flow, FlowStep
+from repro.workflow.funcx import FuncXExecutor, FunctionNotRegistered
+from repro.workflow.transfer import TransferService
+
+
+# -- Flow -----------------------------------------------------------------------
+def test_flow_runs_steps_in_order_and_records_timings():
+    flow = Flow("update")
+    flow.add_step("double", lambda ctx: ctx["x"] * 2, output_key="doubled")
+    flow.add_step("plus_one", lambda ctx: ctx["doubled"] + 1, output_key="result")
+    result = flow.run({"x": 5})
+    assert result.succeeded
+    assert result.context["result"] == 11
+    assert set(result.step_times) == {"double", "plus_one"}
+    assert result.total_time >= 0
+
+
+def test_flow_stops_on_failure_and_reports_step():
+    flow = Flow("failing")
+    flow.add_step("ok", lambda ctx: 1, output_key="a")
+    flow.add_step("boom", lambda ctx: 1 / 0)
+    flow.add_step("never", lambda ctx: 2, output_key="b")
+    result = flow.run()
+    assert not result.succeeded
+    assert result.failed_step == "boom"
+    assert isinstance(result.error, ZeroDivisionError)
+    assert "b" not in result.context
+
+
+def test_flow_raise_on_error():
+    flow = Flow("failing").add_step("boom", lambda ctx: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        flow.run(raise_on_error=True)
+
+
+def test_flow_retries_flaky_step():
+    attempts = {"n": 0}
+
+    def flaky(ctx):
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise RuntimeError("transient")
+        return "ok"
+
+    flow = Flow("retrying").add_step("flaky", flaky, output_key="out", retries=3)
+    result = flow.run()
+    assert result.succeeded
+    assert result.context["out"] == "ok"
+    assert result.step_attempts["flaky"] == 3
+
+
+def test_flow_validation():
+    with pytest.raises(ConfigurationError):
+        Flow("")
+    with pytest.raises(ConfigurationError):
+        FlowStep(name="", fn=lambda ctx: None)
+    with pytest.raises(ConfigurationError):
+        FlowStep(name="x", fn=lambda ctx: None, retries=-1)
+
+
+# -- FuncXExecutor ----------------------------------------------------------------------
+def test_funcx_register_submit_and_run():
+    with FuncXExecutor(max_workers=2) as ex:
+        fid = ex.register_function(lambda a, b: a + b, function_id="add")
+        assert fid == "add"
+        assert ex.run("add", 2, 3) == 5
+        fut = ex.submit("add", 1, 1)
+        assert fut.result() == 2
+        assert ex.tasks_submitted == 2
+        assert "add" in ex.registered()
+
+
+def test_funcx_map_preserves_order():
+    with FuncXExecutor(max_workers=4) as ex:
+        ex.register_function(lambda x: x * x, function_id="sq")
+        assert ex.map("sq", [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+
+def test_funcx_unknown_function_and_duplicate_id():
+    ex = FuncXExecutor(max_workers=1)
+    ex.register_function(lambda: None, function_id="f")
+    with pytest.raises(ConfigurationError):
+        ex.register_function(lambda: None, function_id="f")
+    with pytest.raises(FunctionNotRegistered):
+        ex.submit("missing")
+    ex.shutdown()
+
+
+def test_funcx_cold_start_adds_latency():
+    with FuncXExecutor(max_workers=1, cold_start_s=0.02) as ex:
+        ex.register_function(lambda: 1, function_id="one")
+        start = time.perf_counter()
+        ex.run("one")
+        assert time.perf_counter() - start >= 0.02
+
+
+def test_funcx_validation():
+    with pytest.raises(ConfigurationError):
+        FuncXExecutor(max_workers=0)
+    with pytest.raises(ConfigurationError):
+        FuncXExecutor(cold_start_s=-1)
+
+
+# -- TransferService ----------------------------------------------------------------------
+def test_transfer_records_simulated_durations():
+    svc = TransferService(bandwidth_bytes_per_s=1e6, latency_s=0.5)
+    rec = svc.transfer_bytes(2_000_000, label="dataset")
+    assert rec.simulated_seconds == pytest.approx(0.5 + 2.0)
+    assert svc.total_bytes() == 2_000_000
+    assert svc.total_seconds() == pytest.approx(rec.simulated_seconds)
+    svc.reset()
+    assert svc.total_bytes() == 0
+
+
+def test_transfer_array_uses_nbytes():
+    svc = TransferService(bandwidth_bytes_per_s=1e9, latency_s=0.0)
+    arr = np.zeros((100, 100), dtype=np.float64)
+    rec = svc.transfer_array(arr)
+    assert rec.n_bytes == arr.nbytes
+    assert rec.simulated_seconds == pytest.approx(arr.nbytes / 1e9)
+
+
+def test_transfer_faster_link_is_faster():
+    slow = TransferService(bandwidth_bytes_per_s=1e6, latency_s=0.0)
+    fast = TransferService(bandwidth_bytes_per_s=1e9, latency_s=0.0)
+    n = 10_000_000
+    assert fast.simulated_duration(n) < slow.simulated_duration(n)
+
+
+def test_transfer_validation():
+    with pytest.raises(ConfigurationError):
+        TransferService(bandwidth_bytes_per_s=0)
+    with pytest.raises(ConfigurationError):
+        TransferService(latency_s=-1)
+    with pytest.raises(ConfigurationError):
+        TransferService(realtime_fraction=2.0)
+    with pytest.raises(ValidationError):
+        TransferService().transfer_bytes(-5)
