@@ -20,17 +20,22 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.dataio import DataLoader, DocumentDBDataset, FileStoreDataset
-from repro.storage import DocumentDB, FileStore, NetworkModel, get_codec
+from repro.storage import create_storage_backend
 
 
 def build_backends(samples: np.ndarray, labels: np.ndarray, fetch_latency_s: float = 0.0005):
-    """Return ``({name: dataset}, file_store)`` for the three storage configurations."""
+    """Return ``({name: dataset}, file_store)`` for the three storage configurations.
+
+    Storage backends are constructed by name through the registry, so the
+    study runs against whatever stack the configuration names.
+    """
     flat_labels = labels.reshape(labels.shape[0], -1)
     backends = {}
     for codec_name in ("blosc", "pickle"):
-        db = DocumentDB(
-            codec=get_codec(codec_name),
-            network=NetworkModel(latency_s=fetch_latency_s, bandwidth_bytes_per_s=1.25e9),
+        db = create_storage_backend(
+            "documentdb",
+            codec=codec_name,
+            network={"latency_s": fetch_latency_s, "bandwidth_bytes_per_s": 1.25e9},
         )
         coll = db.collection("samples")
         coll.insert_many(
@@ -38,7 +43,7 @@ def build_backends(samples: np.ndarray, labels: np.ndarray, fetch_latency_s: flo
             [samples[i] for i in range(samples.shape[0])],
         )
         backends[codec_name] = DocumentDBDataset(coll)
-    store = FileStore()
+    store = create_storage_backend("file")
     store.write_many([samples[i] for i in range(samples.shape[0])])
     backends["nfs"] = FileStoreDataset(store, flat_labels)
     return backends, store

@@ -53,6 +53,21 @@ def main() -> None:
         print(f"[user]  model update: strategy={report.strategy}, "
               f"end-to-end={report.end_to_end_time:.2f}s")
 
+        # --- batched user plane ------------------------------------------------
+        batches = [experiment.scan(s).images for s in (4, 5, 6)]
+        dists = service.query_distribution_batch(batches, label="scans-4-6")
+        print(f"[user]  batched distribution query over {len(dists)} scans "
+              f"(one cluster-assignment pass)")
+        lookups = service.lookup_labeled_data_batch(batches, n_samples=16)
+        print(f"[user]  batched pseudo-labeling: "
+              f"{[l['images'].shape[0] for l in lookups]} samples per scan")
+        certs = service.certainty_batch(batches)
+        print(f"[system] batched certainty monitor: "
+              f"{[round(c, 1) for c in certs]} % per scan")
+        cache = dms.fairds.embedding_cache_info()
+        print(f"[system] embedding cache: {cache['hits']:.0f} hits / "
+              f"{cache['misses']:.0f} misses (repeated scans skip the embedder)")
+
         # --- system plane ------------------------------------------------------
         scan11 = experiment.scan(11)  # post-phase-change data, now labeled offline
         added = service.ingest_labeled_data(scan11.images, scan11.normalized_centers)

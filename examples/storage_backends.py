@@ -17,17 +17,24 @@ import numpy as np
 
 from repro.dataio import ArrayDataset, DataLoader, DocumentDBDataset, FileStoreDataset
 from repro.datasets import DriftSchedule, TomographyDataset
-from repro.storage import DocumentDB, FileStore, NetworkModel, get_codec
+from repro.storage import create_storage_backend
 
 
 def _build_backends(noisy, clean):
-    """Return {name: Dataset} for the three storage configurations."""
+    """Return {name: Dataset} for the three storage configurations.
+
+    Backends are selected by name through the storage registry — the same
+    mechanism a deployment would use to pick its stack from configuration.
+    """
     flat_labels = clean.reshape(clean.shape[0], -1)
 
     backends = {}
     for codec_name in ("blosc", "pickle"):
-        db = DocumentDB(codec=get_codec(codec_name),
-                        network=NetworkModel(latency_s=0.0005, bandwidth_bytes_per_s=1.25e9))
+        db = create_storage_backend(
+            "documentdb",
+            codec=codec_name,
+            network={"latency_s": 0.0005, "bandwidth_bytes_per_s": 1.25e9},
+        )
         coll = db.collection("tomo")
         coll.insert_many(
             [{"label": flat_labels[i].tolist()} for i in range(noisy.shape[0])],
@@ -35,7 +42,7 @@ def _build_backends(noisy, clean):
         )
         backends[codec_name] = DocumentDBDataset(coll)
 
-    store = FileStore()
+    store = create_storage_backend("file")
     store.write_many([noisy[i] for i in range(noisy.shape[0])])
     backends["nfs"] = FileStoreDataset(store, flat_labels)
     return backends, store

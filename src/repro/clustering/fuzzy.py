@@ -50,13 +50,36 @@ def assignment_certainty(
 ) -> float:
     """Percentage of samples assigned to their best cluster with >= ``confidence`` membership.
 
-    This is the y-axis of Fig. 16 ("percent confidence").
+    This is the y-axis of Fig. 16 ("percent confidence").  The one-dataset
+    special case of :func:`assignment_certainty_batch`, so the single and
+    batched monitoring paths can never drift apart.
+    """
+    return assignment_certainty_batch([x], centers, m=m, confidence=confidence)[0]
+
+
+def assignment_certainty_batch(
+    xs, centers: np.ndarray, m: float = 2.0, confidence: float = 0.5
+) -> "list[float]":
+    """Per-dataset assignment certainty for a batch of embedding arrays.
+
+    The fuzzy membership matrix is computed once over the concatenated rows of
+    all datasets and split back, so a batch of monitoring probes costs one
+    distance computation instead of one per dataset.
     """
     if not 0.0 < confidence < 1.0:
         raise ValidationError("confidence must be in (0, 1)")
-    u = membership_matrix(x, centers, m=m)
+    datasets = [np.atleast_2d(np.asarray(x, dtype=np.float64)) for x in xs]
+    if not datasets:
+        return []
+    lengths = [d.shape[0] for d in datasets]
+    u = membership_matrix(np.vstack(datasets), centers, m=m)
     best = u.max(axis=1)
-    return float(100.0 * np.mean(best >= confidence))
+    out: "list[float]" = []
+    start = 0
+    for n in lengths:
+        out.append(float(100.0 * np.mean(best[start : start + n] >= confidence)))
+        start += n
+    return out
 
 
 class FuzzyCMeans:

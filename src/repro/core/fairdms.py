@@ -23,7 +23,7 @@ reported directly from the returned :class:`ModelUpdateReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,6 +165,19 @@ class FairDMS:
             raise ValidationError("need at least 4 samples to split train/validation")
         n_val = max(1, int(round(n * self.policy.validation_fraction)))
         return images[n_val:], labels[n_val:], images[:n_val], labels[:n_val]
+
+    # -- batched pseudo-labeling ---------------------------------------------------------
+    def pseudo_label_batch(
+        self, datasets: "Sequence[np.ndarray]", label: str = "batch"
+    ) -> "List[LookupResult]":
+        """Pseudo-label several arriving datasets in one user-plane call.
+
+        Equivalent to one ``FairDS.lookup(dataset, label=label)`` per dataset
+        (results are identical, in order), but the historical store is
+        scanned once and all payloads are fetched in a single round trip —
+        the batched discipline the lookup engine provides end to end.
+        """
+        return self.fairds.lookup_batch(datasets, labels=[label] * len(datasets))
 
     # -- the headline operation ---------------------------------------------------------------
     def update_model(

@@ -26,13 +26,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.clustering.elbow import select_k_elbow
-from repro.clustering.fuzzy import assignment_certainty
+from repro.clustering.fuzzy import assignment_certainty_batch
 from repro.clustering.kmeans import KMeans
 from repro.core.distribution import DatasetDistribution
 from repro.dataio.sampler import WeightedClusterSampler
 from repro.embedding.base import Embedder
 from repro.storage.documentdb import Collection, DocumentDB
 from repro.storage.vector_index import ClusteredVectorIndex
+from repro.utils.cache import LRUCache, row_digests
 from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
 from repro.utils.rng import SeedLike, default_rng, derive_seed
 
@@ -69,6 +70,19 @@ class FairDS:
         Name of the collection holding labeled historical samples.
     seed:
         RNG seed for clustering and sampling.
+    embedding_cache_size:
+        Capacity of the LRU embedding cache keyed on per-sample content
+        digests: samples already embedded since the last (re)fit skip the
+        embedder entirely on repeated lookups/monitoring probes.  ``0``
+        disables caching (use this for stochastic embedders whose transform
+        is not a pure per-sample function).
+    index_dtype:
+        Storage dtype of the nearest-neighbour index.  The index answers
+        queries against a cached float64 mirror either way, so float32
+        (default) trades ~1e-7 relative distance error for a smaller
+        authoritative store; pass ``np.float64`` to hold one full-precision
+        copy (the mirror becomes a free view) and make
+        :meth:`nearest_labeled` thresholds exact.
     """
 
     def __init__(
@@ -79,6 +93,8 @@ class FairDS:
         collection: str = "fairds_samples",
         max_auto_clusters: int = 15,
         seed: SeedLike = 0,
+        embedding_cache_size: int = 4096,
+        index_dtype=np.float32,
     ):
         if isinstance(n_clusters, str):
             if n_clusters != "auto":
@@ -90,12 +106,17 @@ class FairDS:
         self.embedder = embedder
         self._requested_clusters = n_clusters
         self.max_auto_clusters = int(max_auto_clusters)
+        if embedding_cache_size < 0:
+            raise ConfigurationError("embedding_cache_size must be non-negative")
         self.db = db or DocumentDB()
         self.collection_name = collection
         self.seed = seed
         self._kmeans: Optional[KMeans] = None
         self._index: Optional[ClusteredVectorIndex] = None
         self._lookup_counter = 0
+        self._embed_cache = LRUCache(embedding_cache_size)
+        self._embed_generation = 0
+        self.index_dtype = np.dtype(index_dtype)
 
     # -- helpers -----------------------------------------------------------------
     @property
@@ -126,7 +147,41 @@ class FairDS:
         return images, labels
 
     def _embed(self, images: np.ndarray) -> np.ndarray:
-        return np.asarray(self.embedder.transform(images), dtype=np.float64)
+        """Embed ``images``, serving repeated samples from the LRU cache.
+
+        Samples are keyed by ``(fit_generation, content_digest)``: the digest
+        covers the sample's raw bytes, and the generation counter advances on
+        every (re)fit, so an embedding computed with an old representation —
+        even one put by a thread racing a concurrent refresh — can never be
+        served against the new clustering.  Only cache misses are pushed
+        through the embedder.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        cache = self._embed_cache
+        if cache.maxsize == 0:
+            return np.asarray(self.embedder.transform(images), dtype=np.float64)
+        if images.ndim == 1:
+            # One flat sample (Embedder.flatten semantics), not a batch of scalars.
+            images = images.reshape(1, -1)
+        generation = self._embed_generation
+        keys = [(generation, digest) for digest in row_digests(images)]
+        cached = [cache.get(key) for key in keys]
+        missing = [i for i, hit in enumerate(cached) if hit is None]
+        if len(missing) == len(keys):
+            embeddings = np.asarray(self.embedder.transform(images), dtype=np.float64)
+            for i, key in enumerate(keys):
+                cache.put(key, embeddings[i].copy())
+            return embeddings
+        if missing:
+            fresh = np.asarray(self.embedder.transform(images[missing]), dtype=np.float64)
+            for row, i in enumerate(missing):
+                cache.put(keys[i], fresh[row].copy())
+                cached[i] = fresh[row]
+        return np.stack([np.asarray(vec, dtype=np.float64) for vec in cached])
+
+    def embedding_cache_info(self) -> Dict[str, float]:
+        """Hit/miss counters of the embedding LRU cache."""
+        return self._embed_cache.info()
 
     # -- indexing -----------------------------------------------------------------------
     def fit(
@@ -142,6 +197,11 @@ class FairDS:
             raise ValidationError("metadata must match the number of images")
 
         self.embedder.fit(images, **(embedder_kwargs or {}))
+        # The representation changed: advance the cache generation (so even
+        # in-flight embeddings keyed to the old representation die unread)
+        # and drop the stale entries.
+        self._embed_generation += 1
+        self._embed_cache.clear()
         embeddings = self._embed(images)
 
         if self._requested_clusters == "auto":
@@ -188,7 +248,9 @@ class FairDS:
     def _rebuild_index(self) -> None:
         assert self._kmeans is not None
         docs = self.collection.find()
-        self._index = ClusteredVectorIndex(self._kmeans.cluster_centers_, n_probe=2)
+        self._index = ClusteredVectorIndex(
+            self._kmeans.cluster_centers_, n_probe=2, dtype=self.index_dtype
+        )
         if docs:
             keys = [d.id for d in docs]
             vectors = np.array([d["embedding"] for d in docs], dtype=np.float64)
@@ -214,15 +276,43 @@ class FairDS:
 
     # -- discovery ----------------------------------------------------------------------------
     def dataset_distribution(self, images: np.ndarray, label: str = "") -> DatasetDistribution:
-        """Cluster PDF of an (unlabeled) input dataset."""
+        """Cluster PDF of an (unlabeled) input dataset — the one-dataset
+        special case of :meth:`dataset_distribution_batch`."""
+        return self.dataset_distribution_batch([images], labels=[label])[0]
+
+    def dataset_distribution_batch(
+        self, batches: Sequence[np.ndarray], labels: Optional[Sequence[str]] = None
+    ) -> List[DatasetDistribution]:
+        """Cluster PDFs for a batch of datasets — one per input array.
+
+        Embeddings are resolved per dataset through the LRU cache, then all
+        cluster assignments are predicted in a single pass over the
+        concatenated rows instead of one ``predict`` call per dataset.
+        """
         if not self.is_fitted:
-            raise NotFittedError("fairDS.dataset_distribution() requires fit() first")
-        images = np.asarray(images, dtype=np.float64)
-        if images.shape[0] == 0:
-            raise ValidationError("images must be non-empty")
-        embeddings = self._embed(images)
-        cluster_ids = self._kmeans.predict(embeddings)
-        return DatasetDistribution.from_cluster_ids(cluster_ids, self.n_clusters, label=label)
+            raise NotFittedError("fairDS.dataset_distribution_batch() requires fit() first")
+        if labels is not None and len(labels) != len(batches):
+            raise ValidationError("labels must match the number of batches")
+        if not len(batches):
+            return []
+        embeddings = []
+        for images in batches:
+            images = np.asarray(images, dtype=np.float64)
+            if images.shape[0] == 0:
+                raise ValidationError("images must be non-empty")
+            embeddings.append(self._embed(images))
+        cluster_ids = self._kmeans.predict(np.vstack(embeddings))
+        out: List[DatasetDistribution] = []
+        start = 0
+        for i, emb in enumerate(embeddings):
+            label = labels[i] if labels is not None else ""
+            out.append(
+                DatasetDistribution.from_cluster_ids(
+                    cluster_ids[start : start + emb.shape[0]], self.n_clusters, label=label
+                )
+            )
+            start += emb.shape[0]
+        return out
 
     def lookup(
         self,
@@ -236,36 +326,89 @@ class FairDS:
         ``n_samples`` overrides it), drawn cluster-by-cluster according to the
         input's cluster PDF — the paper's pseudo-labeling operation.
         """
-        distribution = self.dataset_distribution(images, label=label)
-        n_out = int(n_samples) if n_samples is not None else int(np.asarray(images).shape[0])
-        if n_out < 1:
-            raise ValidationError("n_samples must be >= 1")
+        return self.lookup_batch([images], n_samples=n_samples, labels=[label])[0]
+
+    def lookup_batch(
+        self,
+        batches: Sequence[np.ndarray],
+        n_samples: Optional[Union[int, Sequence[Optional[int]]]] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[LookupResult]:
+        """Pseudo-label several datasets in one round trip.
+
+        Results are *identical* to calling :meth:`lookup` once per dataset, in
+        order, but the historical store is scanned once for the whole batch
+        and all retrieved payloads are fetched in a single call — the per-call
+        cost that dominates a lookup storm of small datasets.
+
+        ``n_samples`` may be a single override applied to every dataset, or a
+        per-dataset sequence (``None`` entries fall back to the dataset size).
+        """
+        if not self.is_fitted:
+            raise NotFittedError("fairDS.lookup() requires fit() first")
+        if not len(batches):
+            return []
+        if labels is None:
+            labels = [""] * len(batches)
+        elif len(labels) != len(batches):
+            raise ValidationError("labels must match the number of batches")
+        if n_samples is None or not hasattr(n_samples, "__len__"):
+            n_samples = [n_samples] * len(batches)  # scalar (incl. float) applied to every dataset
+        elif len(n_samples) != len(batches):
+            raise ValidationError("n_samples must be a scalar or match the number of batches")
+        n_outs = []
+        for images, n_override in zip(batches, n_samples):
+            n_out = int(n_override) if n_override is not None else int(np.asarray(images).shape[0])
+            if n_out < 1:
+                raise ValidationError("n_samples must be >= 1")
+            n_outs.append(n_out)
+
         docs = self.collection.find()
         if not docs:
             raise ValidationError("the fairDS store is empty; ingest historical data first")
         store_cluster_ids = np.array([d["cluster_id"] for d in docs], dtype=int)
-        sampler = WeightedClusterSampler(
-            store_cluster_ids,
-            distribution.pdf,
-            n_samples=n_out,
-            seed=derive_seed(self.seed, 101, self._lookup_counter),
-        )
-        self._lookup_counter += 1
-        chosen = list(sampler)
-        chosen_ids = [docs[i].id for i in chosen]
-        payloads = self.collection.fetch_payloads(chosen_ids)
-        retrieved_images = np.stack([np.asarray(p) for p in payloads])
-        retrieved_labels = np.array([docs[i]["label"] for i in chosen], dtype=np.float64)
-        retrieved_dist = DatasetDistribution.from_cluster_ids(
-            store_cluster_ids[chosen], self.n_clusters, label=f"{label}:retrieved"
-        )
-        return LookupResult(
-            images=retrieved_images,
-            labels=retrieved_labels,
-            doc_ids=chosen_ids,
-            input_distribution=distribution,
-            retrieved_distribution=retrieved_dist,
-        )
+
+        # Everything that can fail happens above/in this call, before any
+        # sampler seed is consumed — a rejected batch leaves the lookup
+        # counter (and thus reproducibility vs N single calls) untouched.
+        distributions = self.dataset_distribution_batch(batches, labels=labels)
+
+        plans = []
+        all_chosen_ids: List[str] = []
+        for distribution, n_out, label in zip(distributions, n_outs, labels):
+            sampler = WeightedClusterSampler(
+                store_cluster_ids,
+                distribution.pdf,
+                n_samples=n_out,
+                seed=derive_seed(self.seed, 101, self._lookup_counter),
+            )
+            self._lookup_counter += 1
+            chosen = list(sampler)
+            chosen_ids = [docs[i].id for i in chosen]
+            plans.append((distribution, chosen, chosen_ids, label))
+            all_chosen_ids.extend(chosen_ids)
+
+        payloads = self.collection.fetch_payloads(all_chosen_ids)
+        results: List[LookupResult] = []
+        cursor = 0
+        for distribution, chosen, chosen_ids, label in plans:
+            batch_payloads = payloads[cursor : cursor + len(chosen_ids)]
+            cursor += len(chosen_ids)
+            retrieved_images = np.stack([np.asarray(p) for p in batch_payloads])
+            retrieved_labels = np.array([docs[i]["label"] for i in chosen], dtype=np.float64)
+            retrieved_dist = DatasetDistribution.from_cluster_ids(
+                store_cluster_ids[chosen], self.n_clusters, label=f"{label}:retrieved"
+            )
+            results.append(
+                LookupResult(
+                    images=retrieved_images,
+                    labels=retrieved_labels,
+                    doc_ids=chosen_ids,
+                    input_distribution=distribution,
+                    retrieved_distribution=retrieved_dist,
+                )
+            )
+        return results
 
     def nearest_labeled(
         self, images: np.ndarray, threshold: float
@@ -275,16 +418,17 @@ class FairDS:
         Returns a list of ``(label, distance)``; ``label`` is ``None`` when no
         historical sample lies within the embedding-space threshold, in which
         case the caller should fall back to conventional labeling (Fig. 9's
-        ``|b - p| >= T`` branch).
+        ``|b - p| >= T`` branch).  All samples are resolved against the index
+        in one batched query.
         """
         if not self.is_fitted or self._index is None:
             raise NotFittedError("fairDS.nearest_labeled() requires fit() first")
         if threshold <= 0:
             raise ValidationError("threshold must be positive")
         embeddings = self._embed(np.asarray(images, dtype=np.float64))
+        hits = self._index.query_batch(embeddings, k=1)
         results: List[Tuple[Optional[np.ndarray], float]] = []
-        for vec in embeddings:
-            (doc_id, dist), = self._index.query(vec, k=1)
+        for (doc_id, dist), in hits:
             if dist < threshold:
                 doc = self.collection.get(doc_id)
                 results.append((np.asarray(doc["label"], dtype=np.float64), dist))
@@ -299,11 +443,25 @@ class FairDS:
         ``fuzzifier`` is the fuzzy c-means ``m`` parameter: values closer to 1
         sharpen memberships, which is appropriate when the embedding space has
         many nearby clusters (as with the 15-cluster Bragg space of the paper).
+        The one-dataset special case of :meth:`certainty_batch`.
+        """
+        return self.certainty_batch([images], confidence=confidence, fuzzifier=fuzzifier)[0]
+
+    def certainty_batch(
+        self,
+        batches: Sequence[np.ndarray],
+        confidence: float = 0.5,
+        fuzzifier: float = 2.0,
+    ) -> List[float]:
+        """Cluster-assignment certainty for several datasets at once.
+
+        Embeddings come from the shared LRU cache where possible, and the
+        fuzzy memberships of all datasets are computed in a single pass.
         """
         if not self.is_fitted:
-            raise NotFittedError("fairDS.certainty() requires fit() first")
-        embeddings = self._embed(np.asarray(images, dtype=np.float64))
-        return assignment_certainty(
+            raise NotFittedError("fairDS.certainty_batch() requires fit() first")
+        embeddings = [self._embed(np.asarray(images, dtype=np.float64)) for images in batches]
+        return assignment_certainty_batch(
             embeddings, self._kmeans.cluster_centers_, m=fuzzifier, confidence=confidence
         )
 

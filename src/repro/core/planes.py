@@ -74,11 +74,14 @@ class FairDMSService:
         functions = {
             # user plane
             "query_distribution": self._fn_query_distribution,
+            "query_distribution_batch": self._fn_query_distribution_batch,
             "lookup_labeled_data": self._fn_lookup,
+            "lookup_labeled_data_batch": self._fn_lookup_batch,
             "update_model": self._fn_update_model,
             # system plane
             "refresh_representations": self._fn_refresh,
             "ingest_labeled_data": self._fn_ingest,
+            "certainty_batch": self._fn_certainty_batch,
         }
         for name, fn in functions.items():
             self._function_ids[name] = self.executor.register_function(fn, function_id=name)
@@ -91,14 +94,30 @@ class FairDMSService:
         dist = self.dms.fairds.dataset_distribution(images, label=label)
         return dist.as_dict()
 
-    def _fn_lookup(self, images: np.ndarray, n_samples: Optional[int] = None) -> Dict[str, Any]:
-        result = self.dms.fairds.lookup(images, n_samples=n_samples)
+    def _fn_query_distribution_batch(self, batches: List[np.ndarray], label: str = "") -> List[Dict[str, Any]]:
+        dists = self.dms.fairds.dataset_distribution_batch(batches, labels=[label] * len(batches))
+        return [d.as_dict() for d in dists]
+
+    @staticmethod
+    def _lookup_payload(result) -> Dict[str, Any]:
         return {
             "images": result.images,
             "labels": result.labels,
             "doc_ids": result.doc_ids,
             "distribution": result.input_distribution.as_dict(),
         }
+
+    def _fn_lookup(self, images: np.ndarray, n_samples: Optional[int] = None) -> Dict[str, Any]:
+        return self._lookup_payload(self.dms.fairds.lookup(images, n_samples=n_samples))
+
+    def _fn_lookup_batch(
+        self, batches: List[np.ndarray], n_samples: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        results = self.dms.fairds.lookup_batch(batches, n_samples=n_samples)
+        return [self._lookup_payload(r) for r in results]
+
+    def _fn_certainty_batch(self, batches: List[np.ndarray]) -> List[float]:
+        return self.dms.fairds.certainty_batch(batches)
 
     def _fn_update_model(self, images: np.ndarray, label: str) -> ModelUpdateReport:
         return self.dms.update_model(images, label=label)
@@ -134,9 +153,27 @@ class FairDMSService:
         """User plane: the cluster PDF of a dataset."""
         return self._invoke(self.USER_PLANE, "query_distribution", images, label)
 
+    def query_distribution_batch(self, batches: List[np.ndarray], label: str = "") -> List[Dict[str, Any]]:
+        """User plane: cluster PDFs for a whole batch of datasets at once."""
+        return self._invoke(self.USER_PLANE, "query_distribution_batch", batches, label)
+
     def lookup_labeled_data(self, images: np.ndarray, n_samples: Optional[int] = None) -> Dict[str, Any]:
         """User plane: pseudo-label a dataset from the historical store."""
         return self._invoke(self.USER_PLANE, "lookup_labeled_data", images, n_samples)
+
+    def lookup_labeled_data_batch(
+        self, batches: List[np.ndarray], n_samples: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """User plane: pseudo-label several datasets in one batched call.
+
+        Returns one payload per dataset, identical to issuing that many
+        :meth:`lookup_labeled_data` calls in order.
+        """
+        return self._invoke(self.USER_PLANE, "lookup_labeled_data_batch", batches, n_samples)
+
+    def certainty_batch(self, batches: List[np.ndarray]) -> List[float]:
+        """System plane: cluster-assignment certainty of several datasets."""
+        return self._invoke(self.SYSTEM_PLANE, "certainty_batch", batches)
 
     def request_model_update(self, images: np.ndarray, label: str = "update") -> ModelUpdateReport:
         """User plane: the full fairDMS model-update operation.

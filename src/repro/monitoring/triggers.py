@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.utils.errors import ConfigurationError
 
@@ -47,6 +47,16 @@ class ThresholdTrigger:
             self.fired_at.append(len(self.history) - 1)
             self._cooldown_remaining = self.cooldown
         return crossed
+
+    def observe_many(self, values: Sequence[float]) -> List[bool]:
+        """Record a batch of observations in order; one fired-flag per value.
+
+        Semantically identical to calling :meth:`observe` once per value — the
+        cooldown window threads through the batch — so batched monitoring
+        (e.g. :meth:`repro.core.fairds.FairDS.certainty_batch` output) and a
+        stream of single observations cannot disagree.
+        """
+        return [self.observe(v) for v in values]
 
     @property
     def times_fired(self) -> int:

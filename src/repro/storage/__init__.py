@@ -16,7 +16,10 @@ Blosc) and compares training-time I/O against reading files directly from NFS
 * :mod:`repro.storage.file_store` — an NFS-like store keeping each sample as
   an ``.npy`` file on the local filesystem.
 * :mod:`repro.storage.vector_index` — exact and cluster-partitioned
-  nearest-neighbour lookup over embedding vectors.
+  nearest-neighbour lookup over embedding vectors, stored contiguously and
+  queried a whole batch at a time.
+* :mod:`repro.storage.registry` — name-based construction of storage and
+  index backends, so benchmarks and services pick their stack from config.
 """
 
 from repro.storage.codecs import Codec, PickleCodec, CompressedCodec, RawArrayCodec, get_codec
@@ -24,9 +27,29 @@ from repro.storage.concurrency import ReadWriteLock
 from repro.storage.document import Document, new_object_id
 from repro.storage.documentdb import Collection, DocumentDB, NetworkModel
 from repro.storage.file_store import FileStore
+from repro.storage.registry import (
+    IndexBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    create_from_config,
+    create_index_backend,
+    create_storage_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.storage.vector_index import VectorIndex, ClusteredVectorIndex
 
 __all__ = [
+    "IndexBackend",
+    "StorageBackend",
+    "available_backends",
+    "create_backend",
+    "create_from_config",
+    "create_index_backend",
+    "create_storage_backend",
+    "register_backend",
+    "unregister_backend",
     "ReadWriteLock",
     "Codec",
     "PickleCodec",

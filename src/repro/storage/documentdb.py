@@ -255,6 +255,10 @@ class DocumentDB:
             for name, coll in self._collections.items()
         }
 
+    def storage_bytes(self) -> int:
+        """Total payload bytes across all collections (StorageBackend protocol)."""
+        return sum(coll.storage_bytes() for coll in self._collections.values())
+
     # -- persistence -----------------------------------------------------------------
     def save(self, path: str) -> int:
         """Persist every collection (documents + indexes) to ``path``.

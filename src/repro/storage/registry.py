@@ -1,0 +1,149 @@
+"""Name-based registry for storage and index backends.
+
+The scalability ablations of the paper swap the storage/lookup configuration
+— document DB vs file store, flat vs cluster-partitioned index — between
+otherwise identical runs.  This module makes those backends constructible by
+name from configuration instead of hard-coded imports:
+
+    >>> from repro.storage.registry import create_index_backend
+    >>> index = create_index_backend("flat", dim=16)
+    >>> db = create_storage_backend("documentdb", codec="blosc")
+
+Two kinds of backend exist:
+
+* ``"storage"`` — sample/document persistence (``"file"``, ``"documentdb"``),
+  described by the :class:`StorageBackend` protocol.
+* ``"index"`` — nearest-neighbour lookup (``"flat"``, ``"clustered"``),
+  described by the :class:`IndexBackend` protocol.
+
+User code can plug in its own backends with :func:`register_backend` (usable
+as a decorator); benchmarks and examples enumerate the available names via
+:func:`available_backends`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.storage.codecs import get_codec
+from repro.storage.documentdb import DocumentDB, NetworkModel
+from repro.storage.file_store import FileStore
+from repro.storage.vector_index import ClusteredVectorIndex, QueryResult, VectorIndex
+from repro.utils.errors import ConfigurationError
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Minimal surface every storage backend exposes."""
+
+    def storage_bytes(self) -> int:
+        """Total payload bytes currently held by the backend."""
+        ...
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """Minimal surface every vector-lookup backend exposes."""
+
+    def __len__(self) -> int: ...
+
+    def query(self, vector: np.ndarray, k: int = 1) -> QueryResult: ...
+
+    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]: ...
+
+
+_REGISTRIES: Dict[str, Dict[str, Callable[..., Any]]] = {"storage": {}, "index": {}}
+
+
+def _registry(kind: str) -> Dict[str, Callable[..., Any]]:
+    try:
+        return _REGISTRIES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend kind {kind!r}; expected one of {sorted(_REGISTRIES)}"
+        ) from None
+
+
+def register_backend(
+    kind: str,
+    name: str,
+    factory: Optional[Callable[..., Any]] = None,
+    overwrite: bool = False,
+):
+    """Register ``factory`` (a class or callable) under ``(kind, name)``.
+
+    Usable directly (``register_backend("index", "flat", VectorIndex)``) or as
+    a decorator (``@register_backend("index", "annoy")``).  Duplicate names
+    raise unless ``overwrite=True``.
+    """
+    registry = _registry(kind)
+
+    def _register(fn: Callable[..., Any]) -> Callable[..., Any]:
+        if name in registry and not overwrite:
+            raise ConfigurationError(
+                f"{kind} backend {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        registry[name] = fn
+        return fn
+
+    return _register(factory) if factory is not None else _register
+
+
+def unregister_backend(kind: str, name: str) -> bool:
+    """Remove a registered backend; returns True if it existed.
+
+    Mainly for tests and plugins that add temporary backends and must not
+    leak them into the process-wide registry.
+    """
+    return _registry(kind).pop(name, None) is not None
+
+
+def available_backends(kind: str) -> List[str]:
+    """Names registered for ``kind`` (``"storage"`` or ``"index"``)."""
+    return sorted(_registry(kind))
+
+
+def create_backend(kind: str, name: str, **kwargs: Any) -> Any:
+    """Instantiate the backend registered under ``(kind, name)``."""
+    registry = _registry(kind)
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown {kind} backend {name!r}; available: {sorted(registry)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def create_storage_backend(name: str, **kwargs: Any) -> StorageBackend:
+    return create_backend("storage", name, **kwargs)
+
+
+def create_index_backend(name: str, **kwargs: Any) -> IndexBackend:
+    return create_backend("index", name, **kwargs)
+
+
+def create_from_config(config: Mapping[str, Any]) -> Any:
+    """Instantiate a backend from ``{"kind": ..., "name": ..., "params": {...}}``."""
+    if "kind" not in config or "name" not in config:
+        raise ConfigurationError("backend config requires 'kind' and 'name' entries")
+    params = dict(config.get("params") or {})
+    return create_backend(config["kind"], config["name"], **params)
+
+
+# -- built-in backends ---------------------------------------------------------
+def _make_documentdb(codec=None, network=None, **kwargs: Any) -> DocumentDB:
+    """DocumentDB factory accepting codec names and network-model dicts."""
+    if isinstance(codec, str):
+        codec = get_codec(codec)
+    if isinstance(network, Mapping):
+        network = NetworkModel(**network)
+    return DocumentDB(codec=codec, network=network, **kwargs)
+
+
+register_backend("storage", "file", FileStore)
+register_backend("storage", "documentdb", _make_documentdb)
+register_backend("index", "flat", VectorIndex)
+register_backend("index", "clustered", ClusteredVectorIndex)

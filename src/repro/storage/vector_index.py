@@ -5,6 +5,14 @@ flat (exact) index scales linearly with the database — the cost the paper
 calls out for naive instance discrimination — while the cluster-partitioned
 index implements the paper's two-level hierarchical search: first find the
 nearest cluster centre, then search only within that cluster.
+
+Both indexes keep their vectors in one contiguous ``(capacity, dim)`` matrix
+(float32 by default) grown by amortised doubling, and answer whole query
+batches in a single vectorised distance computation with ``np.argpartition``
+top-k selection.  ``query`` is the one-row special case of ``query_batch``,
+so the per-vector and batched paths can never drift apart.  Distances are
+accumulated in float64 regardless of the storage dtype so the reported
+nearest-neighbour ordering stays numerically stable.
 """
 
 from __future__ import annotations
@@ -13,54 +21,133 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.errors import NotFittedError, StorageError, ValidationError
+from repro.utils.errors import StorageError, ValidationError
 from repro.utils.stats import pairwise_squared_distances
+
+#: One query's result: ``(key, euclidean_distance)`` pairs, nearest first.
+QueryResult = List[Tuple[str, float]]
+
+_INITIAL_CAPACITY = 32
 
 
 class VectorIndex:
-    """Exact nearest-neighbour index with incremental adds."""
+    """Exact nearest-neighbour index with incremental adds.
 
-    def __init__(self, dim: int):
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stored vectors.
+    dtype:
+        Storage dtype of the contiguous vector matrix.  Distance computations
+        are carried out in float64 regardless, against a query-time float64
+        mirror (a free view when the storage dtype is already float64).
+    cache_query_matrix:
+        Whether to keep the float64 mirror between queries (rebuilt lazily
+        after adds).  True favours query latency at the cost of holding both
+        copies (1.5x a plain float64 index for float32 storage); False
+        favours memory and pays one dtype conversion per query call, which is
+        the right trade for huge, rarely-queried stores.
+    """
+
+    def __init__(self, dim: int, dtype=np.float32, cache_query_matrix: bool = True):
         if dim < 1:
             raise ValidationError("dim must be >= 1")
         self.dim = int(dim)
-        self._vectors: List[np.ndarray] = []
+        self.dtype = np.dtype(dtype)
+        self.cache_query_matrix = bool(cache_query_matrix)
+        self._data = np.empty((0, self.dim), dtype=self.dtype)
+        self._size = 0
         self._keys: List[str] = []
+        self._query_matrix: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return self._size
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only, contiguous view of the stored vectors (no copy)."""
+        view = self._data[: self._size]
+        view.flags.writeable = False
+        return view
+
+    # -- writes ----------------------------------------------------------------
+    def _ensure_capacity(self, extra: int) -> None:
+        needed = self._size + extra
+        capacity = self._data.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(capacity, _INITIAL_CAPACITY)
+        while new_capacity < needed:
+            new_capacity *= 2
+        grown = np.empty((new_capacity, self.dim), dtype=self.dtype)
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
 
     def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=self.dtype))
         if vectors.shape[1] != self.dim:
             raise ValidationError(f"expected dim {self.dim}, got {vectors.shape[1]}")
         if len(keys) != vectors.shape[0]:
             raise ValidationError("keys and vectors must have the same length")
+        n = vectors.shape[0]
+        self._ensure_capacity(n)
+        self._data[self._size : self._size + n] = vectors
         self._keys.extend(str(k) for k in keys)
-        self._vectors.extend(vectors)
+        # Invalidate before publishing the new size so a concurrent query
+        # never pairs the stale mirror with the grown size.
+        self._query_matrix = None
+        self._size += n
 
-    def _matrix(self) -> np.ndarray:
-        if not self._vectors:
-            raise StorageError("vector index is empty")
-        return np.vstack(self._vectors)
+    # -- reads -----------------------------------------------------------------
+    def _topk(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised top-k over all rows: ``(indices, distances)`` of shape (B, k')."""
+        # Work on a local snapshot so a concurrent add() (system-plane ingest
+        # racing a user-plane lookup) can never pair a stale mirror with a
+        # newer size mid-computation.
+        matrix = self._query_matrix
+        if matrix is None or matrix.shape[0] != self._size:
+            matrix = np.asarray(self._data[: self._size], dtype=np.float64)
+            if self.cache_query_matrix:
+                self._query_matrix = matrix
+        n = matrix.shape[0]
+        d2 = pairwise_squared_distances(queries, matrix)
+        k = min(k, n)
+        if k == 1:
+            idx = np.argmin(d2, axis=1)[:, None]
+            return idx, np.sqrt(np.take_along_axis(d2, idx, axis=1))
+        if k < n:
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        else:
+            idx = np.broadcast_to(np.arange(n), d2.shape)
+        selected = np.take_along_axis(d2, idx, axis=1)
+        order = np.argsort(selected, axis=1, kind="stable")
+        idx = np.take_along_axis(idx, order, axis=1)
+        return idx, np.sqrt(np.take_along_axis(selected, order, axis=1))
 
-    def query(self, vector: np.ndarray, k: int = 1) -> List[Tuple[str, float]]:
-        """Return the ``k`` nearest ``(key, distance)`` pairs for ``vector``."""
+    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]:
+        """Top-``k`` ``(key, distance)`` pairs for every row of ``vectors``.
+
+        The distance matrix, selection and ordering are computed for the whole
+        batch at once — there is no per-sample Python loop on the numeric path.
+        """
         if k < 1:
             raise ValidationError("k must be >= 1")
-        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
-        if vector.shape[1] != self.dim:
-            raise ValidationError(f"expected dim {self.dim}, got {vector.shape[1]}")
-        mat = self._matrix()
-        d2 = pairwise_squared_distances(vector, mat)[0]
-        k = min(k, d2.size)
-        order = np.argpartition(d2, k - 1)[:k]
-        order = order[np.argsort(d2[order])]
-        return [(self._keys[i], float(np.sqrt(d2[i]))) for i in order]
+        queries = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        if self._size == 0:
+            raise StorageError("vector index is empty")
+        indices, distances = self._topk(queries, k)
+        keys = self._keys
+        return [
+            [(keys[int(j)], float(d)) for j, d in zip(idx_row, dist_row)]
+            for idx_row, dist_row in zip(indices, distances)
+        ]
 
-    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[List[Tuple[str, float]]]:
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
-        return [self.query(v, k=k) for v in vectors]
+    def query(self, vector: np.ndarray, k: int = 1) -> QueryResult:
+        """Return the ``k`` nearest ``(key, distance)`` pairs for ``vector``."""
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        return self.query_batch(vector, k=k)[0]
 
 
 class ClusteredVectorIndex:
@@ -70,9 +157,14 @@ class ClusteredVectorIndex:
     per-sample embedding and cluster assignment.  A query first picks the
     ``n_probe`` nearest cluster centres and then searches only the members of
     those clusters — sub-linear lookup for large historical stores.
+
+    Batched queries are routed per partition: every query is assigned its
+    probe set in one centre-distance computation, then each touched partition
+    is searched exactly once with the sub-batch of queries probing it.
     """
 
-    def __init__(self, centers: np.ndarray, n_probe: int = 1):
+    def __init__(self, centers: np.ndarray, n_probe: int = 1, dtype=np.float32,
+                 cache_query_matrix: bool = True):
         centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
         if centers.shape[0] < 1:
             raise ValidationError("need at least one cluster centre")
@@ -81,10 +173,12 @@ class ClusteredVectorIndex:
         self.centers = centers
         self.dim = centers.shape[1]
         self.n_probe = int(min(n_probe, centers.shape[0]))
+        self.dtype = np.dtype(dtype)
+        self.cache_query_matrix = bool(cache_query_matrix)
         self._partitions: Dict[int, VectorIndex] = {}
 
     def add(self, keys: Sequence[str], vectors: np.ndarray, cluster_ids: Sequence[int]) -> None:
-        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=self.dtype))
         cluster_ids = np.asarray(cluster_ids, dtype=int)
         if not (len(keys) == vectors.shape[0] == cluster_ids.shape[0]):
             raise ValidationError("keys, vectors and cluster_ids must have equal length")
@@ -92,29 +186,68 @@ class ClusteredVectorIndex:
             raise ValidationError("cluster_ids out of range")
         for cid in np.unique(cluster_ids):
             mask = cluster_ids == cid
-            part = self._partitions.setdefault(int(cid), VectorIndex(self.dim))
+            part = self._partitions.setdefault(
+                int(cid),
+                VectorIndex(self.dim, dtype=self.dtype, cache_query_matrix=self.cache_query_matrix),
+            )
             part.add([keys[i] for i in np.nonzero(mask)[0]], vectors[mask])
 
     def __len__(self) -> int:
         return sum(len(p) for p in self._partitions.values())
 
-    def query(self, vector: np.ndarray, k: int = 1) -> List[Tuple[str, float]]:
+    def _probe_sets(self, probe_order: np.ndarray, k: int) -> List[List[int]]:
+        """Partitions each query visits: nearest non-empty clusters until both
+        ``n_probe`` partitions have been probed and ``k`` candidates exist."""
+        sizes = {cid: len(part) for cid, part in self._partitions.items() if len(part)}
+        probe_lists: List[List[int]] = []
+        for row in probe_order:
+            chosen: List[int] = []
+            probed = n_candidates = 0
+            for cid in row:
+                size = sizes.get(int(cid))
+                if not size:
+                    continue
+                chosen.append(int(cid))
+                probed += 1
+                n_candidates += min(k, size)
+                if probed >= self.n_probe and n_candidates >= k:
+                    break
+            probe_lists.append(chosen)
+        return probe_lists
+
+    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]:
+        """Top-``k`` pairs for every row of ``vectors``, one search per partition."""
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        queries = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {queries.shape[1]}")
         if len(self) == 0:
             raise StorageError("clustered vector index is empty")
+
+        center_d2 = pairwise_squared_distances(queries, self.centers)
+        probe_lists = self._probe_sets(np.argsort(center_d2, axis=1, kind="stable"), k)
+
+        # Group queries by partition and search each partition once.
+        by_partition: Dict[int, List[int]] = {}
+        for qi, chosen in enumerate(probe_lists):
+            for cid in chosen:
+                by_partition.setdefault(cid, []).append(qi)
+        partition_hits: Dict[int, Dict[int, QueryResult]] = {}
+        for cid, q_indices in by_partition.items():
+            part = self._partitions[cid]
+            results = part.query_batch(queries[q_indices], k=min(k, len(part)))
+            partition_hits[cid] = dict(zip(q_indices, results))
+
+        out: List[QueryResult] = []
+        for qi, chosen in enumerate(probe_lists):
+            candidates: QueryResult = []
+            for cid in chosen:
+                candidates.extend(partition_hits[cid][qi])
+            candidates.sort(key=lambda kv: kv[1])
+            out.append(candidates[:k])
+        return out
+
+    def query(self, vector: np.ndarray, k: int = 1) -> QueryResult:
         vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
-        if vector.shape[1] != self.dim:
-            raise ValidationError(f"expected dim {self.dim}, got {vector.shape[1]}")
-        d2 = pairwise_squared_distances(vector, self.centers)[0]
-        probe_order = np.argsort(d2)
-        candidates: List[Tuple[str, float]] = []
-        probed = 0
-        for cid in probe_order:
-            part = self._partitions.get(int(cid))
-            if part is None or len(part) == 0:
-                continue
-            candidates.extend(part.query(vector[0], k=min(k, len(part))))
-            probed += 1
-            if probed >= self.n_probe and len(candidates) >= k:
-                break
-        candidates.sort(key=lambda kv: kv[1])
-        return candidates[:k]
+        return self.query_batch(vector, k=k)[0]

@@ -3,8 +3,8 @@
 The :mod:`repro.utils` package collects the small, dependency-free building
 blocks used throughout the library: deterministic random-number handling,
 wall-clock timing, distribution statistics (histograms, Jensen-Shannon
-divergence, percentiles), light-weight thread-pool helpers and the common
-exception hierarchy.
+divergence, percentiles), content-digest LRU caching, light-weight
+thread-pool helpers and the common exception hierarchy.
 """
 
 from repro.utils.errors import (
@@ -14,6 +14,7 @@ from repro.utils.errors import (
     NotFittedError,
     ValidationError,
 )
+from repro.utils.cache import LRUCache, array_digest, row_digests
 from repro.utils.rng import default_rng, spawn_rngs, set_global_seed, get_global_seed
 from repro.utils.timing import Timer, StopWatch, timed
 from repro.utils.stats import (
@@ -47,4 +48,7 @@ __all__ = [
     "running_mean",
     "thread_map",
     "WorkerPool",
+    "LRUCache",
+    "array_digest",
+    "row_digests",
 ]

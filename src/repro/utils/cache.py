@@ -1,0 +1,122 @@
+"""Light-weight caching primitives.
+
+The fairDS user plane sees the same samples over and over — repeated lookups
+on a drifting stream, re-submitted datasets, monitoring probes — and the
+embedding model is by far the most expensive part of answering them.  An LRU
+cache keyed on *content digests* of the raw sample bytes lets every service
+layer skip the embedder for samples it has already seen, without trusting
+object identity or array ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def array_digest(array: np.ndarray) -> bytes:
+    """Content digest of one array — dtype- and shape-aware.
+
+    Two arrays get the same digest iff they have equal dtype, shape and
+    C-order bytes, so a float32 copy or a reshaped view never aliases the
+    original's cache entry.
+    """
+    arr = np.ascontiguousarray(array)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode())
+    h.update(np.asarray(arr.shape, dtype=np.int64).tobytes())
+    h.update(arr.tobytes())
+    return h.digest()
+
+
+def row_digests(batch: np.ndarray) -> List[bytes]:
+    """Per-sample digests of a batch: one digest per leading-axis slice.
+
+    Equivalent to ``[array_digest(row) for row in batch]`` but hot-path
+    cheap: the dtype/shape preamble is encoded once for the whole batch and
+    each row is hashed in a single one-shot call over its contiguous bytes.
+    """
+    batch = np.asarray(batch)
+    if batch.ndim == 0:
+        raise ConfigurationError("cannot digest a 0-d array as a batch")
+    batch = np.ascontiguousarray(batch)
+    # Matches array_digest's update stream: dtype bytes, then the per-row
+    # shape, then the row's C-order bytes (blake2b streams concatenate).
+    prefix = str(batch.dtype).encode() + np.asarray(batch.shape[1:], dtype=np.int64).tobytes()
+    return [
+        hashlib.blake2b(prefix + row.tobytes(), digest_size=16).digest() for row in batch
+    ]
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with hit/miss counters.
+
+    ``maxsize == 0`` is a valid always-empty cache (every ``get`` misses and
+    ``put`` is a no-op), which callers use as the "caching disabled" setting.
+    Thread-safe: plane functions run on an executor's worker threads, so
+    concurrent lookups share one cache.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 0:
+            raise ConfigurationError("maxsize must be non-negative")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Optional[Any]:
+        """Return the cached value (marking it most-recently-used) or ``default``."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the least-recently-used overflow."""
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def info(self) -> Dict[str, float]:
+        """Counters snapshot: size, maxsize, hits, misses, hit_rate."""
+        with self._lock:
+            size = len(self._data)
+        return {
+            "size": size,
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,149 @@
+"""ReadWriteLock behaviour under real threads.
+
+The document database leans on this lock for "parallel reads during training,
+exclusive writes during data updates", so the guarantees are exercised with
+actual thread interleavings: reader concurrency, writer preference over
+late-arriving readers, and absence of deadlock/starvation under a mixed
+read/write hammer.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.storage.concurrency import ReadWriteLock
+
+JOIN_TIMEOUT = 20.0
+
+
+def _join_all(threads):
+    for t in threads:
+        t.join(JOIN_TIMEOUT)
+    alive = [t.name for t in threads if t.is_alive()]
+    assert not alive, f"threads deadlocked: {alive}"
+
+
+def test_many_concurrent_readers_overlap():
+    """N readers must be able to hold the lock simultaneously."""
+    lock = ReadWriteLock()
+    n = 8
+    barrier = threading.Barrier(n, timeout=JOIN_TIMEOUT)
+    failures = []
+
+    def reader():
+        with lock.read():
+            try:
+                # Every reader waits inside the critical section until all n
+                # are inside it at once — impossible unless reads overlap.
+                barrier.wait()
+            except threading.BrokenBarrierError:  # pragma: no cover
+                failures.append("barrier broke: readers did not overlap")
+
+    threads = [threading.Thread(target=reader, name=f"reader-{i}") for i in range(n)]
+    for t in threads:
+        t.start()
+    _join_all(threads)
+    assert not failures
+
+
+def test_writer_preference_blocks_new_readers():
+    """A reader arriving while a writer waits must run *after* the writer."""
+    lock = ReadWriteLock()
+    order = []
+    first_reader_in = threading.Event()
+    writer_waiting = threading.Event()
+
+    def long_reader():
+        with lock.read():
+            first_reader_in.set()
+            # Hold the lock until the writer is queued and a late reader exists.
+            writer_waiting.wait(JOIN_TIMEOUT)
+            time.sleep(0.05)
+        order.append("reader-1-done")
+
+    def writer():
+        first_reader_in.wait(JOIN_TIMEOUT)
+        writer_waiting.set()  # set just before blocking on acquire
+        with lock.write():
+            order.append("writer")
+
+    def late_reader():
+        writer_waiting.wait(JOIN_TIMEOUT)
+        time.sleep(0.01)  # ensure the writer is already parked in acquire_write
+        with lock.read():
+            order.append("late-reader")
+
+    threads = [
+        threading.Thread(target=long_reader, name="long_reader"),
+        threading.Thread(target=writer, name="writer"),
+        threading.Thread(target=late_reader, name="late_reader"),
+    ]
+    for t in threads:
+        t.start()
+    _join_all(threads)
+    # Writer preference: the late reader saw writers_waiting > 0 and yielded.
+    assert order.index("writer") < order.index("late-reader")
+
+
+def test_writer_excludes_all_readers_and_writers():
+    lock = ReadWriteLock()
+    state = {"writers": 0, "readers": 0}
+    violations = []
+
+    def writer():
+        for _ in range(20):
+            with lock.write():
+                state["writers"] += 1
+                if state["writers"] != 1 or state["readers"] != 0:
+                    violations.append(dict(state))
+                state["writers"] -= 1
+
+    def reader():
+        for _ in range(50):
+            with lock.read():
+                state["readers"] += 1
+                if state["writers"] != 0:
+                    violations.append(dict(state))
+                state["readers"] -= 1
+
+    threads = [threading.Thread(target=writer, name=f"w{i}") for i in range(2)] + [
+        threading.Thread(target=reader, name=f"r{i}") for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    _join_all(threads)
+    assert not violations
+
+
+def test_no_starvation_deadlock_under_mixed_hammer():
+    """A sustained read storm with interleaved writers completes: writers are
+    not starved by readers, and readers drain after every writer burst."""
+    lock = ReadWriteLock()
+    done = {"reads": 0, "writes": 0}
+    count_lock = threading.Lock()
+
+    def reader():
+        for _ in range(100):
+            with lock.read():
+                pass
+            with count_lock:
+                done["reads"] += 1
+
+    def writer():
+        for _ in range(25):
+            with lock.write():
+                time.sleep(0.0005)
+            with count_lock:
+                done["writes"] += 1
+
+    threads = [threading.Thread(target=reader, name=f"r{i}") for i in range(6)] + [
+        threading.Thread(target=writer, name=f"w{i}") for i in range(2)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    _join_all(threads)
+    assert done == {"reads": 600, "writes": 50}
+    assert time.perf_counter() - start < JOIN_TIMEOUT
+    assert lock.active_readers == 0

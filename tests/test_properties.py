@@ -78,12 +78,16 @@ def test_dataset_distribution_pdf_properties(ids):
 
 @settings(max_examples=30, deadline=None)
 @given(
-    p=arrays(np.float64, 6, elements=st.floats(0.0, 10.0)),
+    # Subnormal entries (e.g. 5e-324) can underflow to exactly zero when
+    # rescaled, which legitimately changes the distribution's support and
+    # breaks the invariant being tested.
+    p=arrays(np.float64, 6, elements=st.floats(0.0, 10.0, allow_subnormal=False)),
     scale=st.floats(0.1, 50.0),
 )
 def test_jsd_invariant_to_rescaling(p, scale):
     assume(p.sum() > 0)
     q = p * scale
+    assume(np.all(q[p > 0] > 0))  # rescaling must not underflow the support
     assert jensen_shannon_divergence(p, q) == pytest.approx(0.0, abs=1e-9)
 
 

@@ -1,0 +1,102 @@
+"""Tests for the storage/index backend registry."""
+
+import numpy as np
+import pytest
+
+from repro.storage import DocumentDB, FileStore, VectorIndex, ClusteredVectorIndex
+from repro.storage.codecs import CompressedCodec
+from repro.storage.registry import (
+    IndexBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    create_from_config,
+    create_index_backend,
+    create_storage_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.utils.errors import ConfigurationError
+
+
+def test_builtin_backends_are_listed():
+    assert {"file", "documentdb"} <= set(available_backends("storage"))
+    assert {"flat", "clustered"} <= set(available_backends("index"))
+
+
+def test_create_index_backends_by_name():
+    flat = create_index_backend("flat", dim=3)
+    assert isinstance(flat, VectorIndex)
+    clustered = create_index_backend("clustered", centers=np.zeros((2, 3)), n_probe=2)
+    assert isinstance(clustered, ClusteredVectorIndex)
+    assert isinstance(flat, IndexBackend)
+    assert isinstance(clustered, IndexBackend)
+
+
+def test_create_storage_backends_by_name(tmp_path):
+    store = create_storage_backend("file", root=str(tmp_path / "s"))
+    assert isinstance(store, FileStore)
+    db = create_storage_backend("documentdb", codec="blosc")
+    assert isinstance(db, DocumentDB)
+    assert isinstance(db.codec, CompressedCodec)
+    assert isinstance(store, StorageBackend)
+    assert isinstance(db, StorageBackend)
+
+
+def test_documentdb_network_from_mapping():
+    db = create_storage_backend("documentdb", network={"latency_s": 0.001})
+    assert db.network.latency_s == pytest.approx(0.001)
+
+
+def test_documentdb_storage_bytes_sums_collections():
+    db = create_storage_backend("documentdb")
+    assert db.storage_bytes() == 0
+    db.collection("a").insert_one({"k": 1}, payload=np.zeros(8))
+    db.collection("b").insert_one({"k": 2}, payload=np.zeros(8))
+    assert db.storage_bytes() == sum(s["payload_bytes"] for s in db.stats().values())
+    assert db.storage_bytes() > 0
+
+
+def test_unknown_backend_and_kind_raise():
+    with pytest.raises(ConfigurationError):
+        create_backend("index", "nope")
+    with pytest.raises(ConfigurationError):
+        create_backend("bogus-kind", "flat")
+    with pytest.raises(ConfigurationError):
+        available_backends("bogus-kind")
+
+
+def test_register_custom_backend_decorator_and_duplicates():
+    try:
+
+        @register_backend("index", "unit-test-backend")
+        class TinyIndex:
+            def __init__(self, dim=1):
+                self.dim = dim
+
+            def __len__(self):
+                return 0
+
+            def query(self, vector, k=1):
+                return []
+
+            def query_batch(self, vectors, k=1):
+                return []
+
+        created = create_index_backend("unit-test-backend", dim=7)
+        assert isinstance(created, TinyIndex) and created.dim == 7
+        with pytest.raises(ConfigurationError):
+            register_backend("index", "unit-test-backend", TinyIndex)
+        register_backend("index", "unit-test-backend", TinyIndex, overwrite=True)
+    finally:
+        # Don't leak the temporary backend into the process-wide registry.
+        assert unregister_backend("index", "unit-test-backend")
+    assert "unit-test-backend" not in available_backends("index")
+    assert not unregister_backend("index", "unit-test-backend")
+
+
+def test_create_from_config():
+    index = create_from_config({"kind": "index", "name": "flat", "params": {"dim": 4}})
+    assert isinstance(index, VectorIndex) and index.dim == 4
+    with pytest.raises(ConfigurationError):
+        create_from_config({"name": "flat"})

@@ -340,6 +340,21 @@ def test_file_store_missing_sample_raises():
             store.read(0)
 
 
+def test_file_store_context_manager_removes_owned_tempdir(rng):
+    with FileStore() as store:
+        store.write(rng.normal(size=(4, 4)))
+        root = store.root
+        assert root.exists()
+    assert not root.exists()  # __exit__ cleaned up the owned temp directory
+    assert len(store) == 0
+
+
+def test_file_store_context_manager_keeps_user_root(tmp_path, rng):
+    with FileStore(root=str(tmp_path / "kept")) as store:
+        store.write(rng.normal(size=(2,)))
+    assert (tmp_path / "kept").exists()  # user-provided roots are never deleted
+
+
 def test_file_store_explicit_root(tmp_path, rng):
     store = FileStore(root=str(tmp_path / "data"))
     store.write(rng.normal(size=(3,)))
@@ -397,6 +412,58 @@ def test_clustered_index_matches_exact_for_probed_cluster(rng):
 
     query = rng.normal(loc=10.0, size=3)
     assert cindex.query(query, k=1)[0][0] == flat.query(query, k=1)[0][0]
+
+
+def test_vector_index_contiguous_storage_and_growth(rng):
+    index = VectorIndex(dim=5)
+    for start in range(0, 100, 10):
+        keys = [f"k{i}" for i in range(start, start + 10)]
+        index.add(keys, rng.normal(size=(10, 5)))
+    assert len(index) == 100
+    assert index.vectors.shape == (100, 5)
+    assert index.vectors.flags["C_CONTIGUOUS"]
+    assert index.vectors.dtype == np.float32
+    with pytest.raises(ValueError):
+        index.vectors[0, 0] = 1.0  # read-only view
+
+
+def test_query_batch_matches_per_vector_query_flat(rng):
+    index = VectorIndex(dim=8)
+    index.add([f"k{i}" for i in range(500)], rng.normal(size=(500, 8)))
+    queries = rng.normal(size=(64, 8))
+    batched = index.query_batch(queries, k=3)
+    singles = [index.query(q, k=3) for q in queries]
+    assert len(batched) == 64
+    for one, many in zip(singles, batched):
+        assert [key for key, _ in one] == [key for key, _ in many]
+        np.testing.assert_allclose(
+            [d for _, d in one], [d for _, d in many], rtol=1e-9, atol=1e-12
+        )
+
+
+def test_query_batch_matches_per_vector_query_clustered(rng):
+    centers = rng.normal(scale=8.0, size=(6, 4))
+    assignments = rng.integers(0, 6, size=300)
+    vectors = centers[assignments] + rng.normal(size=(300, 4))
+    cindex = ClusteredVectorIndex(centers, n_probe=2)
+    cindex.add([f"k{i}" for i in range(300)], vectors, assignments)
+    queries = centers[rng.integers(0, 6, size=48)] + rng.normal(size=(48, 4))
+    batched = cindex.query_batch(queries, k=3)
+    singles = [cindex.query(q, k=3) for q in queries]
+    for one, many in zip(singles, batched):
+        assert [key for key, _ in one] == [key for key, _ in many]
+        np.testing.assert_allclose(
+            [d for _, d in one], [d for _, d in many], rtol=1e-9, atol=1e-12
+        )
+
+
+def test_query_batch_k_larger_than_store(rng):
+    index = VectorIndex(dim=3)
+    index.add(["a", "b"], rng.normal(size=(2, 3)))
+    results = index.query_batch(rng.normal(size=(4, 3)), k=10)
+    for row in results:
+        assert len(row) == 2
+        assert row[0][1] <= row[1][1]
 
 
 def test_clustered_index_validation(rng):

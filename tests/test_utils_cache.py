@@ -1,0 +1,87 @@
+"""Tests for the LRU cache and array content digests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.cache import LRUCache, array_digest, row_digests
+from repro.utils.errors import ConfigurationError
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refresh "a" -> "b" is now LRU
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert len(cache) == 2
+
+
+def test_lru_counters_and_clear():
+    cache = LRUCache(4)
+    assert cache.get("missing") is None
+    cache.put("x", 42)
+    assert cache.get("x") == 42
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+    info = cache.info()
+    assert info["size"] == 1 and info["maxsize"] == 4
+    cache.clear()
+    assert len(cache) == 0 and "x" not in cache
+
+
+def test_lru_maxsize_zero_disables_storage():
+    cache = LRUCache(0)
+    cache.put("a", 1)
+    assert len(cache) == 0
+    assert cache.get("a") is None
+
+
+def test_lru_negative_maxsize_rejected():
+    with pytest.raises(ConfigurationError):
+        LRUCache(-1)
+
+
+def test_lru_safe_under_concurrent_get_put():
+    import threading
+
+    cache = LRUCache(16)  # small enough that evictions race with gets
+    errors = []
+
+    def hammer(offset):
+        try:
+            for i in range(2000):
+                key = (i + offset) % 48
+                cache.put(key, i)
+                cache.get(key)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(o,)) for o in (0, 7, 19, 31)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(20)
+    assert not errors
+    assert len(cache) <= 16
+
+
+def test_array_digest_sensitive_to_content_shape_dtype(rng):
+    a = rng.normal(size=(4, 4))
+    assert array_digest(a) == array_digest(a.copy())
+    assert array_digest(a) != array_digest(a.reshape(2, 8))
+    assert array_digest(a) != array_digest(a.astype(np.float32))
+    b = a.copy()
+    b[0, 0] += 1e-12
+    assert array_digest(a) != array_digest(b)
+
+
+def test_row_digests_match_per_row_digest(rng):
+    batch = rng.normal(size=(5, 3, 3))
+    digests = row_digests(batch)
+    assert len(digests) == 5
+    assert digests == [array_digest(row) for row in batch]
+    assert len(set(digests)) == 5
+    with pytest.raises(ConfigurationError):
+        row_digests(np.float64(3.0))

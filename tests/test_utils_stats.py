@@ -176,6 +176,24 @@ def test_pairwise_squared_distances_dim_mismatch(rng):
         pairwise_squared_distances(rng.normal(size=(3, 4)), rng.normal(size=(3, 5)))
 
 
+def test_pairwise_squared_distances_clamps_cancellation_to_zero(rng):
+    """Large-magnitude near-identical vectors make the |a|^2+|b|^2-2ab expansion
+    cancel catastrophically — the raw result can be ~-1e-16, which would turn
+    into NaN under a caller's sqrt.  The clamp must keep every entry >= 0."""
+    base = rng.normal(size=(50, 8)) * 1e8
+    jittered = base + rng.normal(size=(50, 8)) * 1e-8
+    d2 = pairwise_squared_distances(base, jittered)
+    assert np.all(d2 >= 0.0)
+    distances = np.sqrt(d2)  # the pattern every caller uses
+    assert np.all(np.isfinite(distances))
+    # The raw expansion really does go negative for these inputs; verify the
+    # clamp is what saves the caller rather than numerical luck.
+    a_sq = np.sum(base * base, axis=1)[:, None]
+    b_sq = np.sum(jittered * jittered, axis=1)[None, :]
+    raw = a_sq + b_sq - 2.0 * (base @ jittered.T)
+    assert raw.min() < 0.0
+
+
 def test_normalized_euclidean_scale_invariant(rng):
     a = rng.normal(size=(4, 3))
     b = rng.normal(size=(4, 3))
