@@ -28,7 +28,7 @@ from repro.storage.registry import create_index_backend
 from repro.utils.rng import default_rng
 from repro.utils.stats import pairwise_squared_distances
 
-from common import print_table
+from common import print_table, write_bench_json
 
 STORE_SIZES = (2_000, 8_000, 32_000)
 DIM = 16
@@ -186,5 +186,18 @@ def test_ablation_batched_lookup_throughput(benchmark, report_sink):
     )
     # ...and clear the acceptance bar: >= 5x throughput over the old-equivalent path.
     assert batch_qps >= 5.0 * old_qps
+
+    write_bench_json(
+        "ablation_lookup_scalability",
+        metrics={
+            "old_per_vector_qps": old_qps,
+            "flat_loop_qps": loop_qps,
+            "flat_batch_qps": batch_qps,
+            "clustered_batch_qps": clustered_batch_qps,
+            "batch_speedup_vs_old": batch_qps / old_qps,
+        },
+        params={"store_size": BATCH_STORE_SIZE, "batch_size": BATCH_SIZE, "dim": DIM,
+                "n_clusters": N_CLUSTERS},
+    )
 
     benchmark(lambda: flat.query_batch(queries, k=1))

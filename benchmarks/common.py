@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +40,37 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence], si
     print(text)
     if sink is not None:
         sink.append(text)
+
+
+# ---------------------------------------------------------------------------
+# machine-readable results
+# ---------------------------------------------------------------------------
+def write_bench_json(
+    name: str,
+    metrics: Mapping[str, Any],
+    params: Optional[Mapping[str, Any]] = None,
+    directory: Optional[str] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` so the perf trajectory accumulates over PRs.
+
+    ``metrics`` holds the measured numbers (throughput/latency fields and
+    friends); ``params`` the knobs that produced them (store size, client
+    count, policy).  Files land in ``$BENCH_RESULTS_DIR`` when set, else the
+    current working directory, and are overwritten per run — CI uploads them
+    as workflow artifacts.
+    """
+    directory_path = Path(directory or os.environ.get("BENCH_RESULTS_DIR", "."))
+    directory_path.mkdir(parents=True, exist_ok=True)
+    path = directory_path / f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "metrics": dict(metrics),
+        "params": dict(params or {}),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n")
+    print(f"[bench] wrote {path}")
+    return path
 
 
 # ---------------------------------------------------------------------------

@@ -13,11 +13,13 @@ deployment; :class:`FairDMSService` reproduces that wiring on top of the local
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.fairdms import FairDMS, ModelUpdateReport
+from repro.monitoring.triggers import ThresholdTrigger
+from repro.serving import BatchingPolicy, ServingRuntime, ServingTelemetry
 from repro.utils.errors import ConfigurationError
 from repro.utils.logging import get_logger
 from repro.workflow.flows import Flow, FlowResult
@@ -111,7 +113,9 @@ class FairDMSService:
         return self._lookup_payload(self.dms.fairds.lookup(images, n_samples=n_samples))
 
     def _fn_lookup_batch(
-        self, batches: List[np.ndarray], n_samples: Optional[int] = None
+        self,
+        batches: List[np.ndarray],
+        n_samples: Optional[Union[int, Sequence[Optional[int]]]] = None,
     ) -> List[Dict[str, Any]]:
         results = self.dms.fairds.lookup_batch(batches, n_samples=n_samples)
         return [self._lookup_payload(r) for r in results]
@@ -162,12 +166,17 @@ class FairDMSService:
         return self._invoke(self.USER_PLANE, "lookup_labeled_data", images, n_samples)
 
     def lookup_labeled_data_batch(
-        self, batches: List[np.ndarray], n_samples: Optional[int] = None
+        self,
+        batches: List[np.ndarray],
+        n_samples: Optional[Union[int, Sequence[Optional[int]]]] = None,
     ) -> List[Dict[str, Any]]:
         """User plane: pseudo-label several datasets in one batched call.
 
         Returns one payload per dataset, identical to issuing that many
-        :meth:`lookup_labeled_data` calls in order.
+        :meth:`lookup_labeled_data` calls in order.  ``n_samples`` may be one
+        override applied to every dataset or a per-dataset sequence (``None``
+        entries fall back to the dataset size), mirroring
+        :meth:`repro.core.fairds.FairDS.lookup_batch`.
         """
         return self._invoke(self.USER_PLANE, "lookup_labeled_data_batch", batches, n_samples)
 
@@ -209,6 +218,73 @@ class FairDMSService:
     def refresh_representations(self) -> int:
         """System plane: retrain embedding + clustering and rebuild the store index."""
         return self._invoke(self.SYSTEM_PLANE, "refresh_representations")
+
+    # -- concurrent serving -----------------------------------------------------------------
+    def serving_runtime(
+        self,
+        policy: Optional[BatchingPolicy] = None,
+        num_workers: int = 2,
+        certainty_trigger: Optional[ThresholdTrigger] = None,
+        telemetry: Optional[ServingTelemetry] = None,
+    ) -> ServingRuntime:
+        """A micro-batching :class:`~repro.serving.runtime.ServingRuntime`
+        serving this service's interactive single-request operations.
+
+        Concurrent clients submit *single* requests; each flush lands on the
+        corresponding ``*_batch`` plane function (one activity-log entry and
+        one funcX invocation per micro-batch, not per request).  Payloads:
+
+        * ``"query_distribution"`` — an images array; resolves to the
+          distribution dict of :meth:`query_distribution` (user plane).
+        * ``"lookup_labeled_data"`` — an images array, or an
+          ``(images, n_samples)`` tuple to override the sample count;
+          resolves to the payload dict of :meth:`lookup_labeled_data`
+          (user plane).
+        * ``"certainty"`` — an images array; resolves to the dataset's
+          cluster-assignment certainty (percent).  Certainty monitoring is a
+          *system-plane* function, so its micro-batches are logged as
+          ``system:certainty_batch`` in :meth:`activity_summary`.
+
+        When ``certainty_trigger`` is given, every certainty result is fed to
+        ``certainty_trigger.observe_many`` in *arrival order* — even when
+        worker threads complete batches out of order — so the trigger fires
+        exactly as it would under serial, unbatched monitoring.
+
+        The runtime is returned unstarted; use it as a context manager or
+        call :meth:`~repro.serving.runtime.ServingRuntime.start` /
+        :meth:`~repro.serving.runtime.ServingRuntime.shutdown` around the
+        service's own lifetime.
+        """
+        handlers = {
+            "query_distribution": lambda payloads: self.query_distribution_batch(list(payloads)),
+            "lookup_labeled_data": self._serve_lookup_batch,
+            "certainty": lambda payloads: self.certainty_batch(list(payloads)),
+        }
+        observers: Dict[str, Any] = {}
+        if certainty_trigger is not None:
+            observers["certainty"] = certainty_trigger.observe_many
+        return ServingRuntime(
+            handlers,
+            policy=policy,
+            num_workers=num_workers,
+            telemetry=telemetry,
+            observers=observers,
+        )
+
+    def _serve_lookup_batch(
+        self, payloads: Sequence[Union[np.ndarray, Tuple[np.ndarray, Optional[int]]]]
+    ) -> List[Dict[str, Any]]:
+        """Batch handler for ``"lookup_labeled_data"`` serving requests."""
+        batches: List[np.ndarray] = []
+        n_samples: List[Optional[int]] = []
+        for payload in payloads:
+            if isinstance(payload, tuple):
+                images, n = payload
+            else:
+                images, n = payload, None
+            batches.append(images)
+            n_samples.append(n)
+        return self.lookup_labeled_data_batch(batches, n_samples=n_samples)
 
     # -- introspection ----------------------------------------------------------------------
     def activity_summary(self) -> Dict[str, int]:

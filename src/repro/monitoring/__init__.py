@@ -7,12 +7,16 @@
   :class:`~repro.monitoring.triggers.CertaintyTrigger` — fire when a monitored
   quantity crosses a threshold; the certainty trigger drives the fairDS
   system-plane refresh of Fig. 16.
+* :class:`~repro.monitoring.triggers.ArrivalOrderFeed` — delivers
+  out-of-order micro-batched completions to ``observe_many`` in arrival
+  order, so batched and serial monitoring cannot disagree.
 """
 
 from repro.monitoring.drift_detector import DegradationDetector, DegradationRecord
-from repro.monitoring.triggers import CertaintyTrigger, ThresholdTrigger
+from repro.monitoring.triggers import ArrivalOrderFeed, CertaintyTrigger, ThresholdTrigger
 
 __all__ = [
+    "ArrivalOrderFeed",
     "DegradationDetector",
     "DegradationRecord",
     "ThresholdTrigger",

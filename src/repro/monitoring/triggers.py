@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.utils.errors import ConfigurationError
 
@@ -61,6 +62,69 @@ class ThresholdTrigger:
     @property
     def times_fired(self) -> int:
         return len(self.fired_at)
+
+
+#: Marker for sequence numbers whose observation is dropped (failed request).
+_DISCARDED = object()
+
+
+class ArrivalOrderFeed:
+    """Delivers out-of-order ``(seq, value)`` completions to a sink in order.
+
+    Micro-batched serving executes batches on a worker pool, so batch ``k+1``
+    can complete before batch ``k`` — but a trigger's cooldown window makes
+    its firing pattern order-sensitive, so monitoring must observe values in
+    *arrival* order or batched and serial serving would disagree.  Completions
+    are pushed with the per-request admission sequence number; whenever the
+    next undelivered sequence becomes available, the maximal consecutive run
+    is forwarded to ``sink`` as one ordered list (e.g.
+    :meth:`ThresholdTrigger.observe_many`).
+
+    ``discard`` punches a hole for requests that failed (their value will
+    never arrive) so later observations are not held back forever.  The sink
+    is invoked under the feed's internal lock and must not re-enter the feed.
+    """
+
+    def __init__(self, sink: Callable[[List[float]], Any], start_seq: int = 0):
+        self._sink = sink
+        self._next = int(start_seq)
+        self._pending: Dict[int, Any] = {}
+        self._lock = threading.Lock()
+        self.delivered = 0
+
+    def push(self, seq: int, value: float) -> None:
+        self.push_many([(seq, value)])
+
+    def push_many(self, pairs: Iterable[Tuple[int, float]]) -> None:
+        """Record completed observations; forwards any newly consecutive run."""
+        self._ingest([(seq, (value,)) for seq, value in pairs])
+
+    def discard(self, seqs: Iterable[int]) -> None:
+        """Mark sequence numbers as never-arriving (their request failed)."""
+        self._ingest([(seq, _DISCARDED) for seq in seqs])
+
+    def _ingest(self, entries: List[Tuple[int, Any]]) -> None:
+        with self._lock:
+            for seq, entry in entries:
+                if seq < self._next or seq in self._pending:
+                    raise ConfigurationError(
+                        f"sequence number {seq} already delivered or pending"
+                    )
+                self._pending[seq] = entry
+            run: List[float] = []
+            while self._next in self._pending:
+                entry = self._pending.pop(self._next)
+                self._next += 1
+                if entry is not _DISCARDED:
+                    run.append(entry[0])
+            if run:
+                self._sink(run)
+                self.delivered += len(run)
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
 
 
 class CertaintyTrigger(ThresholdTrigger):

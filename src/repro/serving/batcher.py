@@ -1,0 +1,157 @@
+"""Dynamic micro-batching: bounded admission queue + flush policy.
+
+A :class:`MicroBatcher` is the front door of one serving operation.  Client
+threads :meth:`~MicroBatcher.submit` single requests into a bounded FIFO
+(admission control: a full queue raises
+:class:`~repro.utils.errors.ServiceOverloadedError` immediately rather than
+queueing unboundedly), and one consumer thread repeatedly calls
+:meth:`~MicroBatcher.next_batch`, which blocks until a batch is *ready*:
+
+* the queue holds ``max_batch_size`` requests, or
+* ``max_wait_ms`` elapsed since the oldest queued request was admitted, or
+* the batcher was closed (remaining requests flush immediately).
+
+Under heavy traffic batches fill to ``max_batch_size`` back-to-back; under
+light traffic a lone request waits at most ``max_wait_ms`` before being
+served, which bounds the latency cost of batching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+from repro.utils.errors import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+
+@dataclass
+class BatchingPolicy:
+    """Knobs of the dynamic micro-batching scheduler.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush as soon as this many requests are queued; also the largest
+        batch ever handed to a handler.
+    max_wait_ms:
+        Flush when the oldest queued request has waited this long, even if
+        the batch is not full — the latency ceiling batching may add.
+    max_queue_depth:
+        Admission bound (per operation).  Submissions beyond this depth fail
+        fast with :class:`ServiceOverloadedError` instead of growing the
+        queue, so overload surfaces as rejections rather than latency
+        collapse or deadlock.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be non-negative")
+        if self.max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+
+
+@dataclass
+class Request:
+    """One admitted single-sample request travelling through the runtime."""
+
+    op: str
+    payload: Any
+    future: Future = field(default_factory=Future)
+    seq: int = -1  # per-op admission sequence, assigned by the batcher
+    admitted_at: float = 0.0  # time.monotonic() at admission
+
+
+class MicroBatcher:
+    """Bounded request FIFO plus the flush decision, for one operation.
+
+    Thread-safety: any number of producers may call :meth:`submit`; exactly
+    one consumer thread is expected to call :meth:`next_batch`.
+    """
+
+    def __init__(self, policy: Optional[BatchingPolicy] = None):
+        self.policy = policy or BatchingPolicy()
+        self._items: Deque[Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._admitted = 0
+
+    # -- producer side ---------------------------------------------------------
+    def submit(self, request: Request) -> int:
+        """Admit ``request``; returns the queue depth after admission.
+
+        Assigns the request's admission sequence number and timestamp
+        atomically with the capacity check, so sequence numbers are dense
+        over *accepted* requests (rejections consume none).
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError(f"operation {request.op!r} is no longer accepting requests")
+            if len(self._items) >= self.policy.max_queue_depth:
+                raise ServiceOverloadedError(
+                    f"operation {request.op!r} queue is full "
+                    f"(max_queue_depth={self.policy.max_queue_depth})"
+                )
+            request.seq = self._admitted
+            self._admitted += 1
+            request.admitted_at = time.monotonic()
+            self._items.append(request)
+            depth = len(self._items)
+            # Wake the consumer only on the transitions it acts on: the queue
+            # becoming non-empty, and a batch becoming full.  Intermediate
+            # appends would otherwise wake it once per request while it sits
+            # out the max_wait_ms deadline (a notify storm under load).
+            if depth == 1 or depth >= self.policy.max_batch_size:
+                self._cond.notify()
+            return depth
+
+    # -- consumer side ---------------------------------------------------------
+    def next_batch(self) -> Optional[List[Request]]:
+        """Block until a batch is ready; ``None`` when closed and drained."""
+        policy = self.policy
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            deadline = self._items[0].admitted_at + policy.max_wait_ms / 1e3
+            while len(self._items) < policy.max_batch_size and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            n = min(len(self._items), policy.max_batch_size)
+            return [self._items.popleft() for _ in range(n)]
+
+    def close(self) -> None:
+        """Stop accepting requests; queued ones flush on the next ``next_batch``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def admitted(self) -> int:
+        with self._cond:
+            return self._admitted

@@ -1,0 +1,270 @@
+"""Concurrent serving runtime: lifecycle, scheduling, execution, observability.
+
+The runtime turns *concurrent single-request traffic* into *batched
+execution*.  Each configured operation maps to a **batch handler** — a
+callable taking a list of payloads and returning one result per payload
+(e.g. the ``*_batch`` plane functions of
+:class:`~repro.core.planes.FairDMSService`).  Clients submit single payloads
+and get back a :class:`concurrent.futures.Future`; the runtime coalesces
+them with a dynamic micro-batching scheduler and executes whole batches on a
+worker pool.
+
+Architecture — three thread groups around two queues::
+
+    client threads ──submit()──▶ per-op MicroBatcher   (bounded; admission control)
+    flusher pool  ──next_batch()──▶ batch ClosableQueue (bounded; one entry = one batch)
+    worker pool   ──handler(batch)──▶ resolve futures, telemetry, ordered observers
+
+Lifecycle: :meth:`ServingRuntime.start` → traffic → :meth:`ServingRuntime.drain`
+(optional quiescence barrier) → :meth:`ServingRuntime.shutdown` (stops
+admission, flushes and executes everything already accepted, then joins all
+threads — an accepted request is never dropped).  The runtime is also a
+context manager.
+
+Per-operation **observers** receive results in *arrival order* regardless of
+which worker finished which batch first (via
+:class:`~repro.monitoring.triggers.ArrivalOrderFeed`), so order-sensitive
+consumers such as :meth:`~repro.monitoring.triggers.ThresholdTrigger.observe_many`
+see exactly the stream a serial deployment would have produced.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.monitoring.triggers import ArrivalOrderFeed
+from repro.serving.batcher import BatchingPolicy, MicroBatcher, Request
+from repro.serving.telemetry import ServingTelemetry
+from repro.utils.errors import ConfigurationError, ServiceClosedError, ServingError
+from repro.utils.logging import get_logger
+from repro.utils.parallel import ClosableQueue, WorkerPool
+
+logger = get_logger("repro.serving.runtime")
+
+#: A batch handler: list of payloads in, one result per payload out, in order.
+Handler = Callable[[List[Any]], Sequence[Any]]
+
+
+class ServingRuntime:
+    """Serve single-sample requests through dynamic micro-batching.
+
+    Parameters
+    ----------
+    handlers:
+        ``{op_name: batch_handler}``.  A handler receives the payloads of one
+        micro-batch (1..max_batch_size items, FIFO within the batch) and must
+        return exactly one result per payload, in order.  A handler exception
+        fails every request of that batch (the exception propagates through
+        each request's future).
+    policy:
+        The :class:`~repro.serving.batcher.BatchingPolicy`; defaults apply
+        when omitted.  The ``max_queue_depth`` admission bound is enforced
+        per operation.
+    num_workers:
+        Worker threads executing batches.  With more than one worker,
+        batches of the same operation may *complete* out of order; per-request
+        futures are unaffected, and observers still see arrival order.
+    telemetry:
+        A :class:`~repro.serving.telemetry.ServingTelemetry` to record into;
+        a fresh one is created when omitted (exposed as ``.telemetry``).
+    observers:
+        ``{op_name: callback}``; the callback receives lists of results in
+        arrival order (consecutive runs, each list non-empty) — e.g. a
+        certainty trigger's ``observe_many``.  Results of failed requests are
+        skipped without stalling the stream.
+    """
+
+    def __init__(
+        self,
+        handlers: Dict[str, Handler],
+        policy: Optional[BatchingPolicy] = None,
+        num_workers: int = 2,
+        telemetry: Optional[ServingTelemetry] = None,
+        observers: Optional[Dict[str, Callable[[List[Any]], Any]]] = None,
+    ):
+        if not handlers:
+            raise ConfigurationError("at least one operation handler is required")
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        unknown = set(observers or {}) - set(handlers)
+        if unknown:
+            raise ConfigurationError(f"observers for unknown operations: {sorted(unknown)}")
+        self.policy = policy or BatchingPolicy()
+        self.telemetry = telemetry or ServingTelemetry()
+        self._handlers = dict(handlers)
+        self._ops = sorted(self._handlers)
+        self._batchers = {op: MicroBatcher(self.policy) for op in self._ops}
+        self._feeds = {
+            op: ArrivalOrderFeed(callback) for op, callback in (observers or {}).items()
+        }
+        # One queue entry per flushed batch; bounding it keeps the flushers
+        # from racing ahead of the workers, so admission control stays honest.
+        self._batch_queue = ClosableQueue(maxsize=max(2, 2 * num_workers))
+        self._flushers = WorkerPool(len(self._ops), self._flush_loop)
+        self._workers = WorkerPool(num_workers, self._work_loop)
+        self._quiesce = threading.Condition()
+        self._completed = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "ServingRuntime":
+        """Spawn the flusher and worker threads; idempotent-unsafe (once only)."""
+        if self._started:
+            raise ServingError("ServingRuntime already started")
+        if self._closed:
+            raise ServingError("ServingRuntime was shut down; create a new one")
+        self._started = True
+        self.telemetry.mark_started()
+        self._flushers.start()
+        self._workers.start()
+        logger.info(
+            "serving runtime started: ops=%s workers=%d policy=%s",
+            self._ops, self._workers.num_workers, self.policy,
+        )
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every request accepted so far has resolved.
+
+        Returns ``False`` when ``timeout`` (seconds) expired first.  The
+        runtime keeps accepting traffic; this is a quiescence barrier, not a
+        shutdown.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        # Admissions are counted by the batchers (under their own locks), so
+        # the submit hot path never touches this condition variable.  The
+        # target is snapshotted once: requests accepted *after* drain() was
+        # called do not extend the wait.
+        target = sum(b.admitted for b in self._batchers.values())
+        with self._quiesce:
+            while self._completed < target:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._quiesce.wait(timeout=remaining)
+        return True
+
+    def shutdown(self) -> None:
+        """Stop admission, execute everything accepted, stop all threads.
+
+        Every request admitted before shutdown resolves (drain-on-shutdown);
+        later submissions raise :class:`ServiceClosedError`.  Idempotent.
+        """
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        for batcher in self._batchers.values():
+            batcher.close()
+        self._flushers.join()
+        self._batch_queue.close(self._workers.num_workers)
+        self._workers.join()
+        self.telemetry.mark_stopped()
+        logger.info("serving runtime stopped: %d requests served", self._completed)
+
+    def __enter__(self) -> "ServingRuntime":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- client API --------------------------------------------------------------
+    def submit(self, op: str, payload: Any) -> Future:
+        """Enqueue one request; returns the future of its result.
+
+        Raises :class:`ServiceOverloadedError` when the operation's queue is
+        at ``max_queue_depth`` and :class:`ServiceClosedError` when the
+        runtime is not accepting traffic.
+        """
+        if op not in self._handlers:
+            raise ConfigurationError(f"unknown operation {op!r}; have {self._ops}")
+        if not self._started or self._closed:
+            raise ServiceClosedError("serving runtime is not accepting requests")
+        request = Request(op=op, payload=payload)
+        try:
+            depth = self._batchers[op].submit(request)
+        except ServingError as exc:
+            if not isinstance(exc, ServiceClosedError):
+                self.telemetry.record_rejection(op)
+            raise
+        self.telemetry.record_admission(op, depth)
+        return request.future
+
+    def call(self, op: str, payload: Any, timeout: Optional[float] = None) -> Any:
+        """Submit and block for the result (the closed-loop client pattern)."""
+        return self.submit(op, payload).result(timeout=timeout)
+
+    @property
+    def operations(self) -> List[str]:
+        return list(self._ops)
+
+    # -- internal threads --------------------------------------------------------
+    def _flush_loop(self, worker_id: int) -> None:
+        """One flusher per operation: turn ready micro-batches into work items."""
+        op = self._ops[worker_id]
+        batcher = self._batchers[op]
+        while True:
+            batch = batcher.next_batch()
+            if batch is None:
+                return
+            self.telemetry.record_batch(
+                op, len(batch), time.monotonic() - batch[0].admitted_at
+            )
+            self._batch_queue.put((op, batch))
+
+    def _work_loop(self, worker_id: int) -> None:
+        for op, batch in self._batch_queue:
+            self._execute(op, batch)
+
+    def _execute(self, op: str, batch: List[Request]) -> None:
+        feed = self._feeds.get(op)
+        try:
+            results = self._handlers[op]([request.payload for request in batch])
+            if results is None or len(results) != len(batch):
+                got = "None" if results is None else str(len(results))
+                raise ServingError(
+                    f"handler for {op!r} returned {got} results for a batch of {len(batch)}"
+                )
+        except BaseException as exc:  # noqa: BLE001 — must reach the futures
+            if feed is not None:
+                try:
+                    feed.discard([request.seq for request in batch])
+                except Exception:  # the sink may fire on newly consecutive results
+                    logger.exception("observer for operation %r failed on discard", op)
+            for request in batch:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(exc)
+            now = time.monotonic()
+            self.telemetry.record_completions(
+                op, [now - request.admitted_at for request in batch], failed=True
+            )
+            self._note_completed(len(batch))
+            return
+        if feed is not None:
+            try:
+                feed.push_many(
+                    [(request.seq, result) for request, result in zip(batch, results)]
+                )
+            except Exception:  # an observer failure must not lose the batch's futures
+                logger.exception("observer for operation %r failed", op)
+        # Resolve every future first — client wakeups start immediately —
+        # then record the whole batch's telemetry under one lock acquisition.
+        for request, result in zip(batch, results):
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_result(result)
+        now = time.monotonic()
+        self.telemetry.record_completions(
+            op, [now - request.admitted_at for request in batch]
+        )
+        self._note_completed(len(batch))
+
+    def _note_completed(self, n: int) -> None:
+        with self._quiesce:
+            self._completed += n
+            self._quiesce.notify_all()

@@ -1,0 +1,179 @@
+"""Live telemetry of the serving runtime.
+
+Records, thread-safely and with bounded memory, the three signals that
+matter when tuning the micro-batching policy:
+
+* **queue depth** — sampled at every admission; rising depth means the
+  handlers cannot keep up and ``max_queue_depth`` rejections are near;
+* **batch-size distribution** — whether the scheduler actually coalesces
+  (all-ones means ``max_wait_ms`` is too small or traffic too light);
+* **latency / throughput** — per-request admission-to-completion latency
+  (p50/p95/p99 over a sliding reservoir) and completed requests per second.
+
+:meth:`ServingTelemetry.snapshot` returns a plain dict so the numbers can be
+printed, asserted on in benchmarks, or serialised to ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Any, Deque, Dict, Optional, Sequence
+
+from repro.utils.stats import latency_summary
+
+
+class ServingTelemetry:
+    """Thread-safe counters and reservoirs for one serving runtime.
+
+    Parameters
+    ----------
+    latency_reservoir:
+        How many of the most recent per-request latencies are kept for the
+        percentile summary; older samples fall out of the sliding window so
+        memory stays bounded under sustained traffic.
+    """
+
+    def __init__(self, latency_reservoir: int = 8192):
+        self._lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=int(latency_reservoir))
+        self._batch_sizes: Counter = Counter()
+        self._batch_wait_sum = 0.0
+        self._batch_wait_max = 0.0
+        self._depth_sum = 0
+        self._depth_count = 0
+        self._depth_max = 0
+        self._depth_last = 0
+        self._accepted: Counter = Counter()
+        self._completed: Counter = Counter()
+        self._failed: Counter = Counter()
+        self._rejected: Counter = Counter()
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def mark_started(self) -> None:
+        with self._lock:
+            self._started_at = time.monotonic()
+            self._stopped_at = None
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            self._stopped_at = time.monotonic()
+
+    # -- recording ---------------------------------------------------------------
+    def record_admission(self, op: str, depth: int) -> None:
+        """An accepted request, with its operation queue's depth after admit."""
+        with self._lock:
+            self._accepted[op] += 1
+            self._depth_sum += depth
+            self._depth_count += 1
+            self._depth_last = depth
+            if depth > self._depth_max:
+                self._depth_max = depth
+
+    def record_rejection(self, op: str) -> None:
+        with self._lock:
+            self._rejected[op] += 1
+
+    def record_batch(self, op: str, size: int, wait_s: float) -> None:
+        """A flushed batch: its size and how long its oldest request queued."""
+        with self._lock:
+            self._batch_sizes[size] += 1
+            self._batch_wait_sum += wait_s
+            if wait_s > self._batch_wait_max:
+                self._batch_wait_max = wait_s
+
+    def record_completion(self, op: str, latency_s: float, failed: bool = False) -> None:
+        """One request resolved, ``latency_s`` after its admission."""
+        self.record_completions(op, (latency_s,), failed=failed)
+
+    def record_completions(
+        self, op: str, latencies_s: Sequence[float], failed: bool = False
+    ) -> None:
+        """A whole batch resolved — one lock acquisition for all its requests.
+
+        ``failed=True`` marks requests whose handler raised (their futures
+        carry the exception); they still count as completed for throughput
+        and quiescence, but surface separately so a broken handler cannot
+        masquerade as a healthy service.
+        """
+        with self._lock:
+            self._completed[op] += len(latencies_s)
+            if failed:
+                self._failed[op] += len(latencies_s)
+            self._latencies.extend(latencies_s)
+
+    # -- reporting ---------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time view of the runtime's health as a plain dict."""
+        with self._lock:
+            now = self._stopped_at if self._stopped_at is not None else time.monotonic()
+            uptime = (now - self._started_at) if self._started_at is not None else 0.0
+            accepted = sum(self._accepted.values())
+            completed = sum(self._completed.values())
+            rejected = sum(self._rejected.values())
+            failed = sum(self._failed.values())
+            n_batches = sum(self._batch_sizes.values())
+            batched_requests = sum(size * count for size, count in self._batch_sizes.items())
+            ops = sorted(
+                set(self._accepted) | set(self._completed)
+                | set(self._rejected) | set(self._failed)
+            )
+            return {
+                "uptime_s": uptime,
+                "accepted": accepted,
+                "completed": completed,
+                "rejected": rejected,
+                "failed": failed,
+                "in_flight": accepted - completed,
+                "throughput_rps": completed / uptime if uptime > 0 else 0.0,
+                "latency_ms": latency_summary(self._latencies),
+                "batch_size": {
+                    "batches": n_batches,
+                    "mean": batched_requests / n_batches if n_batches else 0.0,
+                    "max": max(self._batch_sizes) if self._batch_sizes else 0,
+                    "histogram": {size: self._batch_sizes[size] for size in sorted(self._batch_sizes)},
+                    "mean_wait_ms": (self._batch_wait_sum / n_batches * 1e3) if n_batches else 0.0,
+                    "max_wait_ms": self._batch_wait_max * 1e3,
+                },
+                "queue_depth": {
+                    "mean": self._depth_sum / self._depth_count if self._depth_count else 0.0,
+                    "max": self._depth_max,
+                    "last": self._depth_last,
+                },
+                "per_op": {
+                    op: {
+                        "accepted": self._accepted[op],
+                        "completed": self._completed[op],
+                        "failed": self._failed[op],
+                        "rejected": self._rejected[op],
+                    }
+                    for op in ops
+                },
+            }
+
+    def format_snapshot(self) -> str:
+        """The snapshot rendered as a short human-readable block."""
+        snap = self.snapshot()
+        lat, batch, depth = snap["latency_ms"], snap["batch_size"], snap["queue_depth"]
+        lines = [
+            f"serving telemetry ({snap['uptime_s']:.2f}s up)",
+            f"  requests   accepted={snap['accepted']} completed={snap['completed']} "
+            f"rejected={snap['rejected']} failed={snap['failed']} "
+            f"in_flight={snap['in_flight']}",
+            f"  throughput {snap['throughput_rps']:.1f} req/s",
+            f"  latency    p50={lat['p50_ms']:.2f}ms p95={lat['p95_ms']:.2f}ms "
+            f"p99={lat['p99_ms']:.2f}ms max={lat['max_ms']:.2f}ms",
+            f"  batches    n={batch['batches']} mean_size={batch['mean']:.1f} "
+            f"max_size={batch['max']} mean_wait={batch['mean_wait_ms']:.2f}ms",
+            f"  queue      mean_depth={depth['mean']:.1f} max_depth={depth['max']}",
+        ]
+        for op, counts in snap["per_op"].items():
+            lines.append(
+                f"  op {op:28s} accepted={counts['accepted']} "
+                f"completed={counts['completed']} failed={counts['failed']} "
+                f"rejected={counts['rejected']}"
+            )
+        return "\n".join(lines)

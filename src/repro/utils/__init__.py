@@ -13,6 +13,9 @@ from repro.utils.errors import (
     StorageError,
     NotFittedError,
     ValidationError,
+    ServingError,
+    ServiceClosedError,
+    ServiceOverloadedError,
 )
 from repro.utils.cache import LRUCache, array_digest, row_digests
 from repro.utils.rng import default_rng, spawn_rngs, set_global_seed, get_global_seed
@@ -20,6 +23,7 @@ from repro.utils.timing import Timer, StopWatch, timed
 from repro.utils.stats import (
     jensen_shannon_divergence,
     kl_divergence,
+    latency_summary,
     normalize_distribution,
     histogram_pdf,
     percentile_summary,
@@ -33,6 +37,9 @@ __all__ = [
     "StorageError",
     "NotFittedError",
     "ValidationError",
+    "ServingError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
     "default_rng",
     "spawn_rngs",
     "set_global_seed",
@@ -45,6 +52,7 @@ __all__ = [
     "normalize_distribution",
     "histogram_pdf",
     "percentile_summary",
+    "latency_summary",
     "running_mean",
     "thread_map",
     "WorkerPool",

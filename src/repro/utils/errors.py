@@ -26,3 +26,18 @@ class NotFittedError(ReproError):
 
 class ValidationError(ReproError):
     """Raised when user-supplied data fails validation (shape, dtype, range)."""
+
+
+class ServingError(ReproError):
+    """Raised by the concurrent serving runtime (:mod:`repro.serving`)."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control rejected a request: the serving queue is at
+    ``max_queue_depth``.  Fail-fast backpressure — the client should retry
+    later or shed load, rather than queueing unboundedly."""
+
+
+class ServiceClosedError(ServingError):
+    """A request was submitted to a serving runtime that is not accepting
+    traffic (not started yet, or already shut down)."""

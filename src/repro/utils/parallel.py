@@ -36,9 +36,9 @@ def thread_map(
         Number of worker threads.  ``max_workers <= 1`` runs serially, which
         keeps small workloads free of pool overhead.
     chunk:
-        When ``True`` the items are split into ``max_workers`` contiguous
-        chunks and ``fn`` is applied to each chunk instead of each item
-        (useful when per-item work is tiny).
+        When ``True`` the items are split into at most ``max_workers``
+        contiguous chunks and ``fn`` is applied to each chunk instead of each
+        item (useful when per-item work is tiny).
     """
     items = list(items)
     if not items:
@@ -48,7 +48,9 @@ def thread_map(
             return [fn(items)]  # type: ignore[list-item]
         return [fn(it) for it in items]
     if chunk:
-        n = max(1, len(items) // max_workers)
+        # Ceil division: floor could leave a tail of up to max_workers - 1
+        # extra chunks (9 items / 4 workers -> 5 chunks of [2,2,2,2,1]).
+        n = -(-len(items) // max_workers)
         chunks = [items[i : i + n] for i in range(0, len(items), n)]
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(fn, chunks))  # type: ignore[arg-type]

@@ -98,6 +98,36 @@ def percentile_summary(
     return {f"P{int(p)}": float(np.percentile(arr, p)) for p in percentiles}
 
 
+def _percentile_key(p: float) -> str:
+    """``50 -> "p50"``, ``99.9 -> "p99.9"``."""
+    return f"p{int(p)}" if float(p).is_integer() else f"p{p}"
+
+
+def latency_summary(
+    latencies_s: Sequence[float], percentiles: Iterable[float] = (50, 95, 99)
+) -> Dict[str, float]:
+    """Tail-latency summary of a set of request latencies, in milliseconds.
+
+    Returns ``{"count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"}``
+    (one ``pXX_ms`` key per requested percentile).  An empty input — e.g. a
+    telemetry snapshot taken before any traffic arrived — yields all-zero
+    values rather than raising, so monitoring endpoints can always report.
+    """
+    arr = np.asarray(list(latencies_s), dtype=np.float64).ravel() * 1e3
+    percentiles = list(percentiles)  # may be a generator; it is consumed twice
+    keys = [f"{_percentile_key(p)}_ms" for p in percentiles]
+    if arr.size == 0:
+        return {"count": 0, "mean_ms": 0.0, "max_ms": 0.0, **{k: 0.0 for k in keys}}
+    summary: Dict[str, float] = {
+        "count": int(arr.size),
+        "mean_ms": float(arr.mean()),
+        "max_ms": float(arr.max()),
+    }
+    for key, p in zip(keys, percentiles):
+        summary[key] = float(np.percentile(arr, p))
+    return summary
+
+
 def running_mean(values: Sequence[float], window: int = 5) -> np.ndarray:
     """Simple centred running mean used for smoothing learning curves."""
     arr = np.asarray(values, dtype=np.float64).ravel()

@@ -1,0 +1,380 @@
+"""Concurrent serving runtime: equivalence, concurrency, drain, and overload.
+
+The acceptance contract of the serving plane: micro-batched responses are
+bit-identical to direct single calls, futures resolve under concurrent
+producers, drain-on-shutdown loses no accepted request, and overload rejects
+fast instead of deadlocking.
+"""
+
+import threading
+import time
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro import FairDMS, FairDS, UpdatePolicy
+from repro.core import FairDMSService
+from repro.embedding import PCAEmbedder
+from repro.models import build_braggnn
+from repro.monitoring import ArrivalOrderFeed, CertaintyTrigger
+from repro.nn.trainer import TrainingConfig
+from repro.serving import BatchingPolicy, MicroBatcher, Request, ServingRuntime
+from repro.utils.errors import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
+
+
+def _runtime(handler=None, **kwargs):
+    handler = handler or (lambda xs: [2 * x for x in xs])
+    kwargs.setdefault("policy", BatchingPolicy(max_batch_size=8, max_wait_ms=5))
+    return ServingRuntime({"double": handler}, **kwargs)
+
+
+# -- policy / construction validation -----------------------------------------
+def test_batching_policy_validation():
+    with pytest.raises(ConfigurationError):
+        BatchingPolicy(max_batch_size=0)
+    with pytest.raises(ConfigurationError):
+        BatchingPolicy(max_wait_ms=-1)
+    with pytest.raises(ConfigurationError):
+        BatchingPolicy(max_queue_depth=0)
+
+
+def test_runtime_construction_validation():
+    with pytest.raises(ConfigurationError):
+        ServingRuntime({})
+    with pytest.raises(ConfigurationError):
+        ServingRuntime({"op": lambda xs: xs}, num_workers=0)
+    with pytest.raises(ConfigurationError):
+        ServingRuntime({"op": lambda xs: xs}, observers={"other": print})
+
+
+def test_runtime_lifecycle_guards():
+    rt = _runtime()
+    with pytest.raises(ServiceClosedError):
+        rt.submit("double", 1)  # not started
+    rt.start()
+    with pytest.raises(ServingError):
+        rt.start()
+    with pytest.raises(ConfigurationError):
+        rt.submit("unknown-op", 1)
+    rt.shutdown()
+    rt.shutdown()  # idempotent
+    with pytest.raises(ServiceClosedError):
+        rt.submit("double", 1)
+    with pytest.raises(ServingError):
+        rt.start()  # a shut-down runtime cannot be restarted (threads would leak)
+
+
+# -- MicroBatcher --------------------------------------------------------------
+def test_batcher_flushes_when_full_without_waiting():
+    batcher = MicroBatcher(BatchingPolicy(max_batch_size=4, max_wait_ms=60_000))
+    for i in range(5):
+        batcher.submit(Request(op="op", payload=i))
+    start = time.monotonic()
+    batch = batcher.next_batch()
+    assert time.monotonic() - start < 1.0  # did not wait for max_wait_ms
+    assert [r.payload for r in batch] == [0, 1, 2, 3]
+    assert [r.seq for r in batch] == [0, 1, 2, 3]
+    # The leftover request flushes immediately once the batcher closes,
+    # without waiting out the 60s deadline.
+    batcher.close()
+    start = time.monotonic()
+    assert [r.payload for r in batcher.next_batch()] == [4]
+    assert time.monotonic() - start < 1.0
+
+
+def test_batcher_flushes_partial_batch_after_max_wait():
+    batcher = MicroBatcher(BatchingPolicy(max_batch_size=100, max_wait_ms=30))
+    batcher.submit(Request(op="op", payload="a"))
+    batcher.submit(Request(op="op", payload="b"))
+    start = time.monotonic()
+    batch = batcher.next_batch()
+    elapsed = time.monotonic() - start
+    assert [r.payload for r in batch] == ["a", "b"]
+    assert elapsed < 5.0  # flushed by the wait deadline, not stuck
+
+
+def test_batcher_overload_and_close():
+    batcher = MicroBatcher(BatchingPolicy(max_queue_depth=2, max_batch_size=2))
+    batcher.submit(Request(op="op", payload=1))
+    batcher.submit(Request(op="op", payload=2))
+    with pytest.raises(ServiceOverloadedError):
+        batcher.submit(Request(op="op", payload=3))
+    batcher.close()
+    with pytest.raises(ServiceClosedError):
+        batcher.submit(Request(op="op", payload=4))
+    assert [r.payload for r in batcher.next_batch()] == [1, 2]
+    assert batcher.next_batch() is None  # closed and drained
+    # Rejected submissions consumed no sequence numbers.
+    assert batcher.admitted == 2
+
+
+# -- runtime behaviour ---------------------------------------------------------
+def test_futures_resolve_under_concurrent_producers():
+    def slow_double(xs):
+        time.sleep(0.002)  # lets queues build so batches actually coalesce
+        return [2 * x for x in xs]
+
+    n_threads, per_thread = 12, 25
+    results = {}
+    with _runtime(slow_double, num_workers=3) as rt:
+        def client(tid):
+            futures = [(tid * 1000 + i, rt.submit("double", tid * 1000 + i)) for i in range(per_thread)]
+            results[tid] = [(x, f.result(timeout=30)) for x, f in futures]
+
+        threads = [threading.Thread(target=client, args=(tid,)) for tid in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    for tid in range(n_threads):
+        assert results[tid] == [(x, 2 * x) for x, _ in results[tid]]
+        assert len(results[tid]) == per_thread
+    snap = rt.telemetry.snapshot()
+    assert snap["accepted"] == snap["completed"] == n_threads * per_thread
+    assert snap["rejected"] == 0
+    assert snap["batch_size"]["max"] > 1  # the scheduler really coalesced
+    assert snap["latency_ms"]["count"] > 0
+    assert snap["throughput_rps"] > 0
+
+
+def test_drain_on_shutdown_loses_no_accepted_request():
+    def slow(xs):
+        time.sleep(0.01)
+        return [x + 1 for x in xs]
+
+    rt = _runtime(slow, policy=BatchingPolicy(max_batch_size=4, max_wait_ms=1), num_workers=1)
+    rt.start()
+    futures = [rt.submit("double", i) for i in range(40)]
+    rt.shutdown()  # most requests still queued at this point
+    assert all(f.done() for f in futures)
+    assert [f.result() for f in futures] == [i + 1 for i in range(40)]
+
+
+def test_drain_waits_for_quiescence_without_closing():
+    release = threading.Event()
+
+    def gated(xs):
+        release.wait(timeout=10)
+        return xs
+
+    with _runtime(gated, policy=BatchingPolicy(max_batch_size=4, max_wait_ms=1)) as rt:
+        futures = [rt.submit("double", i) for i in range(8)]
+        assert not rt.drain(timeout=0.05)  # handler still gated
+        release.set()
+        assert rt.drain(timeout=10)
+        assert all(f.done() for f in futures)
+        rt.submit("double", 99).result(timeout=10)  # still accepting after drain
+
+
+def test_overload_rejects_rather_than_deadlocks():
+    gate = threading.Event()
+
+    def gated(xs):
+        gate.wait(timeout=30)
+        return [x * 10 for x in xs]
+
+    policy = BatchingPolicy(max_batch_size=2, max_wait_ms=1, max_queue_depth=4)
+    rt = ServingRuntime({"double": gated}, policy=policy, num_workers=1)
+    rt.start()
+    accepted, rejected = [], 0
+    start = time.monotonic()
+    for i in range(200):
+        try:
+            accepted.append((i, rt.submit("double", i)))
+        except ServiceOverloadedError:
+            rejected += 1
+    elapsed = time.monotonic() - start
+    assert elapsed < 10.0  # fail-fast admission, no blocking submit
+    assert rejected > 0  # finite capacity: overload surfaced as rejections
+    assert rt.telemetry.snapshot()["rejected"] == rejected
+    gate.set()
+    rt.shutdown()
+    # Every *accepted* request still resolved correctly after the storm.
+    assert [f.result(timeout=10) for _, f in accepted] == [i * 10 for i, _ in accepted]
+
+
+def test_handler_exception_fails_only_that_batch():
+    def flaky(xs):
+        if any(x == 13 for x in xs):
+            raise ValueError("unlucky batch")
+        return [x * 2 for x in xs]
+
+    with _runtime(flaky, policy=BatchingPolicy(max_batch_size=1, max_wait_ms=0)) as rt:
+        futures = {x: rt.submit("double", x) for x in (7, 13, 21)}
+        wait(list(futures.values()), timeout=10)
+        assert futures[7].result() == 14
+        assert futures[21].result() == 42
+        with pytest.raises(ValueError):
+            futures[13].result()
+    snap = rt.telemetry.snapshot()
+    assert snap["failed"] == 1  # the broken batch is visible, not masked
+    assert snap["completed"] == 3
+
+
+def test_handler_wrong_result_count_raises_serving_error():
+    with _runtime(lambda xs: xs[:-1], policy=BatchingPolicy(max_batch_size=2, max_wait_ms=1)) as rt:
+        f1, f2 = rt.submit("double", 1), rt.submit("double", 2)
+        with pytest.raises(ServingError):
+            f1.result(timeout=10)
+        with pytest.raises(ServingError):
+            f2.result(timeout=10)
+
+
+# -- ArrivalOrderFeed ----------------------------------------------------------
+def test_arrival_order_feed_reorders_and_discards():
+    chunks = []
+    feed = ArrivalOrderFeed(lambda run: chunks.append(list(run)))
+    feed.push_many([(3, "d"), (1, "b")])
+    assert chunks == []  # seq 0 still missing
+    feed.push(0, "a")
+    assert chunks == [["a", "b"]]
+    feed.discard([2])  # a failed request must not stall the stream
+    assert chunks == [["a", "b"], ["d"]]
+    assert feed.delivered == 3
+    assert feed.pending_count == 0
+    with pytest.raises(ConfigurationError):
+        feed.push(1, "dup")
+
+
+def test_observer_receives_results_in_arrival_order_despite_out_of_order_batches():
+    order = []
+    gate_first = threading.Event()
+
+    def handler(xs):
+        # Stall the batch containing the earliest payloads so a later batch
+        # finishes first.
+        if 0 in xs:
+            gate_first.wait(timeout=10)
+        return xs
+
+    rt = ServingRuntime(
+        {"op": handler},
+        policy=BatchingPolicy(max_batch_size=2, max_wait_ms=1),
+        num_workers=2,
+        observers={"op": order.extend},
+    )
+    with rt:
+        futures = [rt.submit("op", i) for i in range(6)]
+        # Let the trailing batches complete, then release the first.
+        wait(futures[2:], timeout=10)
+        assert order == []  # held back: batch 0 not done yet
+        gate_first.set()
+        wait(futures, timeout=10)
+        rt.drain(timeout=10)
+    assert order == [0, 1, 2, 3, 4, 5]
+
+
+# -- serving a live FairDMSService --------------------------------------------
+def _data(seed=0, n=96, side=6):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, side, side)), rng.normal(size=(n, 2))
+
+
+def _scan_batches(seed=7, n_batches=6, n=14, side=6):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(n, side, side)) for _ in range(n_batches)]
+
+
+def _service_stack(seed=0):
+    images, labels = _data()
+    fairds = FairDS(PCAEmbedder(embedding_dim=6), n_clusters=5, seed=seed)
+    dms = FairDMS(
+        fairds,
+        model_builder=lambda: build_braggnn(width=2, seed=seed),
+        training_config=TrainingConfig(epochs=2, batch_size=16, lr=3e-3, seed=seed),
+        policy=UpdatePolicy(distance_threshold=0.7, certainty_threshold=1.0),
+        seed=seed,
+    )
+    dms.bootstrap(images, labels, train_initial_model=False)
+    return FairDMSService(dms)
+
+
+def test_served_responses_identical_to_direct_single_calls():
+    scans = _scan_batches()
+    with _service_stack() as served, _service_stack() as direct:
+        # num_workers=1 keeps batch execution FIFO, so the lookup sampler
+        # consumes seeds in exactly the order the direct calls would.
+        runtime = served.serving_runtime(
+            policy=BatchingPolicy(max_batch_size=4, max_wait_ms=20), num_workers=1
+        )
+        with runtime:
+            dist_futures = [runtime.submit("query_distribution", s) for s in scans]
+            served_dists = [f.result(timeout=60) for f in dist_futures]
+            lookup_futures = [
+                runtime.submit("lookup_labeled_data", (s, 10)) for s in scans
+            ]
+            served_lookups = [f.result(timeout=60) for f in lookup_futures]
+            cert_futures = [runtime.submit("certainty", s) for s in scans]
+            served_certs = [f.result(timeout=60) for f in cert_futures]
+            snap = runtime.telemetry.snapshot()
+
+        for scan, dist in zip(scans, served_dists):
+            assert dist["pdf"] == direct.query_distribution(scan)["pdf"]
+        for scan, payload in zip(scans, served_lookups):
+            single = direct.lookup_labeled_data(scan, n_samples=10)
+            np.testing.assert_array_equal(payload["images"], single["images"])
+            np.testing.assert_array_equal(payload["labels"], single["labels"])
+            assert payload["distribution"]["pdf"] == single["distribution"]["pdf"]
+        np.testing.assert_allclose(
+            served_certs, [direct.dms.fairds.certainty(s) for s in scans], rtol=1e-12
+        )
+
+        # The activity log recorded coalesced *_batch invocations.
+        summary = served.activity_summary()
+        assert summary["user:query_distribution_batch"] >= 1
+        assert summary["user:lookup_labeled_data_batch"] >= 1
+        assert summary["system:certainty_batch"] >= 1
+        assert snap["completed"] == 3 * len(scans)
+
+
+def test_certainty_stream_feeds_trigger_in_arrival_order():
+    scans = _scan_batches(n_batches=8)
+    with _service_stack() as served, _service_stack() as direct:
+        serial_values = [direct.dms.fairds.certainty(s) for s in scans]
+        serial_trigger = CertaintyTrigger(float(np.median(serial_values)), cooldown=1)
+        serial_fired = [serial_trigger.observe(v) for v in serial_values]
+
+        served_trigger = CertaintyTrigger(float(np.median(serial_values)), cooldown=1)
+        runtime = served.serving_runtime(
+            policy=BatchingPolicy(max_batch_size=2, max_wait_ms=2),
+            num_workers=3,  # batches may complete out of order
+            certainty_trigger=served_trigger,
+        )
+        with runtime:
+            futures = [runtime.submit("certainty", s) for s in scans]
+            values = [f.result(timeout=60) for f in futures]
+            runtime.drain(timeout=60)
+
+    np.testing.assert_allclose(values, serial_values, rtol=1e-12)
+    assert served_trigger.history == serial_trigger.history
+    assert served_trigger.fired_at == serial_trigger.fired_at
+    assert [i in served_trigger.fired_at for i in range(len(scans))] == serial_fired
+
+
+def test_serving_runtime_overload_on_live_service():
+    with _service_stack() as service:
+        runtime = service.serving_runtime(
+            policy=BatchingPolicy(max_batch_size=2, max_wait_ms=1, max_queue_depth=2),
+            num_workers=1,
+        )
+        scans = _scan_batches(n_batches=1)
+        with runtime:
+            outcomes = {"ok": 0, "rejected": 0}
+            futures = []
+            for _ in range(60):
+                try:
+                    futures.append(runtime.submit("certainty", scans[0]))
+                    outcomes["ok"] += 1
+                except ServiceOverloadedError:
+                    outcomes["rejected"] += 1
+            done, not_done = wait(futures, timeout=60)
+            assert not not_done
+        assert outcomes["ok"] == len(futures)
+        assert outcomes["ok"] + outcomes["rejected"] == 60

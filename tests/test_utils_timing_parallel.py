@@ -103,6 +103,20 @@ def test_thread_map_chunked():
     assert sum(out) == sum(range(10))
 
 
+def test_thread_map_chunked_produces_at_most_max_workers_chunks():
+    """Regression: floor-division chunking could yield up to 2*max_workers - 1
+    chunks (9 items / 4 workers -> 5 chunks of [2,2,2,2,1]); ceil division
+    caps the chunk count at max_workers while preserving order."""
+    chunks = thread_map(lambda c: list(c), list(range(9)), max_workers=4, chunk=True)
+    assert len(chunks) == 3  # ceil(9/4)=3 per chunk -> 3 chunks, not 5
+    assert [x for c in chunks for x in c] == list(range(9))
+    for n_items, workers in [(1, 4), (4, 4), (5, 4), (8, 4), (17, 4), (100, 7), (3, 8)]:
+        chunks = thread_map(lambda c: list(c), list(range(n_items)), max_workers=workers, chunk=True)
+        assert len(chunks) <= workers
+        assert all(c for c in chunks)  # no empty chunks
+        assert [x for c in chunks for x in c] == list(range(n_items))
+
+
 def test_thread_map_actually_uses_threads():
     seen = set()
 
