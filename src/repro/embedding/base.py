@@ -6,6 +6,7 @@ from typing import Dict, Type
 
 import numpy as np
 
+from repro.nn.dtype import ensure_float
 from repro.utils.errors import ConfigurationError
 
 
@@ -39,8 +40,12 @@ class Embedder:
     # -- helpers ------------------------------------------------------------------
     @staticmethod
     def flatten(x: np.ndarray) -> np.ndarray:
-        """Flatten per-sample dimensions: ``(n, ...) -> (n, features)``."""
-        x = np.asarray(x, dtype=np.float64)
+        """Flatten per-sample dimensions: ``(n, ...) -> (n, features)``.
+
+        Float inputs keep their dtype (no full-array cast copy); integer
+        inputs are cast to the nn compute dtype.
+        """
+        x = ensure_float(x)
         if x.ndim == 1:
             return x.reshape(1, -1)
         return x.reshape(x.shape[0], -1)

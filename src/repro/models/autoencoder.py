@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import ensure_float
 from repro.nn.layers import Dense, ReLU, Sigmoid
 from repro.nn.losses import MSELoss
 from repro.nn.network import Sequential
@@ -106,7 +107,7 @@ class DenseAutoencoder:
 
     # -- helpers --------------------------------------------------------------------
     def _validate(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         if x.ndim != 2 or x.shape[1] != self.input_dim:
@@ -137,7 +138,7 @@ class ConvAutoencoder(DenseAutoencoder):
         self.image_shape = (int(h), int(w))
 
     def _validate(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         if x.ndim == 4 and x.shape[1] == 1:
             x = x[:, 0]
         if x.ndim == 3:

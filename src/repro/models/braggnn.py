@@ -10,6 +10,9 @@ coordinates) with a reduced-width architecture suitable for CPU training.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.nn.dtype import DtypeLike
 from repro.nn.layers import Conv2D, Dense, Dropout, Flatten, LeakyReLU, MaxPool2D, ReLU
 from repro.nn.network import Sequential
 from repro.utils.rng import SeedLike, derive_seed
@@ -23,6 +26,7 @@ def build_braggnn(
     width: int = 8,
     dropout: float = 0.2,
     seed: SeedLike = 0,
+    dtype: Optional[DtypeLike] = None,
 ) -> Sequential:
     """Build a BraggNN-style regressor.
 
@@ -38,6 +42,9 @@ def build_braggnn(
         quantification (Fig. 2) is available.
     seed:
         Weight-initialisation seed.
+    dtype:
+        Compute dtype; ``None`` inherits the active
+        :class:`~repro.nn.dtype.DtypePolicy` (float32 by default).
 
     Returns
     -------
@@ -54,16 +61,16 @@ def build_braggnn(
     conv_out = patch_size - 4
     flat = 2 * width * conv_out * conv_out
     layers = [
-        Conv2D(1, width, kernel_size=3, padding=0, seed=derive_seed(seed, 1), name="conv1"),
-        LeakyReLU(0.01),
-        Conv2D(width, 2 * width, kernel_size=3, padding=0, seed=derive_seed(seed, 2), name="conv2"),
-        LeakyReLU(0.01),
-        Flatten(),
-        Dense(flat, 64, seed=derive_seed(seed, 3), name="fc1"),
-        ReLU(),
-        Dropout(dropout, seed=derive_seed(seed, 4)),
-        Dense(64, 32, seed=derive_seed(seed, 5), name="fc2"),
-        ReLU(),
-        Dense(32, 2, seed=derive_seed(seed, 6), name="head"),
+        Conv2D(1, width, kernel_size=3, padding=0, seed=derive_seed(seed, 1), name="conv1", dtype=dtype),
+        LeakyReLU(0.01, dtype=dtype),
+        Conv2D(width, 2 * width, kernel_size=3, padding=0, seed=derive_seed(seed, 2), name="conv2", dtype=dtype),
+        LeakyReLU(0.01, dtype=dtype),
+        Flatten(dtype=dtype),
+        Dense(flat, 64, seed=derive_seed(seed, 3), name="fc1", dtype=dtype),
+        ReLU(dtype=dtype),
+        Dropout(dropout, seed=derive_seed(seed, 4), dtype=dtype),
+        Dense(64, 32, seed=derive_seed(seed, 5), name="fc2", dtype=dtype),
+        ReLU(dtype=dtype),
+        Dense(32, 2, seed=derive_seed(seed, 6), name="head", dtype=dtype),
     ]
     return Sequential(layers, name=f"BraggNN(p{patch_size},w{width})")

@@ -15,6 +15,7 @@ from typing import Callable, List
 
 import numpy as np
 
+from repro.nn.dtype import ensure_float
 from repro.nn.layers import Dense, ReLU
 from repro.nn.losses import BYOLLoss
 from repro.nn.network import Sequential
@@ -89,7 +90,7 @@ class BYOLLearner:
 
     # -- forward helpers ------------------------------------------------------------
     def _flatten(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         if x.ndim != 2 or x.shape[1] != self.input_dim:

@@ -11,6 +11,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import ensure_float
 from repro.nn.layers import Dense, ReLU
 from repro.nn.losses import NTXentLoss
 from repro.nn.network import Sequential
@@ -55,7 +56,7 @@ class SimCLREncoder:
         self._fitted = False
 
     def _flatten(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = ensure_float(x)
         if x.ndim > 2:
             x = x.reshape(x.shape[0], -1)
         if x.ndim != 2 or x.shape[1] != self.input_dim:
@@ -130,7 +131,7 @@ def train_contrastive(
     **kwargs,
 ) -> SimCLREncoder:
     """Convenience one-call constructor + fit."""
-    x = np.asarray(x, dtype=np.float64)
+    x = ensure_float(x)
     flat_dim = int(np.prod(x.shape[1:]))
     model = SimCLREncoder(flat_dim, embedding_dim=embedding_dim, seed=seed, **kwargs)
     model.fit(x, augment, epochs=epochs, seed=seed)

@@ -10,6 +10,9 @@ row-stochastic matrix of the same shape (each channel's output sums to one).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.nn.dtype import DtypeLike
 from repro.nn.layers import Dense, Dropout, ReLU, Reshape, Sigmoid, Softmax
 from repro.nn.network import Sequential
 from repro.utils.rng import SeedLike, derive_seed
@@ -25,6 +28,7 @@ def build_cookienetae(
     latent: int = 32,
     dropout: float = 0.1,
     seed: SeedLike = 0,
+    dtype: Optional[DtypeLike] = None,
 ) -> Sequential:
     """Build a CookieNetAE-style encoder-decoder.
 
@@ -54,15 +58,15 @@ def build_cookienetae(
         raise ValueError("n_channels must be >= 1 and n_bins >= 2")
     dim = n_channels * n_bins
     layers = [
-        Dense(dim, hidden, seed=derive_seed(seed, 1), name="enc1"),
-        ReLU(),
-        Dense(hidden, latent, seed=derive_seed(seed, 2), name="enc2"),
-        ReLU(),
-        Dropout(dropout, seed=derive_seed(seed, 3)),
-        Dense(latent, hidden, seed=derive_seed(seed, 4), name="dec1"),
-        ReLU(),
-        Dense(hidden, dim, seed=derive_seed(seed, 5), name="dec2"),
-        Reshape((n_channels, n_bins)),
-        Softmax(),
+        Dense(dim, hidden, seed=derive_seed(seed, 1), name="enc1", dtype=dtype),
+        ReLU(dtype=dtype),
+        Dense(hidden, latent, seed=derive_seed(seed, 2), name="enc2", dtype=dtype),
+        ReLU(dtype=dtype),
+        Dropout(dropout, seed=derive_seed(seed, 3), dtype=dtype),
+        Dense(latent, hidden, seed=derive_seed(seed, 4), name="dec1", dtype=dtype),
+        ReLU(dtype=dtype),
+        Dense(hidden, dim, seed=derive_seed(seed, 5), name="dec2", dtype=dtype),
+        Reshape((n_channels, n_bins), dtype=dtype),
+        Softmax(dtype=dtype),
     ]
     return Sequential(layers, name=f"CookieNetAE({n_channels}x{n_bins})")

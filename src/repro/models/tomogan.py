@@ -9,6 +9,9 @@ clean image of the same shape.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.nn.dtype import DtypeLike
 from repro.nn.layers import Conv2D, LeakyReLU, Sigmoid
 from repro.nn.network import Sequential
 from repro.utils.rng import SeedLike, derive_seed
@@ -18,6 +21,7 @@ def build_tomogan_denoiser(
     width: int = 8,
     depth: int = 3,
     seed: SeedLike = 0,
+    dtype: Optional[DtypeLike] = None,
 ) -> Sequential:
     """Build a fully convolutional denoiser.
 
@@ -41,16 +45,16 @@ def build_tomogan_denoiser(
     if width < 1:
         raise ValueError("width must be >= 1")
     layers = [
-        Conv2D(1, width, kernel_size=3, padding=1, seed=derive_seed(seed, 0), name="in_conv"),
-        LeakyReLU(0.01),
+        Conv2D(1, width, kernel_size=3, padding=1, seed=derive_seed(seed, 0), name="in_conv", dtype=dtype),
+        LeakyReLU(0.01, dtype=dtype),
     ]
     for i in range(depth - 1):
         layers += [
-            Conv2D(width, width, kernel_size=3, padding=1, seed=derive_seed(seed, i + 1), name=f"conv{i + 1}"),
-            LeakyReLU(0.01),
+            Conv2D(width, width, kernel_size=3, padding=1, seed=derive_seed(seed, i + 1), name=f"conv{i + 1}", dtype=dtype),
+            LeakyReLU(0.01, dtype=dtype),
         ]
     layers += [
-        Conv2D(width, 1, kernel_size=3, padding=1, seed=derive_seed(seed, depth + 1), name="out_conv"),
-        Sigmoid(),
+        Conv2D(width, 1, kernel_size=3, padding=1, seed=derive_seed(seed, depth + 1), name="out_conv", dtype=dtype),
+        Sigmoid(dtype=dtype),
     ]
     return Sequential(layers, name=f"TomoGAN-denoiser(w{width},d{depth})")

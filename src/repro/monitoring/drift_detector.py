@@ -68,9 +68,13 @@ class DegradationDetector:
         return float(np.mean([r.prediction_error for r in self.records[: self.baseline_scans]]))
 
     def evaluate_scan(self, scan_index: int, x: np.ndarray, y: np.ndarray) -> DegradationRecord:
-        """Evaluate one scan; returns (and stores) its degradation record."""
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        """Evaluate one scan; returns (and stores) its degradation record.
+
+        Inputs pass through uncast — the model casts per batch slice under
+        its dtype policy, so no full-array float64 copies are made here.
+        """
+        x = np.asarray(x)
+        y = np.asarray(y)
         if x.shape[0] != y.shape[0] or x.shape[0] == 0:
             raise ValidationError("x and y must be non-empty and the same length")
         mean_pred, std = mc_dropout_predict(self.model, x, n_samples=self.mc_samples)

@@ -17,9 +17,18 @@ Public API
 * :mod:`repro.nn.optimizers` — ``SGD``, ``Adam``.
 * :class:`repro.nn.trainer.Trainer` — fit / evaluate / fine-tune loops with
   early stopping and learning-curve history.
-* :func:`repro.nn.mc_dropout.mc_dropout_predict` — MC-dropout uncertainty.
+* :func:`repro.nn.mc_dropout.mc_dropout_predict` — MC-dropout uncertainty
+  (batched: the sample dimension is folded into the batch).
+* :mod:`repro.nn.dtype` — the compute-precision policy (float32 default,
+  float64 opt-in via ``dtype=`` arguments or ``dtype_scope``).
 """
 
+from repro.nn.dtype import (
+    DtypePolicy,
+    dtype_scope,
+    get_default_dtype,
+    set_default_dtype,
+)
 from repro.nn.parameter import Parameter
 from repro.nn.layers import (
     Layer,
@@ -52,6 +61,10 @@ from repro.nn.mc_dropout import mc_dropout_predict, prediction_interval_width
 from repro.nn.metrics import mean_squared_error, mean_absolute_error, r2_score
 
 __all__ = [
+    "DtypePolicy",
+    "dtype_scope",
+    "get_default_dtype",
+    "set_default_dtype",
     "Parameter",
     "Layer",
     "Dense",

@@ -2,30 +2,44 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtype import DtypeLike, resolve_dtype
 from repro.utils.rng import SeedLike, default_rng
 
 
-def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int, seed: SeedLike = None) -> np.ndarray:
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    seed: SeedLike = None,
+    dtype: Optional[DtypeLike] = None,
+) -> np.ndarray:
     """Glorot/Xavier uniform initialisation — good default for tanh/sigmoid nets."""
     rng = default_rng(seed)
     limit = np.sqrt(6.0 / max(1, fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    # Draw in float64 so a given seed yields the same weights (up to rounding)
+    # regardless of the compute dtype, then cast once.
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype))
 
 
-def he_normal(shape: Tuple[int, ...], fan_in: int, seed: SeedLike = None) -> np.ndarray:
+def he_normal(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    seed: SeedLike = None,
+    dtype: Optional[DtypeLike] = None,
+) -> np.ndarray:
     """He/Kaiming normal initialisation — good default for ReLU nets."""
     rng = default_rng(seed)
     std = np.sqrt(2.0 / max(1, fan_in))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype))
 
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+def zeros(shape: Tuple[int, ...], dtype: Optional[DtypeLike] = None) -> np.ndarray:
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def ones(shape: Tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape, dtype=np.float64)
+def ones(shape: Tuple[int, ...], dtype: Optional[DtypeLike] = None) -> np.ndarray:
+    return np.ones(shape, dtype=resolve_dtype(dtype))

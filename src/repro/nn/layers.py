@@ -8,18 +8,31 @@ Every layer follows the same protocol:
   ``Parameter.grad`` and returns the gradient with respect to the input,
 * ``parameters()`` lists the layer's trainable parameters.
 
+All layers compute in the dtype of the active
+:class:`~repro.nn.dtype.DtypePolicy` (float32 by default, float64 opt-in via
+the ``dtype`` constructor argument or :func:`repro.nn.dtype.dtype_scope`).
+Input casts are copy-free when the dtype already matches.
+
 Convolutions use the im2col formulation so the heavy lifting is a single
-matrix multiply per layer (the standard trick for writing fast convolutions
-in pure NumPy).
+matrix multiply per layer.  The im2col gather is built on
+``numpy.lib.stride_tricks.sliding_window_view`` plus one contiguous copy into
+a reusable per-(shape, kernel) workspace, and the col2im scatter in the
+backward pass is a sum over the ``kh * kw`` kernel offsets — each a strided
+slice-add — instead of the far slower ``np.add.at`` fancy-index scatter.
+Steady-state training therefore reuses its big intermediate buffers instead
+of reallocating them every batch.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn import init as initializers
+from repro.nn.dtype import DtypeLike, resolve_dtype
 from repro.nn.parameter import Parameter
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import SeedLike, default_rng
@@ -28,9 +41,10 @@ from repro.utils.rng import SeedLike, default_rng
 class Layer:
     """Base class for all layers."""
 
-    def __init__(self, name: Optional[str] = None):
+    def __init__(self, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
         self.name = name or type(self).__name__
         self.training = True
+        self.dtype = resolve_dtype(dtype)
 
     # -- protocol -----------------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -39,8 +53,36 @@ class Layer:
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def backward_params_only(self, grad_output: np.ndarray) -> None:
+        """Accumulate parameter gradients without forming the input gradient.
+
+        Called for the *first* layer of a network being trained end-to-end,
+        where the input gradient would be discarded.  Layers with an
+        expensive input-gradient path (Conv2D's col2im) override this.
+        """
+        self.backward(grad_output)
+
     def parameters(self) -> List[Parameter]:
         return []
+
+    # -- dtype --------------------------------------------------------------
+    def _cast(self, x) -> np.ndarray:
+        """Cast ``x`` to this layer's compute dtype (no copy when it matches)."""
+        arr = np.asarray(x)
+        if arr.dtype == self.dtype:
+            return arr
+        return arr.astype(self.dtype)
+
+    def to_dtype(self, dtype: DtypeLike) -> "Layer":
+        """Switch the layer (parameters included) to a new compute dtype."""
+        self.dtype = np.dtype(dtype)
+        for p in self.parameters():
+            p.astype(self.dtype)
+        self._on_dtype_change()
+        return self
+
+    def _on_dtype_change(self) -> None:
+        """Hook for subclasses holding extra dtype-bound state (buffers, stats)."""
 
     # -- convenience --------------------------------------------------------
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -66,12 +108,12 @@ class Layer:
         for p in self.parameters():
             if p.name not in state:
                 raise KeyError(f"missing parameter {p.name!r} in state dict")
-            value = np.asarray(state[p.name], dtype=np.float64)
+            value = np.asarray(state[p.name])
             if value.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {p.name!r}: expected {p.data.shape}, got {value.shape}"
                 )
-            p.data[...] = value
+            p.data[...] = value  # in-place so packed-optimizer views stay live
 
     def num_parameters(self) -> int:
         return int(sum(p.size for p in self.parameters()))
@@ -93,25 +135,33 @@ class Dense(Layer):
         bias: bool = True,
         seed: SeedLike = None,
         name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
     ):
-        super().__init__(name)
+        super().__init__(name, dtype=dtype)
         if in_features <= 0 or out_features <= 0:
             raise ConfigurationError("in_features and out_features must be positive")
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
-            initializers.he_normal((in_features, out_features), fan_in=in_features, seed=seed),
+            initializers.he_normal(
+                (in_features, out_features), fan_in=in_features, seed=seed, dtype=self.dtype
+            ),
             name=f"{self.name}.weight",
+            dtype=self.dtype,
         )
         self.bias = (
-            Parameter(initializers.zeros((out_features,)), name=f"{self.name}.bias")
+            Parameter(
+                initializers.zeros((out_features,), dtype=self.dtype),
+                name=f"{self.name}.bias",
+                dtype=self.dtype,
+            )
             if bias
             else None
         )
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         if x.ndim != 2:
             raise ValueError(f"Dense expects 2-D input (batch, features), got shape {x.shape}")
         if x.shape[1] != self.in_features:
@@ -121,17 +171,20 @@ class Dense(Layer):
         self._x = x if training else None
         out = x @ self.weight.data
         if self.bias is not None:
-            out = out + self.bias.data
+            out += self.bias.data
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self.backward_params_only(grad_output)
+        return self._cast(grad_output) @ self.weight.data.T
+
+    def backward_params_only(self, grad_output: np.ndarray) -> None:
         if self._x is None:
             raise RuntimeError("backward() called before a training forward pass")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = self._cast(grad_output)
         self.weight.grad += self._x.T @ grad_output
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=0)
-        return grad_output @ self.weight.data.T
 
     def parameters(self) -> List[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
@@ -140,32 +193,35 @@ class Dense(Layer):
 # ---------------------------------------------------------------------------
 # Convolution via im2col
 # ---------------------------------------------------------------------------
-def _im2col_indices(
-    x_shape: Tuple[int, int, int, int], kh: int, kw: int, stride: int, pad: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Compute gather indices for the im2col transform of an NCHW tensor."""
-    n, c, h, w = x_shape
-    out_h = (h + 2 * pad - kh) // stride + 1
-    out_w = (w + 2 * pad - kw) // stride + 1
+def conv_output_size(h: int, w: int, kh: int, kw: int, stride: int, pad: int) -> Tuple[int, int]:
+    return (h + 2 * pad - kh) // stride + 1, (w + 2 * pad - kw) // stride + 1
 
-    i0 = np.repeat(np.arange(kh), kw)
-    i0 = np.tile(i0, c)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j0 = np.tile(np.arange(kw), kh * c)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
-    return k, i, j, out_h, out_w
+
+def _patch_windows(
+    x_padded: np.ndarray, kh: int, kw: int, stride: int
+) -> np.ndarray:
+    """Strided (zero-copy) view of all kernel windows: ``(N, C, oh, ow, kh, kw)``."""
+    win = sliding_window_view(x_padded, (kh, kw), axis=(2, 3))
+    if stride != 1:
+        win = win[:, :, ::stride, ::stride]
+    return win
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> Tuple[np.ndarray, int, int]:
-    """Rearrange image patches into columns: output shape ``(C*kh*kw, N*out_h*out_w)``."""
+    """Rearrange image patches into columns: output shape ``(C*kh*kw, N*out_h*out_w)``.
+
+    Column ordering matches the historical index-gather implementation (kept
+    as :func:`repro.nn._reference.reference_im2col` for golden tests): rows
+    iterate ``(c, ki, kj)`` and columns ``(out_h, out_w, n)``.
+    """
     n, c, h, w = x.shape
-    x_padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
-    k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, pad)
-    cols = x_padded[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
-    cols = cols.transpose(1, 2, 0).reshape(c * kh * kw, -1)
+    if pad:
+        x_padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    else:
+        x_padded = x
+    out_h, out_w = conv_output_size(h, w, kh, kw, stride, pad)
+    win = _patch_windows(x_padded, kh, kw, stride)  # (n, c, oh, ow, kh, kw)
+    cols = win.transpose(1, 4, 5, 2, 3, 0).reshape(c * kh * kw, out_h * out_w * n)
     return cols, out_h, out_w
 
 
@@ -177,20 +233,78 @@ def col2im(
     stride: int,
     pad: int,
 ) -> np.ndarray:
-    """Inverse of :func:`im2col`: scatter-add columns back into an NCHW tensor."""
+    """Inverse of :func:`im2col`: scatter-add columns back into an NCHW tensor.
+
+    Implemented as a sum over the ``kh * kw`` kernel offsets — each offset is
+    one fully vectorised strided slice-add — which is dramatically faster than
+    the equivalent ``np.add.at`` fancy-index scatter.
+    """
     n, c, h, w = x_shape
-    h_padded, w_padded = h + 2 * pad, w + 2 * pad
-    x_padded = np.zeros((n, c, h_padded, w_padded), dtype=cols.dtype)
-    k, i, j, out_h, out_w = _im2col_indices(x_shape, kh, kw, stride, pad)
-    cols_reshaped = cols.reshape(c * kh * kw, out_h * out_w, n).transpose(2, 0, 1)
-    np.add.at(x_padded, (slice(None), k, i, j), cols_reshaped)
+    out_h, out_w = conv_output_size(h, w, kh, kw, stride, pad)
+    x_padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    g6 = cols.reshape(c, kh, kw, out_h, out_w, n)
+    for ki in range(kh):
+        for kj in range(kw):
+            x_padded[:, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride] += (
+                g6[:, ki, kj].transpose(3, 0, 1, 2)
+            )
     if pad == 0:
         return x_padded
     return x_padded[:, :, pad:-pad, pad:-pad]
 
 
+class _ConvWorkspace:
+    """Reusable buffers for one ``(input shape, dtype)`` of a Conv2D layer.
+
+    Holding these per layer (and per thread, so concurrent inference through
+    the serving plane stays safe) means steady-state training re-uses the
+    large im2col/col2im intermediates instead of reallocating them per batch.
+
+    The column layout is ``(c, kh, kw, n, oh, ow)`` and the image buffers are
+    kept channel-first-transposed (``(c, n, H, W)``): the gather/scatter then
+    runs as ``kh * kw`` big slice copies with *matching* axis order on both
+    sides and a full (strided) image row as the inner dimension — orders of
+    magnitude fewer iterator steps than a fancy-index gather or an
+    element-wise transpose copy per offset.
+    """
+
+    __slots__ = (
+        "x_shape", "out_h", "out_w",
+        "xpt", "cols6", "cols2", "grad_out", "grad_cols2", "grad_cols6", "gxt",
+    )
+
+    def __init__(
+        self,
+        x_shape: Tuple[int, int, int, int],
+        oc: int,
+        kh: int,
+        kw: int,
+        stride: int,
+        pad: int,
+        dtype: np.dtype,
+    ):
+        n, c, h, w = x_shape
+        self.x_shape = x_shape
+        self.out_h, self.out_w = conv_output_size(h, w, kh, kw, stride, pad)
+        oh, ow = self.out_h, self.out_w
+        # Channel-first padded input; the zeroed border survives reuse
+        # because every forward only rewrites the interior.
+        self.xpt = np.zeros((c, n, h + 2 * pad, w + 2 * pad), dtype=dtype)
+        self.cols6 = np.empty((c, kh, kw, n, oh, ow), dtype=dtype)
+        self.cols2 = self.cols6.reshape(c * kh * kw, n * oh * ow)
+        self.grad_out = np.empty((oc, n, oh, ow), dtype=dtype)
+        self.grad_cols2 = np.empty_like(self.cols2)
+        self.grad_cols6 = self.grad_cols2.reshape(c, kh, kw, n, oh, ow)
+        self.gxt = np.empty((c, n, h + 2 * pad, w + 2 * pad), dtype=dtype)
+
+
 class Conv2D(Layer):
     """2-D convolution over NCHW tensors using the im2col matrix-multiply form."""
+
+    #: Workspaces kept per (shape, dtype), LRU-evicted; bounds per-layer
+    #: buffer memory while covering the batch-size mix a micro-batching
+    #: serving plane produces.
+    _MAX_WORKSPACES = 8
 
     def __init__(
         self,
@@ -202,8 +316,9 @@ class Conv2D(Layer):
         bias: bool = True,
         seed: SeedLike = None,
         name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
     ):
-        super().__init__(name)
+        super().__init__(name, dtype=dtype)
         if kernel_size <= 0 or stride <= 0 or padding < 0:
             raise ConfigurationError("invalid kernel_size/stride/padding")
         self.in_channels = in_channels
@@ -214,56 +329,128 @@ class Conv2D(Layer):
         fan_in = in_channels * kernel_size * kernel_size
         self.weight = Parameter(
             initializers.he_normal(
-                (out_channels, in_channels, kernel_size, kernel_size), fan_in=fan_in, seed=seed
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in=fan_in,
+                seed=seed,
+                dtype=self.dtype,
             ),
             name=f"{self.name}.weight",
+            dtype=self.dtype,
         )
         self.bias = (
-            Parameter(initializers.zeros((out_channels,)), name=f"{self.name}.bias")
+            Parameter(
+                initializers.zeros((out_channels,), dtype=self.dtype),
+                name=f"{self.name}.bias",
+                dtype=self.dtype,
+            )
             if bias
             else None
         )
-        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+        self._local = threading.local()
+        self._cache: Optional[_ConvWorkspace] = None
+
+    def _on_dtype_change(self) -> None:
+        self._local = threading.local()
+        self._cache = None
+
+    def __getstate__(self):
+        # Workspaces are transient compute buffers: drop them when the model
+        # is pickled (Sequential.to_bytes / clone / model-zoo persistence).
+        state = self.__dict__.copy()
+        state["_local"] = None
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    def _workspace(self, x_shape: Tuple[int, int, int, int], dtype: np.dtype) -> _ConvWorkspace:
+        store: Dict[tuple, _ConvWorkspace] = getattr(self._local, "ws", None)
+        if store is None:
+            store = {}
+            self._local.ws = store
+        key = (x_shape, dtype)
+        ws = store.pop(key, None)  # re-insert below: dict order is the LRU order
+        if ws is None:
+            if len(store) >= self._MAX_WORKSPACES:
+                store.pop(next(iter(store)))
+            ws = _ConvWorkspace(
+                x_shape, self.out_channels, self.kernel_size, self.kernel_size,
+                self.stride, self.padding, dtype,
+            )
+        store[key] = ws
+        return ws
 
     def output_shape(self, h: int, w: int) -> Tuple[int, int]:
         k, s, p = self.kernel_size, self.stride, self.padding
-        return (h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1
+        return conv_output_size(h, w, k, k, s, p)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         if x.ndim != 4:
             raise ValueError(f"Conv2D expects NCHW input, got shape {x.shape}")
         if x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D {self.name!r}: expected {self.in_channels} channels, got {x.shape[1]}"
             )
-        n = x.shape[0]
-        cols, out_h, out_w = im2col(x, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        n, _, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        ws = self._workspace(x.shape, x.dtype)
+        oh, ow = ws.out_h, ws.out_w
+        np.copyto(ws.xpt[:, :, p : p + h, p : p + w], x.transpose(1, 0, 2, 3))
+        # im2col gather: one large strided slice copy per kernel offset.
+        for ki in range(k):
+            for kj in range(k):
+                np.copyto(
+                    ws.cols6[:, ki, kj],
+                    ws.xpt[:, :, ki : ki + s * oh : s, kj : kj + s * ow : s],
+                )
         w_col = self.weight.data.reshape(self.out_channels, -1)
-        out = w_col @ cols  # (out_channels, N*out_h*out_w)
+        out = w_col @ ws.cols2  # (out_channels, N*oh*ow)
         if self.bias is not None:
-            out = out + self.bias.data[:, None]
-        out = out.reshape(self.out_channels, out_h, out_w, n).transpose(3, 0, 1, 2)
-        if training:
-            self._cache = (cols, x.shape, out_h, out_w)
-        else:
-            self._cache = None
+            out += self.bias.data[:, None]
+        out = np.ascontiguousarray(
+            out.reshape(self.out_channels, n, oh, ow).transpose(1, 0, 2, 3)
+        )
+        # The workspace doubles as the backward cache; backward must follow
+        # its own training forward (the Trainer's loop guarantees this).
+        self._cache = ws if training else None
         return out
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+    def _backward_param_grads(self, grad_output: np.ndarray) -> np.ndarray:
+        ws = self._cache
+        if ws is None:
             raise RuntimeError("backward() called before a training forward pass")
-        cols, x_shape, out_h, out_w = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        n = x_shape[0]
-        # (out_channels, N*out_h*out_w)
-        grad_flat = grad_output.transpose(1, 2, 3, 0).reshape(self.out_channels, -1)
+        n = ws.x_shape[0]
+        np.copyto(ws.grad_out, grad_output.transpose(1, 0, 2, 3))
+        grad_flat = ws.grad_out.reshape(self.out_channels, n * ws.out_h * ws.out_w)
         if self.bias is not None:
             self.bias.grad += grad_flat.sum(axis=1)
-        self.weight.grad += (grad_flat @ cols.T).reshape(self.weight.data.shape)
+        self.weight.grad += (grad_flat @ ws.cols2.T).reshape(self.weight.data.shape)
+        return grad_flat
+
+    def backward_params_only(self, grad_output: np.ndarray) -> None:
+        self._backward_param_grads(self._cast(grad_output))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_flat = self._backward_param_grads(self._cast(grad_output))
+        ws = self._cache
+        n, _, h, w = ws.x_shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        oh, ow = ws.out_h, ws.out_w
         w_col = self.weight.data.reshape(self.out_channels, -1)
-        grad_cols = w_col.T @ grad_flat
-        return col2im(grad_cols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        np.matmul(w_col.T, grad_flat, out=ws.grad_cols2)
+        gx = ws.gxt
+        gx.fill(0)
+        g6 = ws.grad_cols6
+        # col2im scatter: one strided slice-add per kernel offset (no add.at);
+        # source and destination share the (c, n, ...) axis order.
+        for ki in range(k):
+            for kj in range(k):
+                gx[:, :, ki : ki + s * oh : s, kj : kj + s * ow : s] += g6[:, ki, kj]
+        # Copy out of the reusable workspace so callers may hold the gradient.
+        return np.ascontiguousarray(gx[:, :, p : p + h, p : p + w].transpose(1, 0, 2, 3))
 
     def parameters(self) -> List[Parameter]:
         return [self.weight] + ([self.bias] if self.bias is not None else [])
@@ -272,15 +459,15 @@ class Conv2D(Layer):
 class MaxPool2D(Layer):
     """Max pooling over non-overlapping windows of an NCHW tensor."""
 
-    def __init__(self, pool_size: int = 2, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(self, pool_size: int = 2, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
+        super().__init__(name, dtype=dtype)
         if pool_size <= 0:
             raise ConfigurationError("pool_size must be positive")
         self.pool_size = pool_size
         self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         n, c, h, w = x.shape
         p = self.pool_size
         if h % p != 0 or w % p != 0:
@@ -302,8 +489,7 @@ class MaxPool2D(Layer):
             raise RuntimeError("backward() called before a training forward pass")
         mask, x_shape = self._cache
         n, c, h, w = x_shape
-        p = self.pool_size
-        grad = grad_output[:, :, :, None, :, None] * mask
+        grad = self._cast(grad_output)[:, :, :, None, :, None] * mask
         # Normalise ties: divide by the number of maxima per window.
         counts = mask.sum(axis=(3, 5), keepdims=True)
         grad = grad / np.maximum(counts, 1)
@@ -316,12 +502,12 @@ class MaxPool2D(Layer):
 class Flatten(Layer):
     """Flatten all dimensions but the batch dimension."""
 
-    def __init__(self, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(self, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
+        super().__init__(name, dtype=dtype)
         self._shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         self._shape = x.shape
         return x.reshape(x.shape[0], -1)
 
@@ -334,13 +520,18 @@ class Flatten(Layer):
 class Reshape(Layer):
     """Reshape per-sample features to a target shape (excluding batch dim)."""
 
-    def __init__(self, target_shape: Tuple[int, ...], name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(
+        self,
+        target_shape: Tuple[int, ...],
+        name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
+    ):
+        super().__init__(name, dtype=dtype)
         self.target_shape = tuple(int(s) for s in target_shape)
         self._shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         self._shape = x.shape
         return x.reshape((x.shape[0],) + self.target_shape)
 
@@ -354,45 +545,69 @@ class Reshape(Layer):
 # Activations
 # ---------------------------------------------------------------------------
 class ReLU(Layer):
-    def __init__(self, name: Optional[str] = None):
-        super().__init__(name)
-        self._mask: Optional[np.ndarray] = None
+    """``max(x, 0)``.
+
+    The forward pass is a single ``np.maximum`` (no boolean mask is
+    materialised); the backward mask is derived lazily from the cached input,
+    so inference-only forwards — including folded MC-dropout probes — pay no
+    mask cost at all.
+    """
+
+    def __init__(self, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
+        super().__init__(name, dtype=dtype)
+        self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        x = self._cast(x)
+        self._x = x if training else None
+        return np.maximum(x, 0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward() called before forward()")
-        return np.asarray(grad_output) * self._mask
+        if self._x is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        return self._cast(grad_output) * (self._x > 0)
 
 
 class LeakyReLU(Layer):
-    def __init__(self, negative_slope: float = 0.01, name: Optional[str] = None):
-        super().__init__(name)
+    """``x`` for positive inputs, ``negative_slope * x`` otherwise.
+
+    For ``negative_slope < 1`` this equals ``max(x, negative_slope * x)`` —
+    two vector ops, no boolean mask; the backward mask is derived lazily from
+    the cached input (see :class:`ReLU`).
+    """
+
+    def __init__(
+        self,
+        negative_slope: float = 0.01,
+        name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
+    ):
+        super().__init__(name, dtype=dtype)
+        if not 0.0 <= negative_slope < 1.0:
+            raise ConfigurationError("negative_slope must be in [0, 1)")
         self.negative_slope = float(negative_slope)
-        self._mask: Optional[np.ndarray] = None
+        self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        self._mask = x > 0
-        return np.where(self._mask, x, self.negative_slope * x)
+        x = self._cast(x)
+        self._x = x if training else None
+        scaled = x * self.dtype.type(self.negative_slope)
+        return np.maximum(x, scaled, out=scaled)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        if self._mask is None:
-            raise RuntimeError("backward() called before forward()")
-        return np.asarray(grad_output) * np.where(self._mask, 1.0, self.negative_slope)
+        if self._x is None:
+            raise RuntimeError("backward() called before a training forward pass")
+        g = self._cast(grad_output)
+        return np.where(self._x > 0, g, g * self.dtype.type(self.negative_slope))
 
 
 class Sigmoid(Layer):
-    def __init__(self, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(self, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
+        super().__init__(name, dtype=dtype)
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         out = np.empty_like(x)
         pos = x >= 0
         out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
@@ -404,33 +619,33 @@ class Sigmoid(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward() called before forward()")
-        return np.asarray(grad_output) * self._out * (1.0 - self._out)
+        return self._cast(grad_output) * self._out * (1.0 - self._out)
 
 
 class Tanh(Layer):
-    def __init__(self, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(self, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
+        super().__init__(name, dtype=dtype)
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        self._out = np.tanh(self._cast(x))
         return self._out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward() called before forward()")
-        return np.asarray(grad_output) * (1.0 - self._out**2)
+        return self._cast(grad_output) * (1.0 - self._out**2)
 
 
 class Softmax(Layer):
     """Row-wise softmax (used as the output of the CookieNetAE PDF head)."""
 
-    def __init__(self, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(self, name: Optional[str] = None, dtype: Optional[DtypeLike] = None):
+        super().__init__(name, dtype=dtype)
         self._out: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         shifted = x - x.max(axis=-1, keepdims=True)
         exp = np.exp(shifted)
         self._out = exp / exp.sum(axis=-1, keepdims=True)
@@ -439,7 +654,7 @@ class Softmax(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward() called before forward()")
-        g = np.asarray(grad_output, dtype=np.float64)
+        g = self._cast(grad_output)
         s = self._out
         dot = np.sum(g * s, axis=-1, keepdims=True)
         return s * (g - dot)
@@ -456,10 +671,21 @@ class Dropout(Layer):
     via :func:`repro.nn.mc_dropout.mc_dropout_predict`) keeps dropout active at
     inference time so repeated stochastic forward passes give a predictive
     distribution.
+
+    The random draw is always a float64 stream consumed row-major, so one
+    draw over a ``(n_samples * batch, ...)`` folded input consumes the exact
+    same numbers as ``n_samples`` sequential draws over ``(batch, ...)`` —
+    the identity the batched MC-dropout path relies on.
     """
 
-    def __init__(self, rate: float = 0.5, seed: SeedLike = None, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(
+        self,
+        rate: float = 0.5,
+        seed: SeedLike = None,
+        name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
+    ):
+        super().__init__(name, dtype=dtype)
         if not 0.0 <= rate < 1.0:
             raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = float(rate)
@@ -467,36 +693,58 @@ class Dropout(Layer):
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         if not training or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask *= x.dtype.type(1.0 / keep)
+        self._mask = mask
+        return x * mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return np.asarray(grad_output)
-        return np.asarray(grad_output) * self._mask
+        return self._cast(grad_output) * self._mask
 
 
 class BatchNorm1d(Layer):
     """Batch normalisation over the feature dimension of a 2-D input."""
 
-    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5, name: Optional[str] = None):
-        super().__init__(name)
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
+    ):
+        super().__init__(name, dtype=dtype)
         self.num_features = num_features
         self.momentum = float(momentum)
         self.eps = float(eps)
-        self.gamma = Parameter(initializers.ones((num_features,)), name=f"{self.name}.gamma")
-        self.beta = Parameter(initializers.zeros((num_features,)), name=f"{self.name}.beta")
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.gamma = Parameter(
+            initializers.ones((num_features,), dtype=self.dtype),
+            name=f"{self.name}.gamma",
+            dtype=self.dtype,
+        )
+        self.beta = Parameter(
+            initializers.zeros((num_features,), dtype=self.dtype),
+            name=f"{self.name}.beta",
+            dtype=self.dtype,
+        )
+        self.running_mean = np.zeros(num_features, dtype=self.dtype)
+        self.running_var = np.ones(num_features, dtype=self.dtype)
+        self._cache = None
+
+    def _on_dtype_change(self) -> None:
+        self.running_mean = self.running_mean.astype(self.dtype)
+        self.running_var = self.running_var.astype(self.dtype)
         self._cache = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = self._cast(x)
         if x.ndim != 2 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"BatchNorm1d expects (batch, {self.num_features}) input, got {x.shape}"
@@ -504,8 +752,10 @@ class BatchNorm1d(Layer):
         if training:
             mean = x.mean(axis=0)
             var = x.var(axis=0)
-            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
-            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            self.running_mean *= self.momentum
+            self.running_mean += (1.0 - self.momentum) * mean
+            self.running_var *= self.momentum
+            self.running_var += (1.0 - self.momentum) * var
             x_hat = (x - mean) / np.sqrt(var + self.eps)
             self._cache = (x_hat, var)
         else:
@@ -517,7 +767,7 @@ class BatchNorm1d(Layer):
         if self._cache is None:
             raise RuntimeError("backward() called before a training forward pass")
         x_hat, var = self._cache
-        g = np.asarray(grad_output, dtype=np.float64)
+        g = self._cast(grad_output)
         n = g.shape[0]
         self.gamma.grad += np.sum(g * x_hat, axis=0)
         self.beta.grad += np.sum(g, axis=0)
@@ -541,6 +791,6 @@ class BatchNorm1d(Layer):
             {k: v for k, v in state.items() if k in (self.gamma.name, self.beta.name)}
         )
         if f"{self.name}.running_mean" in state:
-            self.running_mean = np.asarray(state[f"{self.name}.running_mean"], dtype=np.float64).copy()
+            self.running_mean = self._cast(state[f"{self.name}.running_mean"]).copy()
         if f"{self.name}.running_var" in state:
-            self.running_var = np.asarray(state[f"{self.name}.running_var"], dtype=np.float64).copy()
+            self.running_var = self._cast(state[f"{self.name}.running_var"]).copy()

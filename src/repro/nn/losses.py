@@ -4,6 +4,12 @@ Besides the regression/classification losses needed by BraggNN and
 CookieNetAE, this module implements the two self-supervised objectives the
 paper's embedding service relies on: the NT-Xent contrastive loss (SimCLR)
 and the BYOL regression loss on L2-normalised projections.
+
+All losses follow the compute-dtype policy: predictions arrive from the
+model already in the compute dtype and pass through
+:func:`repro.nn.dtype.ensure_float` without a copy (the historical
+``np.asarray(..., dtype=np.float64)`` in every ``forward`` *and* ``backward``
+copied both arrays twice per batch); integer targets are cast exactly once.
 """
 
 from __future__ import annotations
@@ -11,6 +17,8 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+
+from repro.nn.dtype import ensure_float
 
 _EPS = 1e-12
 
@@ -32,39 +40,40 @@ class MSELoss(Loss):
     """Mean squared error averaged over all elements."""
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        pred = np.asarray(pred, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
-        return float(np.mean((pred - target) ** 2))
+        diff = ensure_float(pred) - ensure_float(target)
+        return float(np.mean(np.square(diff, out=diff)))
 
     def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        pred = np.asarray(pred, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
-        return 2.0 * (pred - target) / pred.size
+        pred = ensure_float(pred)
+        diff = pred - ensure_float(target)
+        diff *= 2.0 / pred.size
+        return diff
 
 
 class MAELoss(Loss):
     """Mean absolute error averaged over all elements."""
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        return float(np.mean(np.abs(np.asarray(pred) - np.asarray(target))))
+        return float(np.mean(np.abs(ensure_float(pred) - ensure_float(target))))
 
     def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        pred = np.asarray(pred, dtype=np.float64)
-        target = np.asarray(target, dtype=np.float64)
-        return np.sign(pred - target) / pred.size
+        pred = ensure_float(pred)
+        diff = np.sign(pred - ensure_float(target))
+        diff /= pred.size
+        return diff
 
 
 class BCELoss(Loss):
     """Binary cross entropy on probabilities in (0, 1)."""
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0 - _EPS)
-        t = np.asarray(target, dtype=np.float64)
+        p = np.clip(ensure_float(pred), _EPS, 1.0 - _EPS)
+        t = ensure_float(target)
         return float(-np.mean(t * np.log(p) + (1 - t) * np.log(1 - p)))
 
     def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        p = np.clip(np.asarray(pred, dtype=np.float64), _EPS, 1.0 - _EPS)
-        t = np.asarray(target, dtype=np.float64)
+        p = np.clip(ensure_float(pred), _EPS, 1.0 - _EPS)
+        t = ensure_float(target)
         return (p - t) / (p * (1 - p)) / p.size
 
 
@@ -77,30 +86,28 @@ class SoftmaxCrossEntropy(Loss):
         return exp / exp.sum(axis=-1, keepdims=True)
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        logits = np.asarray(pred, dtype=np.float64)
-        probs = self._softmax(logits)
+        probs = self._softmax(ensure_float(pred))
         target = np.asarray(target)
         if target.ndim == 1:  # class indices
-            n = logits.shape[0]
+            n = probs.shape[0]
             return float(-np.mean(np.log(probs[np.arange(n), target.astype(int)] + _EPS)))
-        return float(-np.mean(np.sum(target * np.log(probs + _EPS), axis=-1)))
+        return float(-np.mean(np.sum(ensure_float(target) * np.log(probs + _EPS), axis=-1)))
 
     def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        logits = np.asarray(pred, dtype=np.float64)
-        probs = self._softmax(logits)
-        target = np.asarray(target)
-        n = logits.shape[0]
-        if target.ndim == 1:
+        probs = self._softmax(ensure_float(pred))
+        target_arr = np.asarray(target)
+        n = probs.shape[0]
+        if target_arr.ndim == 1:
             onehot = np.zeros_like(probs)
-            onehot[np.arange(n), target.astype(int)] = 1.0
-            target = onehot
-        return (probs - target) / n
+            onehot[np.arange(n), target_arr.astype(int)] = 1.0
+            target_arr = onehot
+        return (probs - target_arr) / n
 
 
 def _l2_normalize(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Return row-normalised ``x`` and the norms used (for backward)."""
     norms = np.linalg.norm(x, axis=1, keepdims=True)
-    norms = np.maximum(norms, _EPS)
+    norms = np.maximum(norms, x.dtype.type(_EPS) if x.dtype.kind == "f" else _EPS)
     return x / norms, norms
 
 
@@ -119,29 +126,26 @@ class NTXentLoss(Loss):
             raise ValueError("temperature must be positive")
         self.temperature = float(temperature)
 
-    def _logits(self, pred: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        za, _ = _l2_normalize(np.asarray(pred, dtype=np.float64))
-        zb, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+    def _logits(self, pred: np.ndarray, target: np.ndarray):
+        za, norms = _l2_normalize(ensure_float(pred))
+        zb, _ = _l2_normalize(ensure_float(target))
         logits = (za @ zb.T) / self.temperature
-        return za, zb, logits
+        return za, zb, norms, logits
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        _, _, logits = self._logits(pred, target)
+        _, _, _, logits = self._logits(pred, target)
         n = logits.shape[0]
         shifted = logits - logits.max(axis=1, keepdims=True)
         log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
         return float(-np.mean(log_probs[np.arange(n), np.arange(n)]))
 
     def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        pred = np.asarray(pred, dtype=np.float64)
-        za, norms = _l2_normalize(pred)
-        zb, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
-        logits = (za @ zb.T) / self.temperature
+        za, zb, norms, logits = self._logits(pred, target)
         n = logits.shape[0]
         shifted = logits - logits.max(axis=1, keepdims=True)
         probs = np.exp(shifted)
         probs /= probs.sum(axis=1, keepdims=True)
-        grad_logits = probs.copy()
+        grad_logits = probs
         grad_logits[np.arange(n), np.arange(n)] -= 1.0
         grad_logits /= n * self.temperature
         grad_za = grad_logits @ zb
@@ -159,14 +163,14 @@ class BYOLLoss(Loss):
     """
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
-        p, _ = _l2_normalize(np.asarray(pred, dtype=np.float64))
-        z, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+        p, _ = _l2_normalize(ensure_float(pred))
+        z, _ = _l2_normalize(ensure_float(target))
         return float(np.mean(2.0 - 2.0 * np.sum(p * z, axis=1)))
 
     def backward(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        pred = np.asarray(pred, dtype=np.float64)
+        pred = ensure_float(pred)
         p, norms = _l2_normalize(pred)
-        z, _ = _l2_normalize(np.asarray(target, dtype=np.float64))
+        z, _ = _l2_normalize(ensure_float(target))
         n = pred.shape[0]
         grad_p = -2.0 * z / n
         dot = np.sum(grad_p * p, axis=1, keepdims=True)

@@ -5,26 +5,93 @@ quantified with MC dropout [Gal & Ghahramani 2016], alongside the prediction
 error while the experiment drifts.  These helpers implement the same
 procedure: run ``n_samples`` stochastic forward passes with dropout active
 and summarise the spread of the predictions.
+
+The fast path exploits two structural facts:
+
+1. Every layer *before the first Dropout* is deterministic, so the looped
+   implementation recomputed an identical prefix (for BraggNN: the entire
+   convolutional trunk and first dense layer) ``n_samples`` times.  The
+   prefix now runs **once** per probe.
+2. The stochastic suffix folds the ``n_samples`` passes into the batch
+   dimension — one forward pass over ``(n_samples * batch, ...)`` rows
+   instead of ``n_samples`` passes — keeping the BLAS kernels saturated.
+
+Because every :class:`~repro.nn.layers.Dropout` owns an independent RNG and
+consumes its float64 stream row-major, the folded suffix draws exactly the
+same masks as the historical looped implementation, so results match it to
+float rounding for a given RNG state (asserted by the test suite).  Models
+containing BatchNorm fall back to the looped path, since folding would
+change the batch statistics.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.nn.layers import Dropout, Layer
 from repro.nn.network import Sequential
 from repro.utils.errors import ConfigurationError
 
+try:  # scipy is optional; a rational approximation covers its absence
+    from scipy.stats import norm as _scipy_norm
+except ImportError:  # pragma: no cover - exercised only on scipy-free installs
+    _scipy_norm = None
+
+#: Default cap on rows per folded forward pass; bounds workspace memory and
+#: keeps the folded intermediates cache-resident.
+DEFAULT_MAX_ROWS = 1024
+
+
+def _split_at_first_dropout(model: Sequential) -> Tuple[List[Layer], List[Layer]]:
+    """(deterministic prefix, stochastic suffix starting at the first Dropout)."""
+    for i, layer in enumerate(model.layers):
+        if isinstance(layer, Dropout):
+            return model.layers[:i], model.layers[i:]
+    return model.layers, []  # unreachable behind the has_dropout() guard
+
+
+def _folded_draws(
+    model: Sequential, x: np.ndarray, n_samples: int, max_rows: int
+) -> np.ndarray:
+    """Stack of ``n_samples`` stochastic predictions, prefix shared + folded."""
+    prefix, suffix = _split_at_first_dropout(model)
+    h = x
+    for layer in prefix:  # deterministic: run once for all samples
+        h = layer.forward(h, training=False)
+    batch = h.shape[0]
+    samples_per_chunk = max(1, min(n_samples, max_rows // max(1, batch)))
+    chunks = []
+    done = 0
+    while done < n_samples:
+        k = min(samples_per_chunk, n_samples - done)
+        tiled = np.broadcast_to(h, (k,) + h.shape).reshape((k * batch,) + h.shape[1:])
+        out = tiled
+        for layer in suffix:
+            out = layer.forward(out, training=True)
+        chunks.append(out.reshape((k, batch) + out.shape[1:]))
+        done += k
+    return chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
+
+
+def _looped_draws(model: Sequential, x: np.ndarray, n_samples: int) -> np.ndarray:
+    return np.stack([model.forward(x, training=True) for _ in range(n_samples)], axis=0)
+
 
 def mc_dropout_predict(
-    model: Sequential, x: np.ndarray, n_samples: int = 20
+    model: Sequential,
+    x: np.ndarray,
+    n_samples: int = 20,
+    max_rows: int = DEFAULT_MAX_ROWS,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Return ``(mean, std)`` of ``n_samples`` stochastic forward passes.
 
     The model must contain at least one :class:`~repro.nn.layers.Dropout`
     layer, otherwise the passes would be deterministic and the reported
-    uncertainty meaningless.
+    uncertainty meaningless.  ``max_rows`` caps the rows per folded forward
+    pass (memory/throughput trade-off); set it to ``0`` to force the looped
+    path.
     """
     if n_samples < 2:
         raise ConfigurationError("n_samples must be >= 2 for an uncertainty estimate")
@@ -32,15 +99,64 @@ def mc_dropout_predict(
         raise ConfigurationError(
             "MC dropout requires a model with at least one Dropout layer"
         )
-    x = np.asarray(x, dtype=np.float64)
-    draws = np.stack(
-        [model.forward(x, training=True) for _ in range(n_samples)], axis=0
-    )
+    x = np.asarray(x)
+    if max_rows and not model.has_batchnorm():
+        draws = _folded_draws(model, x, n_samples, max_rows)
+    else:
+        draws = _looped_draws(model, x, n_samples)
     return draws.mean(axis=0), draws.std(axis=0)
 
 
+# -- confidence intervals ---------------------------------------------------
+def _norm_ppf(q: float) -> float:
+    """Standard-normal quantile; Acklam's rational approximation when scipy
+    is unavailable (max relative error ~1.15e-9, far below any use here)."""
+    if _scipy_norm is not None:
+        return float(_scipy_norm.ppf(q))
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if q < p_low:
+        r = np.sqrt(-2.0 * np.log(q))
+        return (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]) / (
+            (((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0
+        )
+    if q <= p_high:
+        r = q - 0.5
+        s = r * r
+        return (
+            (((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s + a[4]) * s + a[5]) * r
+        ) / (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s + b[4]) * s + 1.0)
+    r = np.sqrt(-2.0 * np.log(1.0 - q))
+    return -(((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]) / (
+        (((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0
+    )
+
+
+_Z_CACHE: Dict[float, float] = {}
+
+
+def _z_value(confidence: float) -> float:
+    """Cached two-sided z value for a confidence level (e.g. 0.95 -> 1.96)."""
+    z = _Z_CACHE.get(confidence)
+    if z is None:
+        z = float(_norm_ppf(0.5 + confidence / 2.0))
+        _Z_CACHE[confidence] = z
+    return z
+
+
 def prediction_interval_width(
-    model: Sequential, x: np.ndarray, n_samples: int = 20, confidence: float = 0.95
+    model: Sequential,
+    x: np.ndarray,
+    n_samples: int = 20,
+    confidence: float = 0.95,
+    max_rows: int = DEFAULT_MAX_ROWS,
 ) -> float:
     """Mean width of the symmetric ``confidence`` interval across outputs.
 
@@ -50,8 +166,5 @@ def prediction_interval_width(
     """
     if not 0.0 < confidence < 1.0:
         raise ConfigurationError("confidence must be in (0, 1)")
-    from scipy.stats import norm
-
-    _, std = mc_dropout_predict(model, x, n_samples=n_samples)
-    z = float(norm.ppf(0.5 + confidence / 2.0))
-    return float(np.mean(2.0 * z * std))
+    _, std = mc_dropout_predict(model, x, n_samples=n_samples, max_rows=max_rows)
+    return float(np.mean(2.0 * _z_value(confidence) * std))

@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import io
 import pickle
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.layers import Dropout, Layer
+from repro.nn.dtype import DtypeLike, get_default_dtype
+from repro.nn.layers import BatchNorm1d, Dropout, Layer
 from repro.nn.parameter import Parameter
 
 
@@ -42,6 +43,20 @@ class Sequential:
                 else:
                     seen[p.name] = 0
 
+    # -- dtype ---------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        """The model's compute dtype (that of its first layer)."""
+        for layer in self.layers:
+            return layer.dtype
+        return get_default_dtype()
+
+    def to_dtype(self, dtype: DtypeLike) -> "Sequential":
+        """Switch every layer (parameters included) to a new compute dtype."""
+        for layer in self.layers:
+            layer.to_dtype(dtype)
+        return self
+
     # -- forward / backward -------------------------------------------------
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         out = x
@@ -53,8 +68,12 @@ class Sequential:
         return self.forward(x, training=training)
 
     def predict(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
-        """Inference helper that optionally batches large inputs."""
-        x = np.asarray(x, dtype=np.float64)
+        """Inference helper that optionally batches large inputs.
+
+        Inputs are cast to the model's compute dtype lazily, one batch slice
+        at a time inside the first layer — never as a full-array copy here.
+        """
+        x = np.asarray(x)
         if batch_size is None or x.shape[0] <= batch_size:
             return self.forward(x, training=False)
         chunks = [
@@ -63,10 +82,19 @@ class Sequential:
         ]
         return np.concatenate(chunks, axis=0)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(self, grad_output: np.ndarray, need_input_grad: bool = True) -> np.ndarray:
+        """Backpropagate through the stack.
+
+        ``need_input_grad=False`` lets the first layer skip materialising the
+        gradient with respect to the network input (which a training loop
+        discards); only pass it when nothing upstream consumes that gradient.
+        """
         grad = grad_output
-        for layer in reversed(self.layers):
-            grad = layer.backward(grad)
+        for i in range(len(self.layers) - 1, -1, -1):
+            if i == 0 and not need_input_grad:
+                self.layers[0].backward_params_only(grad)
+                return grad
+            grad = self.layers[i].backward(grad)
         return grad
 
     # -- parameters ----------------------------------------------------------
@@ -107,6 +135,14 @@ class Sequential:
     # -- dropout control (MC dropout) ----------------------------------------
     def has_dropout(self) -> bool:
         return any(isinstance(l, Dropout) for l in self.layers)
+
+    def has_batchnorm(self) -> bool:
+        """True when any layer computes cross-batch statistics in training mode.
+
+        Used by the batched MC-dropout path, which folds the sample dimension
+        into the batch and therefore must not change batch statistics.
+        """
+        return any(isinstance(l, BatchNorm1d) for l in self.layers)
 
     # -- serialisation ---------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:

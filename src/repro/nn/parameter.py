@@ -6,22 +6,36 @@ from typing import Optional
 
 import numpy as np
 
+from repro.nn.dtype import DtypeLike, resolve_dtype
+
 
 class Parameter:
     """A trainable array plus its accumulated gradient.
 
-    ``data`` and ``grad`` are plain ``float64`` NumPy arrays; optimizers update
-    ``data`` in place so layer code can keep references.  ``trainable`` is the
-    hook used by fine-tuning to freeze early layers: frozen parameters still
-    participate in the forward/backward pass (gradients flow *through* them to
-    earlier layers) but the optimizer skips their update.
+    ``data`` and ``grad`` are NumPy arrays in the layer's compute dtype
+    (float32 under the default :class:`~repro.nn.dtype.DtypePolicy`);
+    optimizers update ``data`` in place so layer code can keep references.
+    Packed optimizers may rebind ``data``/``grad`` to views into a flat
+    buffer — all reads and in-place writes keep working transparently.
+    ``trainable`` is the hook used by fine-tuning to freeze early layers:
+    frozen parameters still participate in the forward/backward pass
+    (gradients flow *through* them to earlier layers) but the optimizer skips
+    their update.
     """
 
     __slots__ = ("name", "data", "grad", "trainable")
 
-    def __init__(self, data: np.ndarray, name: str = "param", trainable: bool = True):
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "param",
+        trainable: bool = True,
+        dtype: Optional[DtypeLike] = None,
+    ):
         self.name = name
-        self.data = np.asarray(data, dtype=np.float64)
+        dt = resolve_dtype(dtype)
+        arr = np.asarray(data)
+        self.data = arr if arr.dtype == dt else arr.astype(dt)
         self.grad = np.zeros_like(self.data)
         self.trainable = bool(trainable)
 
@@ -33,13 +47,30 @@ class Parameter:
     def size(self) -> int:
         return int(self.data.size)
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def zero_grad(self) -> None:
         self.grad.fill(0.0)
 
+    def astype(self, dtype: DtypeLike) -> "Parameter":
+        """Cast ``data``/``grad`` in place to ``dtype`` (detaches packed views)."""
+        dt = np.dtype(dtype)
+        if self.data.dtype != dt:
+            self.data = self.data.astype(dt)
+            self.grad = self.grad.astype(dt)
+        return self
+
     def copy(self) -> "Parameter":
-        p = Parameter(self.data.copy(), name=self.name, trainable=self.trainable)
+        p = Parameter(
+            self.data.copy(), name=self.name, trainable=self.trainable, dtype=self.data.dtype
+        )
         p.grad = self.grad.copy()
         return p
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Parameter(name={self.name!r}, shape={self.data.shape}, trainable={self.trainable})"
+        return (
+            f"Parameter(name={self.name!r}, shape={self.data.shape}, "
+            f"dtype={self.data.dtype.name}, trainable={self.trainable})"
+        )

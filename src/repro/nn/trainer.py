@@ -16,6 +16,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn.dtype import cast
 from repro.nn.losses import Loss, MSELoss
 from repro.nn.network import Sequential
 from repro.nn.optimizers import Adam, Optimizer
@@ -138,15 +139,21 @@ class Trainer:
     def evaluate(
         self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
     ) -> float:
-        """Mean loss over ``(x, y)`` computed in inference mode."""
-        x = np.asarray(x, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
+        """Mean loss over ``(x, y)`` computed in inference mode.
+
+        Inputs are cast to the model's compute dtype one batch slice at a
+        time (a no-op when the dtype already matches) — never as full-array
+        copies of ``x``/``y`` per call.
+        """
+        x = np.asarray(x)
+        y = np.asarray(y)
         if x.shape[0] != y.shape[0]:
             raise ValidationError("x and y must have the same number of samples")
+        dtype = self.model.dtype
         total, count = 0.0, 0
         for start in range(0, x.shape[0], batch_size):
-            xb = x[start : start + batch_size]
-            yb = y[start : start + batch_size]
+            xb = cast(x[start : start + batch_size], dtype)
+            yb = cast(y[start : start + batch_size], dtype)
             pred = self.model.forward(xb, training=False)
             total += self.loss.forward(pred, yb) * xb.shape[0]
             count += xb.shape[0]
@@ -170,6 +177,19 @@ class Trainer:
         rng = default_rng(config.seed)
         optimizer = self._optimizer_factory(self.model.parameters(), config.lr)
         history = TrainingHistory()
+        dtype = self.model.dtype
+
+        x_train: Optional[np.ndarray] = None
+        y_train: Optional[np.ndarray] = None
+        if not callable(train):
+            # Validate and cast ONCE per fit — not per epoch, and never as a
+            # redundant copy when the arrays are already in the compute dtype.
+            x_train = cast(train[0], dtype)
+            y_train = cast(train[1], dtype)
+            if x_train.shape[0] != y_train.shape[0]:
+                raise ValidationError("x and y must have the same number of samples")
+            if x_train.shape[0] == 0:
+                raise ValidationError("cannot train on an empty dataset")
 
         best_val = float("inf")
         epochs_since_improvement = 0
@@ -182,12 +202,6 @@ class Trainer:
             if callable(train):
                 batches: BatchIterable = train()
             else:
-                x_train = np.asarray(train[0], dtype=np.float64)
-                y_train = np.asarray(train[1], dtype=np.float64)
-                if x_train.shape[0] != y_train.shape[0]:
-                    raise ValidationError("x and y must have the same number of samples")
-                if x_train.shape[0] == 0:
-                    raise ValidationError("cannot train on an empty dataset")
                 batches = _iterate_minibatches(
                     x_train, y_train, config.batch_size, config.shuffle, rng
                 )
@@ -195,11 +209,15 @@ class Trainer:
             fetch_start = time.perf_counter()
             for xb, yb in batches:
                 io_time += time.perf_counter() - fetch_start
+                # No-op for the array path (cast above); covers loader-fed
+                # batches so loss/backward never mix dtypes mid-pipeline.
+                xb = cast(xb, dtype)
+                yb = cast(yb, dtype)
                 pred = self.model.forward(xb, training=True)
                 batch_loss = self.loss.forward(pred, yb)
                 grad = self.loss.backward(pred, yb)
                 optimizer.zero_grad()
-                self.model.backward(grad)
+                self.model.backward(grad, need_input_grad=False)
                 optimizer.step()
                 epoch_loss += batch_loss
                 n_batches += 1

@@ -29,7 +29,13 @@ def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
 
 
 def check_layer_gradients(layer, x: np.ndarray, atol: float = 1e-5) -> None:
-    """Verify a layer's analytic input and parameter gradients against finite differences."""
+    """Verify a layer's analytic input and parameter gradients against finite differences.
+
+    Central differences with eps ~ 1e-6 are meaningless in float32, so the
+    layer is switched to float64 for the check (the analytic backward math is
+    dtype-independent).
+    """
+    layer.to_dtype(np.float64)
     x = np.asarray(x, dtype=np.float64)
 
     def loss_fn() -> float:

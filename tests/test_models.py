@@ -60,7 +60,7 @@ def test_cookienetae_outputs_row_stochastic(rng):
     x = rng.random((5, 4 * 16))
     out = model.forward(x)
     assert out.shape == (5, 4, 16)
-    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-6)  # float32 compute
 
 
 def test_cookienetae_invalid_config():
