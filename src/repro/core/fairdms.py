@@ -69,6 +69,16 @@ class UpdatePolicy:
 
 
 @dataclass
+class TrainingOutcome:
+    """Result of the recommend+train stage of a model update."""
+
+    model: Sequential
+    history: TrainingHistory
+    strategy: str
+    recommendation: Optional[Recommendation]
+
+
+@dataclass
 class ModelUpdateReport:
     """Everything the user gets back from :meth:`FairDMS.update_model`."""
 
@@ -179,6 +189,46 @@ class FairDMS:
         """
         return self.fairds.lookup_batch(datasets, labels=[label] * len(datasets))
 
+    def train_on_lookup(
+        self, lookup: LookupResult, watch: Optional[StopWatch] = None
+    ) -> TrainingOutcome:
+        """Produce an updated model from an existing pseudo-label lookup.
+
+        The recommend/fine-tune-or-scratch stage of :meth:`update_model`,
+        exposed on its own so the continual-learning pipeline can run
+        labeling and training as separate (checkpointed) DAG steps.  When a
+        ``watch`` is given, the ``recommend`` and ``train`` phases are timed
+        into it.
+        """
+        watch = watch if watch is not None else StopWatch()
+        x_train, y_train, x_val, y_val = self._split(lookup.images, lookup.labels)
+        input_distribution = lookup.input_distribution
+        recommendation: Optional[Recommendation] = None
+        scratch = len(self.fairms.zoo) == 0 or self.fairms.should_train_from_scratch(input_distribution)
+        if scratch:
+            strategy = "scratch"
+            model = self.model_builder()
+            with watch.measure("train"):
+                history = Trainer(model).fit(
+                    (x_train, y_train), val=(x_val, y_val), config=self.training_config
+                )
+        else:
+            strategy = "fine-tune"
+            with watch.measure("recommend"):
+                recommendation = self.fairms.recommend(input_distribution)
+                model = self.fairms.load(recommendation)
+            with watch.measure("train"):
+                history = Trainer(model).fine_tune(
+                    (x_train, y_train),
+                    val=(x_val, y_val),
+                    config=self.training_config,
+                    freeze_layers=self.policy.freeze_layers,
+                    lr_scale=self.policy.fine_tune_lr_scale,
+                )
+        return TrainingOutcome(
+            model=model, history=history, strategy=strategy, recommendation=recommendation
+        )
+
     # -- the headline operation ---------------------------------------------------------------
     def update_model(
         self,
@@ -211,29 +261,9 @@ class FairDMS:
         input_distribution = lookup.input_distribution
 
         # 4. Model recommendation and training.
-        x_train, y_train, x_val, y_val = self._split(lookup.images, lookup.labels)
-        recommendation: Optional[Recommendation] = None
-        scratch = len(self.fairms.zoo) == 0 or self.fairms.should_train_from_scratch(input_distribution)
-        if scratch:
-            strategy = "scratch"
-            model = self.model_builder()
-            with watch.measure("train"):
-                history = Trainer(model).fit(
-                    (x_train, y_train), val=(x_val, y_val), config=self.training_config
-                )
-        else:
-            strategy = "fine-tune"
-            with watch.measure("recommend"):
-                recommendation = self.fairms.recommend(input_distribution)
-                model = self.fairms.load(recommendation)
-            with watch.measure("train"):
-                history = Trainer(model).fine_tune(
-                    (x_train, y_train),
-                    val=(x_val, y_val),
-                    config=self.training_config,
-                    freeze_layers=self.policy.freeze_layers,
-                    lr_scale=self.policy.fine_tune_lr_scale,
-                )
+        outcome = self.train_on_lookup(lookup, watch=watch)
+        model, history = outcome.model, outcome.history
+        strategy, recommendation = outcome.strategy, outcome.recommendation
 
         # 5. Register the updated model in the Zoo.
         metrics = {"val_loss": history.best_val_loss, "epochs": float(history.epochs_run)}

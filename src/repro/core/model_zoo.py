@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,11 @@ class ModelZoo:
     def collection(self) -> Collection:
         return self.db.collection(self.collection_name)
 
+    @property
+    def tag_collection(self) -> Collection:
+        """The collection holding promotion tags (one document per tag)."""
+        return self.db.collection(f"{self.collection_name}.tags")
+
     def __len__(self) -> int:
         return self.collection.count()
 
@@ -82,9 +87,13 @@ class ModelZoo:
 
     # -- reads -----------------------------------------------------------------------
     def record(self, model_id: str) -> ModelRecord:
-        doc = self.collection.get(model_id)
+        """The metadata record of a model — a metadata-only read: unlike
+        :meth:`load_model`, no model-payload transfer is charged."""
+        doc = self.collection.snapshot_one({"_id": model_id})
+        if doc is None:
+            raise StorageError(f"document {model_id!r} not found in {self.collection_name!r}")
         return ModelRecord(
-            model_id=doc.id,
+            model_id=doc["_id"],
             name=doc["name"],
             distribution=DatasetDistribution.from_dict(doc["distribution"]),
             metrics=dict(doc.get("metrics", {})),
@@ -117,9 +126,163 @@ class ModelZoo:
             matches.append(record)
         return matches
 
+    # -- promotion tags ---------------------------------------------------------------
+    #
+    # A *tag* (e.g. ``"latest"``) names the live model for an application.
+    # ``promote`` moves the tag to a new model, pushing the previous holder
+    # onto a persisted history stack so ``rollback`` can restore it exactly.
+    # Tags live in their own collection (plain documents, no payload) and
+    # therefore survive :meth:`DocumentDB.save`/:meth:`DocumentDB.load`.
+    # Every read-modify-write goes through ``Collection.transform_one``, i.e.
+    # is serialized by the *collection's* write lock — concurrent promotions
+    # through different ModelZoo wrappers over the same database cannot lose
+    # updates or hand out duplicate version labels.
+
+    def _tag_snapshot(self, tag: str) -> Optional[Dict]:
+        """A consistent copy of a tag document (or ``None``).
+
+        Read-locked, not write-locked: tag reads never contend with each
+        other, only with an in-flight promote/rollback.
+        """
+        return self.tag_collection.snapshot_one({"tag": tag})
+
+    def promote(self, model_id: str, tag: str = "latest") -> str:
+        """Make ``model_id`` the tagged (live) model; returns its version label.
+
+        Version labels are ``"v0"``, ``"v1"``, ... in promotion order per tag
+        and are never reused, even after a rollback.
+        """
+        if not tag:
+            raise ValidationError("tag must be non-empty")
+        # Existence check via ids(): no payload transfer charged, unlike get().
+        if model_id not in self.collection.ids():
+            raise StorageError(f"model {model_id!r} not found in {self.collection_name!r}")
+        assigned: Dict[str, str] = {}
+
+        def do_promote(doc: Optional[Dict]) -> Dict:
+            if doc is None:
+                assigned["version"] = "v0"
+                return {"model_id": model_id, "version": "v0",
+                        "history": [], "history_versions": [], "promotions": 1}
+            history = list(doc.get("history", [])) + [doc["model_id"]]
+            history_versions = list(doc.get("history_versions", [])) + [doc.get("version", "")]
+            promotions = int(doc.get("promotions", len(history))) + 1
+            assigned["version"] = f"v{promotions - 1}"
+            return {"model_id": model_id, "version": assigned["version"],
+                    "history": history, "history_versions": history_versions,
+                    "promotions": promotions}
+
+        self.tag_collection.transform_one({"tag": tag}, do_promote)
+        return assigned["version"]
+
+    def promoted(self, tag: str = "latest") -> Tuple[str, str]:
+        """Atomic ``(model_id, version)`` snapshot of a tag.
+
+        Taken in one locked read, so a concurrent promote/rollback can never
+        produce a torn pair (one promotion's model with another's label).
+        """
+        doc = self._tag_snapshot(tag)
+        if doc is None:
+            raise StorageError(f"tag {tag!r} has never been promoted")
+        return doc["model_id"], str(
+            doc.get("version", f"v{int(doc.get('promotions', 1)) - 1}")
+        )
+
+    def resolve(self, tag: str = "latest") -> str:
+        """The model id currently holding ``tag``."""
+        return self.promoted(tag)[0]
+
+    def load_tag(self, tag: str = "latest") -> Sequential:
+        """Deserialise the tagged model (the invariant the continual loop
+        relies on: a promoted tag is always loadable)."""
+        return self.load_model(self.resolve(tag))
+
+    def rollback(self, tag: str = "latest") -> str:
+        """Revert ``tag`` to the previously promoted model; returns its id.
+
+        The rolled-back-to model is byte-identical to what was promoted —
+        promotion never mutates the stored payload.
+        """
+        restored: Dict[str, str] = {}
+
+        def do_rollback(doc: Optional[Dict]) -> Optional[Dict]:
+            if doc is None:
+                return None
+            history = list(doc.get("history", []))
+            if not history:
+                return None
+            restored["model_id"] = history.pop()
+            history_versions = list(doc.get("history_versions", []))
+            previous_version = history_versions.pop() if history_versions else ""
+            # Tombstone the withdrawn promotion: the lineage must remember it
+            # happened (promoted_version_of relies on this) even though the
+            # model no longer serves — otherwise a crashed cycle resumed after
+            # an operator rollback would re-promote the rolled-back model.
+            rolled_back = list(doc.get("rolled_back", []))
+            rolled_back.append([doc["model_id"], doc.get("version", "")])
+            return {"model_id": restored["model_id"], "version": previous_version,
+                    "history": history, "history_versions": history_versions,
+                    "rolled_back": rolled_back}
+
+        found = self.tag_collection.transform_one({"tag": tag}, do_rollback)
+        if found is None:
+            raise StorageError(f"tag {tag!r} has never been promoted")
+        if "model_id" not in restored:
+            raise StorageError(f"tag {tag!r} has no earlier promotion to roll back to")
+        return restored["model_id"]
+
+    def promoted_version_of(self, model_id: str, tag: str = "latest") -> Optional[str]:
+        """The version label ``model_id`` was promoted under, or ``None``.
+
+        Searches the current holder, the promotion history, and rollback
+        tombstones (most recent occurrence wins), so a model promoted and
+        later superseded — or withdrawn by a rollback — still reports the
+        label it was promoted under.
+        """
+        doc = self._tag_snapshot(tag)
+        if doc is None:
+            return None
+        if doc["model_id"] == model_id:
+            return str(doc.get("version", ""))
+        # Live lineage outranks tombstones: a model rolled back and later
+        # re-promoted reports its newest label, not the withdrawn one.
+        history_pairs = list(zip(doc.get("history", []), doc.get("history_versions", [])))
+        tombstones = [(mid, v) for mid, v in doc.get("rolled_back", [])]
+        for past_id, past_version in [*reversed(history_pairs), *reversed(tombstones)]:
+            if past_id == model_id:
+                return str(past_version)
+        return None
+
+    def promoted_version(self, tag: str = "latest") -> str:
+        """The version label of the model currently holding ``tag``.
+
+        Rollback-aware: after ``promote -> promote -> rollback`` this is
+        ``"v0"`` again (the label the serving model was originally promoted
+        under), while :meth:`promotion_count` keeps counting promote calls.
+        """
+        return self.promoted(tag)[1]
+
+    def promotion_history(self, tag: str = "latest") -> List[str]:
+        """Past holders of ``tag`` (oldest first), excluding the current one."""
+        doc = self._tag_snapshot(tag)
+        return list(doc.get("history", [])) if doc is not None else []
+
+    def promotion_count(self, tag: str = "latest") -> int:
+        """How many times ``promote`` has been called for ``tag``."""
+        doc = self._tag_snapshot(tag)
+        return int(doc.get("promotions", 0)) if doc is not None else 0
+
+    def tags(self) -> Dict[str, str]:
+        """All tags and the model ids they currently point at."""
+        return {doc["tag"]: doc["model_id"] for doc in self.tag_collection.find()}
+
     def model_bytes(self, model_id: str) -> int:
-        """Serialised size of a model (used to charge the transfer service)."""
-        doc = self.collection.get(model_id)
+        """Serialised size of a model (used to charge the transfer service).
+
+        Itself a metadata read — it reports the size without transferring."""
+        doc = self.collection.snapshot_one({"_id": model_id})
+        if doc is None:
+            raise StorageError(f"document {model_id!r} not found in {self.collection_name!r}")
         return int(doc.get("payload_bytes", 0))
 
     def delete(self, model_id: str) -> bool:

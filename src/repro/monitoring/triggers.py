@@ -34,20 +34,25 @@ class ThresholdTrigger:
         self.direction = direction
         self.cooldown = int(cooldown)
         self._cooldown_remaining = 0
+        # Observations now arrive from pipeline steps and serving observers on
+        # different threads; the reentrant lock keeps the history/cooldown
+        # state consistent and observe_many atomic as a batch.
+        self._lock = threading.RLock()
         self.history: List[float] = []
         self.fired_at: List[int] = []
 
     def observe(self, value: float) -> bool:
         """Record a value; returns True when the trigger fires on it."""
-        self.history.append(float(value))
-        if self._cooldown_remaining > 0:
-            self._cooldown_remaining -= 1
-            return False
-        crossed = value < self.threshold if self.direction == "below" else value > self.threshold
-        if crossed:
-            self.fired_at.append(len(self.history) - 1)
-            self._cooldown_remaining = self.cooldown
-        return crossed
+        with self._lock:
+            self.history.append(float(value))
+            if self._cooldown_remaining > 0:
+                self._cooldown_remaining -= 1
+                return False
+            crossed = value < self.threshold if self.direction == "below" else value > self.threshold
+            if crossed:
+                self.fired_at.append(len(self.history) - 1)
+                self._cooldown_remaining = self.cooldown
+            return crossed
 
     def observe_many(self, values: Sequence[float]) -> List[bool]:
         """Record a batch of observations in order; one fired-flag per value.
@@ -55,13 +60,32 @@ class ThresholdTrigger:
         Semantically identical to calling :meth:`observe` once per value — the
         cooldown window threads through the batch — so batched monitoring
         (e.g. :meth:`repro.core.fairds.FairDS.certainty_batch` output) and a
-        stream of single observations cannot disagree.
+        stream of single observations cannot disagree.  The whole batch is
+        observed atomically with respect to other threads.
         """
-        return [self.observe(v) for v in values]
+        with self._lock:
+            return [self.observe(v) for v in values]
+
+    def reset(self) -> None:
+        """Re-arm the trigger immediately (clear any remaining cooldown).
+
+        For operators who want the next observation eligible to fire without
+        waiting out the cooldown window — e.g. after manually intervening in
+        the system the trigger monitors.  History is kept.
+        """
+        with self._lock:
+            self._cooldown_remaining = 0
+
+    @property
+    def last_value(self) -> Optional[float]:
+        """The most recent observation, or ``None`` before any."""
+        with self._lock:
+            return self.history[-1] if self.history else None
 
     @property
     def times_fired(self) -> int:
-        return len(self.fired_at)
+        with self._lock:
+            return len(self.fired_at)
 
 
 #: Marker for sequence numbers whose observation is dropped (failed request).

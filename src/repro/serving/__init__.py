@@ -58,6 +58,7 @@ system plane (see ``examples/serving_runtime.py``).
 """
 
 from repro.serving.batcher import BatchingPolicy, MicroBatcher, Request
+from repro.serving.hot_swap import ModelHandle, ModelVersion, VersionedResult, versioned_handler
 from repro.serving.runtime import ServingRuntime
 from repro.serving.telemetry import ServingTelemetry
 from repro.utils.errors import ServiceClosedError, ServiceOverloadedError, ServingError
@@ -65,10 +66,14 @@ from repro.utils.errors import ServiceClosedError, ServiceOverloadedError, Servi
 __all__ = [
     "BatchingPolicy",
     "MicroBatcher",
+    "ModelHandle",
+    "ModelVersion",
     "Request",
     "ServingRuntime",
     "ServingTelemetry",
     "ServingError",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "VersionedResult",
+    "versioned_handler",
 ]

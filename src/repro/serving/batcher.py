@@ -87,6 +87,9 @@ class MicroBatcher:
         self._items: Deque[Request] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        # Requests with seq below this watermark flush without waiting out
+        # max_wait_ms (see flush()); seq numbers start at 0, so 0 = no flush.
+        self._flush_through = 0
         self._admitted = 0
 
     # -- producer side ---------------------------------------------------------
@@ -128,13 +131,34 @@ class MicroBatcher:
                     return None
                 self._cond.wait()
             deadline = self._items[0].admitted_at + policy.max_wait_ms / 1e3
-            while len(self._items) < policy.max_batch_size and not self._closed:
+            while (
+                self._items  # a second consumer may have drained the queue
+                and len(self._items) < policy.max_batch_size
+                and not self._closed
+                and self._items[0].seq >= self._flush_through
+            ):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
                 self._cond.wait(timeout=remaining)
             n = min(len(self._items), policy.max_batch_size)
             return [self._items.popleft() for _ in range(n)]
+
+    def flush(self) -> None:
+        """Make everything already queued ready immediately.
+
+        The consumer's ``next_batch`` stops waiting out ``max_wait_ms`` for
+        every request admitted before this call — even when they span several
+        ``max_batch_size`` batches (the flush is a seq watermark, not a
+        one-shot flag).  Requests admitted *after* the call batch normally.
+        A no-op when the queue is empty.  Used by the runtime to bound the
+        latency of operations that must observe queued requests promptly
+        (e.g. draining the old model's traffic around a hot-swap).
+        """
+        with self._cond:
+            if self._items:
+                self._flush_through = self._admitted
+                self._cond.notify_all()
 
     def close(self) -> None:
         """Stop accepting requests; queued ones flush on the next ``next_batch``."""

@@ -200,6 +200,44 @@ class ServingRuntime:
         """Submit and block for the result (the closed-loop client pattern)."""
         return self.submit(op, payload).result(timeout=timeout)
 
+    # -- live reconfiguration ----------------------------------------------------
+    def swap_handler(self, op: str, handler: Handler, flush: bool = True) -> None:
+        """Atomically replace the batch handler of a live operation.
+
+        Batches are dispatched against the handler installed at execution
+        time (one atomic read per batch), so a batch already *executing*
+        finishes on the handler it snapshotted, while batches that start
+        executing after the swap — including ones already queued or dequeued
+        but not yet started — see the replacement.  No accepted request is
+        dropped or errored by the swap.
+
+        With ``flush=True`` (default) the operation's pending partial batch
+        is flushed first, so requests admitted before the swap are batched
+        out promptly instead of waiting out ``max_wait_ms``; they execute on
+        whichever handler their batch resolves at pickup.  For *model*
+        swaps prefer a fixed handler over a
+        :class:`~repro.serving.hot_swap.ModelHandle`
+        (:func:`~repro.serving.hot_swap.versioned_handler`), which also stamps
+        each response with the version that served it.
+        """
+        if op not in self._handlers:
+            raise ConfigurationError(f"unknown operation {op!r}; have {self._ops}")
+        if flush:
+            self._batchers[op].flush()
+        self._handlers[op] = handler
+        logger.info("handler for operation %r swapped", op)
+
+    def flush(self, op: Optional[str] = None) -> None:
+        """Flush pending partial micro-batches immediately (one op or all).
+
+        Trades batching efficiency for latency on demand; queued requests are
+        handed to the flushers without waiting out ``max_wait_ms``.
+        """
+        if op is not None and op not in self._batchers:
+            raise ConfigurationError(f"unknown operation {op!r}; have {self._ops}")
+        for name in self._ops if op is None else [op]:
+            self._batchers[name].flush()
+
     @property
     def operations(self) -> List[str]:
         return list(self._ops)
@@ -224,8 +262,11 @@ class ServingRuntime:
 
     def _execute(self, op: str, batch: List[Request]) -> None:
         feed = self._feeds.get(op)
+        # Snapshot the handler once: a concurrent swap_handler() can never
+        # split one batch across two handlers.
+        handler = self._handlers[op]
         try:
-            results = self._handlers[op]([request.payload for request in batch])
+            results = handler([request.payload for request in batch])
             if results is None or len(results) != len(batch):
                 got = "None" if results is None else str(len(results))
                 raise ServingError(

@@ -24,7 +24,7 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -141,6 +141,73 @@ class Collection:
                     return True
         return False
 
+    def upsert_one(
+        self, query: Mapping[str, Any], changes: Mapping[str, Any], payload: Any = None
+    ) -> str:
+        """Update the first document matching ``query``, inserting one when
+        none matches; returns the document's id.
+
+        On insert the equality fields of ``query`` seed the new document (the
+        Mongo upsert convention), so the document remains findable by the same
+        query.  ``payload`` (when given) is encoded with the codec and
+        replaces any existing payload.
+        """
+        blob = self.codec.encode(payload) if payload is not None else None
+
+        def apply(doc: Optional[Dict[str, Any]]) -> Mapping[str, Any]:
+            data: Dict[str, Any] = dict(changes)
+            if blob is not None:
+                data["payload"] = blob
+                data["payload_bytes"] = len(blob)
+            return data
+
+        return self.transform_one(
+            query, apply, charge_bytes=0 if blob is None else len(blob)
+        )
+
+    def transform_one(
+        self,
+        query: Mapping[str, Any],
+        transform: "Callable[[Optional[Dict[str, Any]]], Optional[Mapping[str, Any]]]",
+        charge_bytes: int = 0,
+    ) -> Optional[str]:
+        """Atomic read-modify-write of the first document matching ``query``.
+
+        ``transform`` receives a plain-dict copy of the matched document (or
+        ``None`` when nothing matches) and returns the new field mapping —
+        applied as an update when a document matched, or inserted as a new
+        document (seeded with the query's equality fields) when none did.
+        Returning ``None`` leaves the collection unchanged, which makes the
+        call a consistent read-only snapshot.
+
+        The whole read+transform+write runs under the collection write lock,
+        so concurrent callers — including ones holding *different* wrapper
+        objects over the same database — cannot interleave and lose updates.
+        ``transform`` must not call back into the collection.
+        ``charge_bytes`` is billed to the network model (outside the lock).
+        """
+        self.network.charge(charge_bytes)
+        with self._lock.write():
+            target = None
+            for doc in self._candidates(query):
+                if doc.matches(query):
+                    target = doc
+                    break
+            changes = transform(dict(target) if target is not None else None)
+            if changes is None:
+                return target.id if target is not None else None
+            if target is not None:
+                self._index_remove(target)
+                target.update({k: v for k, v in changes.items() if k != "_id"})
+                self._index_add(target)
+                return target.id
+            data = {k: v for k, v in query.items() if not isinstance(v, Mapping)}
+            data.update({k: v for k, v in changes.items() if k != "_id"})
+            doc = Document(data)
+            self._docs[doc.id] = doc
+            self._index_add(doc)
+            return doc.id
+
     def delete_many(self, query: Mapping[str, Any]) -> int:
         self.network.charge(0)
         with self._lock.write():
@@ -152,6 +219,10 @@ class Collection:
 
     # -- reads ---------------------------------------------------------------------
     def _candidates(self, query: Mapping[str, Any]) -> Iterable[Document]:
+        # _id equality is the primary key: O(1), no index needed.
+        if "_id" in query and not isinstance(query["_id"], Mapping):
+            doc = self._docs.get(query["_id"])
+            return [doc] if doc is not None else []
         # Use the most selective applicable index for equality terms.
         for field, index in self._indexes.items():
             if field in query and not isinstance(query[field], Mapping):
@@ -182,6 +253,25 @@ class Collection:
                 out.append(copy)
             return out
         return matches
+
+    def snapshot_one(self, query: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """A consistent metadata copy of the first document matching ``query``.
+
+        The copy is taken under the read lock (writers are excluded, other
+        readers are not), so — unlike reading fields off the live
+        :class:`Document` that :meth:`find_one` returns — a concurrent
+        multi-field update can never be observed half-applied.  The raw
+        payload is omitted (``payload_bytes`` is kept) and no transfer is
+        charged: this is the cheap read for callers that only need fields,
+        e.g. reading one metric off a model record without downloading the
+        model.
+        """
+        self.network.charge(0)
+        with self._lock.read():
+            for doc in self._candidates(query):
+                if doc.matches(query):
+                    return {k: v for k, v in doc.items() if k != "payload"}
+        return None
 
     def find_one(self, query: Optional[Mapping[str, Any]] = None, decode_payload: bool = False) -> Optional[Document]:
         results = self.find(query, limit=1, decode_payload=decode_payload)
@@ -216,10 +306,14 @@ class Collection:
             return list(self._docs.keys())
 
     def count(self, query: Optional[Mapping[str, Any]] = None) -> int:
+        """Number of matching documents.  A metadata operation: unlike
+        :meth:`find`, no payload transfer is charged to the network model."""
         if not query:
             with self._lock.read():
                 return len(self._docs)
-        return len(self.find(query))
+        self.network.charge(0)
+        with self._lock.read():
+            return sum(1 for doc in self._candidates(query) if doc.matches(query))
 
     def storage_bytes(self) -> int:
         with self._lock.read():

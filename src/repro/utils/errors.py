@@ -28,6 +28,16 @@ class ValidationError(ReproError):
     """Raised when user-supplied data fails validation (shape, dtype, range)."""
 
 
+class PipelineError(ReproError):
+    """Raised by the workflow DAG orchestrator (:mod:`repro.workflow.pipeline`)."""
+
+
+class StepTimeoutError(PipelineError):
+    """A pipeline step attempt exceeded its ``timeout_s``.  The attempt is
+    abandoned (threads cannot be killed); the step may retry if it has
+    retries left."""
+
+
 class ServingError(ReproError):
     """Raised by the concurrent serving runtime (:mod:`repro.serving`)."""
 

@@ -18,6 +18,26 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _collect_in_order(pool: ThreadPoolExecutor, fn, inputs) -> List:
+    """Submit every input and gather results in input order.
+
+    Any ``BaseException`` from a worker — including ``KeyboardInterrupt``,
+    which ``concurrent.futures`` captures into the future rather than the
+    main thread — is re-raised here after cancelling the not-yet-started
+    remainder, so an interrupt in a worker cannot be silently dropped.
+    """
+    futures = [pool.submit(fn, item) for item in inputs]
+    results: List = []
+    try:
+        for fut in futures:
+            results.append(fut.result())
+    except BaseException:
+        for fut in futures:
+            fut.cancel()
+        raise
+    return results
+
+
 def thread_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -39,6 +59,9 @@ def thread_map(
         When ``True`` the items are split into at most ``max_workers``
         contiguous chunks and ``fn`` is applied to each chunk instead of each
         item (useful when per-item work is tiny).
+
+    An exception (``KeyboardInterrupt`` included) raised by ``fn`` in any
+    worker propagates to the caller; pending items are cancelled.
     """
     items = list(items)
     if not items:
@@ -51,11 +74,11 @@ def thread_map(
         # Ceil division: floor could leave a tail of up to max_workers - 1
         # extra chunks (9 items / 4 workers -> 5 chunks of [2,2,2,2,1]).
         n = -(-len(items) // max_workers)
-        chunks = [items[i : i + n] for i in range(0, len(items), n)]
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, chunks))  # type: ignore[arg-type]
+        inputs: List = [items[i : i + n] for i in range(0, len(items), n)]
+    else:
+        inputs = items
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(fn, items))
+        return _collect_in_order(pool, fn, inputs)
 
 
 class WorkerPool:
@@ -75,6 +98,21 @@ class WorkerPool:
         self._target = target
         self._threads: List[threading.Thread] = []
         self._started = False
+        self._errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+
+    def _run(self, worker_id: int, *args, **kwargs) -> None:
+        try:
+            self._target(worker_id, *args, **kwargs)
+        except BaseException as exc:
+            # A bare Thread would silently drop anything its target raises
+            # (threads have no caller to propagate to).  Record it; interrupts
+            # (KeyboardInterrupt/SystemExit — not Exception subclasses) are
+            # re-raised in the thread that joins the pool.
+            with self._errors_lock:
+                self._errors.append(exc)
+            if isinstance(exc, Exception):
+                raise  # keep the default excepthook traceback for plain bugs
 
     def start(self, *args, **kwargs) -> None:
         if self._started:
@@ -82,14 +120,35 @@ class WorkerPool:
         self._started = True
         for worker_id in range(self.num_workers):
             t = threading.Thread(
-                target=self._target, args=(worker_id, *args), kwargs=kwargs, daemon=True
+                target=self._run, args=(worker_id, *args), kwargs=kwargs, daemon=True
             )
             t.start()
             self._threads.append(t)
 
     def join(self, timeout: Optional[float] = None) -> None:
+        """Join all workers, then re-raise any interrupt a worker swallowed.
+
+        A ``KeyboardInterrupt`` (or ``SystemExit``) raised inside a worker
+        thread has no path back to the caller on its own; ``join`` is where
+        it surfaces, so Ctrl-C during pooled work actually stops the program.
+        """
         for t in self._threads:
             t.join(timeout=timeout)
+        self.raise_pending_interrupt()
+
+    def raise_pending_interrupt(self) -> None:
+        """Re-raise the first captured non-``Exception`` error, if any."""
+        with self._errors_lock:
+            for i, exc in enumerate(self._errors):
+                if not isinstance(exc, Exception):
+                    del self._errors[i]
+                    raise exc
+
+    @property
+    def errors(self) -> List[BaseException]:
+        """Errors captured from worker targets (interrupts until re-raised)."""
+        with self._errors_lock:
+            return list(self._errors)
 
     @property
     def alive(self) -> int:

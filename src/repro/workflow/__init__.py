@@ -5,8 +5,17 @@ funcX as a serverless function-execution fabric, and Globus Transfer to move
 data and models between the experimental facility and the compute cluster.
 Locally we reproduce the same structure:
 
-* :class:`~repro.workflow.flows.Flow` — an ordered list of named steps with
-  per-step timing, retries, and a result object the caller can inspect.
+* :class:`~repro.workflow.pipeline.Pipeline` — an async DAG of named steps
+  with dependencies, per-step retries and timeouts, thread-pool execution of
+  ready steps, and checkpointed resume through a
+  :class:`~repro.workflow.pipeline.CheckpointStore` persisted in the document
+  database.
+* :class:`~repro.workflow.flows.Flow` — the legacy linear step list, now a
+  thin adapter over the DAG engine.
+* :class:`~repro.workflow.continual.ContinualLearningPipeline` — the closed
+  monitor → pseudo-label → train → validate → promote → hot-swap loop built
+  on the engine (imported lazily; also available as
+  ``repro.workflow.continual``).
 * :class:`~repro.workflow.funcx.FuncXExecutor` — register functions, submit
   invocations to a thread pool, await futures (optionally with a simulated
   cold-start latency per task).
@@ -17,14 +26,38 @@ Locally we reproduce the same structure:
 
 from repro.workflow.flows import Flow, FlowResult, FlowStep
 from repro.workflow.funcx import FuncXExecutor, FunctionNotRegistered
+from repro.workflow.pipeline import (
+    Checkpoint,
+    CheckpointStore,
+    Pipeline,
+    PipelineResult,
+    PipelineStep,
+)
 from repro.workflow.transfer import TransferService, TransferRecord
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "ContinualLearningPipeline",
+    "CycleReport",
     "Flow",
     "FlowResult",
     "FlowStep",
     "FuncXExecutor",
     "FunctionNotRegistered",
+    "Pipeline",
+    "PipelineResult",
+    "PipelineStep",
     "TransferService",
     "TransferRecord",
 ]
+
+
+def __getattr__(name):
+    # Lazy: repro.workflow.continual imports repro.core (which itself imports
+    # repro.workflow.transfer), so an eager import here would be circular.
+    if name in ("ContinualLearningPipeline", "CycleReport"):
+        from repro.workflow import continual
+
+        return getattr(continual, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,12 +1,19 @@
-"""A small typed flow engine (Globus Flows stand-in)."""
+"""The legacy linear flow API, now a thin adapter over the DAG engine.
+
+:class:`Flow` keeps its original contract — an ordered list of named steps
+sharing a context dict, per-step retries and timings, stop-at-first-failure —
+but execution is delegated to :class:`~repro.workflow.pipeline.Pipeline` with
+a linear dependency chain, so flows gain the engine's features (per-step
+timeouts and checkpointed resume via :meth:`Flow.as_pipeline`) for free.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.utils.errors import ConfigurationError
+from repro.workflow.pipeline import COMPLETED, FAILED, Pipeline, PipelineResult
 
 
 @dataclass
@@ -15,19 +22,22 @@ class FlowStep:
 
     ``fn`` receives the shared flow context dict and returns a value stored
     under ``output_key`` (when given).  ``retries`` re-runs a failed step
-    before giving up.
+    before giving up, and ``timeout_s`` bounds one attempt's wall-clock time.
     """
 
     name: str
     fn: Callable[[Dict[str, Any]], Any]
     output_key: Optional[str] = None
     retries: int = 0
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("flow steps must be named")
         if self.retries < 0:
             raise ConfigurationError("retries must be non-negative")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive when set")
 
 
 @dataclass
@@ -61,40 +71,74 @@ class Flow:
         fn: Callable[[Dict[str, Any]], Any],
         output_key: Optional[str] = None,
         retries: int = 0,
+        timeout_s: Optional[float] = None,
     ) -> "Flow":
         """Append a step; returns ``self`` for chaining."""
-        self.steps.append(FlowStep(name=name, fn=fn, output_key=output_key, retries=retries))
+        self.steps.append(FlowStep(name=name, fn=fn, output_key=output_key,
+                                   retries=retries, timeout_s=timeout_s))
         return self
+
+    def _linear_pipeline(self, checkpoints=None) -> "tuple[Pipeline, Dict[str, str]]":
+        """The equivalent linear pipeline plus an internal-name → flow-name map.
+
+        The old Flow never required unique step names (a duplicate simply
+        overwrote the earlier timing entry), while the DAG engine does, so
+        duplicates get disambiguated internal names here and are mapped back
+        when the result is built.
+        """
+        pipeline = Pipeline(self.name, max_workers=1, checkpoints=checkpoints)
+        literal = {step.name for step in self.steps}
+        used: set = set()
+        aliases: Dict[str, str] = {}
+        previous: Optional[str] = None
+        for step in self.steps:
+            if step.name not in used:
+                internal = step.name
+            else:
+                # Probe until the generated name collides with neither an
+                # assigned internal name nor a user step name containing '#'.
+                suffix = 2
+                while f"{step.name}#{suffix}" in used or f"{step.name}#{suffix}" in literal:
+                    suffix += 1
+                internal = f"{step.name}#{suffix}"
+            used.add(internal)
+            aliases[internal] = step.name
+            pipeline.add_step(
+                internal, step.fn,
+                depends_on=(previous,) if previous is not None else (),
+                output_key=step.output_key, retries=step.retries,
+                timeout_s=step.timeout_s,
+            )
+            previous = internal
+        return pipeline, aliases
+
+    def as_pipeline(self, checkpoints=None) -> Pipeline:
+        """The equivalent linear :class:`Pipeline` (each step depends on the
+        previous one).  Useful to run a legacy flow with checkpointed resume."""
+        return self._linear_pipeline(checkpoints=checkpoints)[0]
 
     def run(self, initial_context: Optional[Dict[str, Any]] = None, raise_on_error: bool = False) -> FlowResult:
         """Execute all steps in order.
 
-        On failure the flow stops; the partial context and the failing step are
-        recorded in the result (or the exception re-raised when
-        ``raise_on_error`` is set).
+        On failure the flow stops (later steps never run); the partial context
+        and the failing step are recorded in the result (or the exception
+        re-raised when ``raise_on_error`` is set).
         """
-        context: Dict[str, Any] = dict(initial_context or {})
-        result = FlowResult(context=context)
-        for step in self.steps:
-            attempts = 0
-            start = time.perf_counter()
-            while True:
-                attempts += 1
-                try:
-                    value = step.fn(context)
-                    break
-                except Exception as exc:
-                    if attempts > step.retries:
-                        result.step_times[step.name] = time.perf_counter() - start
-                        result.step_attempts[step.name] = attempts
-                        result.succeeded = False
-                        result.failed_step = step.name
-                        result.error = exc
-                        if raise_on_error:
-                            raise
-                        return result
-            result.step_times[step.name] = time.perf_counter() - start
-            result.step_attempts[step.name] = attempts
-            if step.output_key is not None:
-                context[step.output_key] = value
+        pipeline, aliases = self._linear_pipeline()
+        outcome: PipelineResult = pipeline.run(initial_context, raise_on_error=raise_on_error)
+        result = FlowResult(
+            context=outcome.context,
+            succeeded=all(s == COMPLETED for s in outcome.statuses.values()),
+        )
+        # Topological order, so a duplicated flow name keeps the last
+        # occurrence's timing/attempts — the old Flow's overwrite behaviour.
+        for internal in outcome.order:
+            if internal in outcome.step_times:
+                result.step_times[aliases[internal]] = outcome.step_times[internal]
+                result.step_attempts[aliases[internal]] = outcome.step_attempts[internal]
+        for internal in outcome.order:
+            if outcome.statuses[internal] == FAILED:
+                result.failed_step = aliases[internal]
+                result.error = outcome.errors[internal]
+                break
         return result

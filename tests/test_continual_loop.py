@@ -1,0 +1,477 @@
+"""End-to-end tests of the continual-learning loop.
+
+A drifting synthetic experiment feeds the monitor; the phase change drops
+fairDS cluster-assignment certainty to ~0 %, which triggers pseudo-labeling,
+retraining, Zoo promotion, and a hot-swap of the live serving model — all
+while client threads keep getting answers.  Plus: crash-resume from
+checkpoints, the validation gate, and a 32-thread hot-swap stress test
+asserting no torn reads.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import FairDMS, FairDS, UpdatePolicy
+from repro.datasets import BraggPeakDataset, make_two_phase_schedule
+from repro.embedding import PCAEmbedder
+from repro.models import build_braggnn
+from repro.monitoring.triggers import CertaintyTrigger
+from repro.nn.trainer import TrainingConfig
+from repro.serving import BatchingPolicy, ModelHandle, ServingRuntime, VersionedResult, versioned_handler
+from repro.storage import DocumentDB
+from repro.workflow.continual import PIPELINE_NAME, ContinualLearningPipeline
+from repro.workflow.pipeline import CheckpointStore, COMPLETED, FAILED, RESUMED, SKIPPED
+
+BENIGN_SCAN = 5     # same phase as the bootstrap data -> certainty ~33-45 %
+DRIFTED_SCAN = 9    # after the phase change at scan 8 -> certainty ~0 %
+TRIGGER_THRESHOLD = 20.0
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return BraggPeakDataset(make_two_phase_schedule(n_scans=14, change_at=8, seed=0),
+                            peaks_per_scan=60, seed=0)
+
+
+def _bootstrap(experiment, checkpoints=None, **clp_kwargs):
+    """A bootstrapped DMS with a promoted v0 model and a continual pipeline."""
+    fairds = FairDS(PCAEmbedder(embedding_dim=6), n_clusters=6, seed=0)
+    dms = FairDMS(
+        fairds,
+        model_builder=lambda: build_braggnn(width=4, seed=0),
+        training_config=TrainingConfig(epochs=6, batch_size=32, lr=3e-3, seed=0),
+        policy=UpdatePolicy(distance_threshold=0.7, certainty_threshold=10.0),
+        seed=0,
+    )
+    hist_x, hist_y = experiment.stacked(range(3))
+    record = dms.bootstrap(hist_x, hist_y)
+    zoo = dms.fairms.zoo
+    assert zoo.promote(record.model_id) == "v0"
+    handle = ContinualLearningPipeline.bootstrap_handle(dms)
+    assert handle.version == "v0"
+    clp = ContinualLearningPipeline(
+        dms, handle,
+        trigger=CertaintyTrigger(TRIGGER_THRESHOLD),
+        checkpoints=checkpoints,
+        **clp_kwargs,
+    )
+    return dms, handle, clp, record
+
+
+# ---------------------------------------------------------------------------------
+# The headline end-to-end path
+# ---------------------------------------------------------------------------------
+def test_drift_triggers_retrain_promotion_and_hot_swap(experiment):
+    dms, handle, clp, boot_record = _bootstrap(experiment)
+    zoo = dms.fairms.zoo
+    benign = experiment.scan(BENIGN_SCAN).images
+    drifted = experiment.scan(DRIFTED_SCAN).images
+    probes = experiment.scan(BENIGN_SCAN).images[:24]
+
+    futures = []
+    with clp.runtime(policy=BatchingPolicy(max_batch_size=8, max_wait_ms=1.0),
+                     num_workers=2) as runtime:
+        # Phase 0 traffic: everything served by v0.
+        early = [runtime.call("predict", x) for x in probes[:8]]
+        assert all(isinstance(r, VersionedResult) and r.version == "v0" for r in early)
+
+        # A benign scan does not trigger anything — and takes the fast path
+        # (one observation, no DAG, no checkpoint traffic).
+        report = clp.process_scan(benign, run_id="benign")
+        assert not report.triggered and not report.swapped
+        assert report.signal > TRIGGER_THRESHOLD
+        assert report.statuses == {"monitor": COMPLETED}
+        assert len(zoo) == 1
+
+        # Submit in-flight traffic, then process the drifted scan.
+        futures = [runtime.submit("predict", x) for x in probes]
+        report = clp.process_scan(drifted, run_id="drifted")
+        assert report.triggered and report.signal < TRIGGER_THRESHOLD
+        assert report.gate_passed and report.promoted_version == "v1"
+        assert report.swapped and handle.version == "v1"
+        assert report.strategy in ("fine-tune", "scratch")
+        assert len(zoo) == 2
+        assert zoo.resolve("latest") == report.model_id
+
+        # No in-flight future was dropped or errored by the swap...
+        inflight = [f.result(timeout=10.0) for f in futures]
+        # ...and post-swap traffic is served by the promoted model.
+        runtime.drain(timeout=10.0)
+        late = [runtime.call("predict", x) for x in probes[:8]]
+
+    model_v0 = zoo.load_model(boot_record.model_id)
+    model_v1 = zoo.load_model(report.model_id)
+    by_version = {"v0": model_v0, "v1": model_v1}
+    for response, x in zip(inflight + late, list(probes) + list(probes[:8])):
+        assert response.version in by_version
+        expected = by_version[response.version].predict(x[None])[0]
+        # The response must match the model its version label claims produced
+        # it — a torn read (label from one model, prediction from the other)
+        # would break this.
+        np.testing.assert_allclose(response.value, expected, rtol=1e-5, atol=1e-6)
+    assert all(r.version == "v1" for r in late)
+
+
+def test_untriggered_cycles_leave_the_system_untouched(experiment):
+    dms, handle, clp, _ = _bootstrap(experiment)
+    for i, scan_idx in enumerate((3, 4, BENIGN_SCAN)):
+        report = clp.process_scan(experiment.scan(scan_idx).images)
+        assert not report.triggered and not report.swapped
+        assert report.strategy is None and report.promoted_version is None
+    assert handle.version == "v0"
+    assert len(dms.fairms.zoo) == 1
+    assert clp.trigger.times_fired == 0
+
+
+def test_validation_gate_blocks_promotion(experiment):
+    dms, handle, clp, _ = _bootstrap(experiment, absolute_gate=1e-12)
+    report = clp.process_scan(experiment.scan(DRIFTED_SCAN).images)
+    assert report.triggered
+    assert report.gate_passed is False
+    assert report.promoted_version is None and not report.swapped
+    assert handle.version == "v0"
+    assert len(dms.fairms.zoo) == 1  # the rejected candidate was never registered
+
+
+def test_rollback_restores_previous_serving_lineage(experiment):
+    dms, handle, clp, boot_record = _bootstrap(experiment)
+    zoo = dms.fairms.zoo
+    report = clp.process_scan(experiment.scan(DRIFTED_SCAN).images)
+    assert zoo.resolve("latest") == report.model_id
+    assert zoo.rollback("latest") == boot_record.model_id
+    assert zoo.resolve("latest") == boot_record.model_id
+    # The rolled-back-to model is byte-identical to the bootstrap artifact.
+    restored = zoo.load_tag("latest")
+    for key, value in zoo.load_model(boot_record.model_id).state_dict().items():
+        assert np.array_equal(restored.state_dict()[key], value)
+
+
+# ---------------------------------------------------------------------------------
+# Crash-resume: a killed cycle continues from its checkpoints
+# ---------------------------------------------------------------------------------
+def test_killed_cycle_resumes_from_checkpoint_without_retraining(experiment):
+    db = DocumentDB()
+    store = CheckpointStore(db)
+    dms, handle, clp, _ = _bootstrap(experiment, checkpoints=store)
+    drifted = experiment.scan(DRIFTED_SCAN).images
+
+    calls = {"label": 0, "train": 0}
+    original_label = dms.pseudo_label_batch
+    original_train = dms.train_on_lookup
+
+    def counting_label(*args, **kwargs):
+        calls["label"] += 1
+        return original_label(*args, **kwargs)
+
+    def counting_train(*args, **kwargs):
+        calls["train"] += 1
+        return original_train(*args, **kwargs)
+
+    dms.pseudo_label_batch = counting_label
+    dms.train_on_lookup = counting_train
+
+    # First invocation dies at the promote step ("kill -9 mid-run").
+    first = clp.build(drifted)
+    original_promote = first.step("promote").fn
+    first.step("promote").fn = lambda ctx: (_ for _ in ()).throw(RuntimeError("killed"))
+    result1 = first.run(run_id="crash-1")
+    assert not result1.succeeded
+    assert result1.statuses["train"] == COMPLETED
+    assert result1.statuses["promote"] == FAILED
+    assert result1.statuses["hot_swap"] == SKIPPED
+    assert handle.version == "v0"
+    assert calls == {"label": 1, "train": 1}
+
+    # Re-invoking the same run resumes: no re-labeling, no re-training.
+    second = clp.build(drifted)
+    assert second.step("promote").fn is not original_promote  # fresh build
+    result2 = second.run(run_id="crash-1")
+    assert result2.succeeded
+    assert set(result2.resumed) == {"monitor", "pseudo_label", "train", "validate"}
+    assert result2.statuses["promote"] == COMPLETED
+    assert result2.statuses["hot_swap"] == COMPLETED
+    assert calls == {"label": 1, "train": 1}  # the expensive steps did not re-run
+    assert handle.version == "v1"
+    assert dms.fairms.zoo.resolve("latest") == result2.context["promotion"]["model_id"]
+
+
+def test_replayed_scan_after_completed_cycle_promotes_a_fresh_model(experiment):
+    """The promote idempotency guard keys on an actual resume: a byte-identical
+    scan genuinely re-processed after a completed cycle must register and
+    promote its freshly trained model, not silently reuse the old record."""
+    store = CheckpointStore()
+    dms, handle, clp, _ = _bootstrap(experiment, checkpoints=store, gate_factor=10.0)
+    zoo = dms.fairms.zoo
+    drifted = experiment.scan(DRIFTED_SCAN).images
+
+    first = clp.process_scan(drifted)
+    assert first.swapped and first.promoted_version == "v1"
+    second = clp.process_scan(drifted)  # same content digest -> same run id
+    assert second.triggered and second.swapped
+    assert second.promoted_version == "v2"
+    assert second.model_id != first.model_id  # a new artifact, not the stale one
+    assert len(zoo) == 3 and handle.version == "v2"
+
+
+def test_resume_after_operator_rollback_does_not_repromote(experiment):
+    """Cycle A crashes in the promote crash window; an operator rolls the tag
+    back.  Resuming A must honour the rollback (tombstoned lineage), not
+    re-promote and re-swap the withdrawn model."""
+    store = CheckpointStore()
+    dms, handle, clp, boot_record = _bootstrap(experiment, checkpoints=store)
+    zoo = dms.fairms.zoo
+    drifted = experiment.scan(DRIFTED_SCAN).images
+
+    result_a = clp.build(drifted).run({"run_id": "A"}, run_id="A")
+    assert result_a.succeeded and zoo.promoted_version() == "v1"
+    assert store.collection.delete_many({"run_id": "A", "step": "promote"}) == 1
+
+    assert zoo.rollback() == boot_record.model_id  # operator withdraws v1
+    handle.swap(zoo.load_model(boot_record.model_id), "v0")
+
+    resumed = clp.build(drifted).run({"run_id": "A"}, run_id="A")
+    assert resumed.succeeded
+    assert resumed.context["promotion"]["version"] == "v1"  # reported, not re-applied
+    assert zoo.resolve() == boot_record.model_id  # rollback still holds
+    assert zoo.promotion_count() == 2  # no third promotion minted
+    assert resumed.context["swap"] is None and handle.version == "v0"
+
+
+def test_resumed_cycle_does_not_repromote_over_a_newer_model(experiment):
+    """Cycle A crashes in the window after promote but before its checkpoint;
+    cycle B then promotes a newer model.  Resuming A must neither re-promote
+    A's older model nor hot-swap it over B's."""
+    store = CheckpointStore()
+    dms, handle, clp, _ = _bootstrap(experiment, checkpoints=store)
+    zoo = dms.fairms.zoo
+    drifted = experiment.scan(DRIFTED_SCAN).images
+
+    result_a = clp.build(drifted).run({"run_id": "A"}, run_id="A")
+    assert result_a.succeeded and handle.version == "v1"
+    # Crash window: A's promote checkpoint never landed.
+    assert store.collection.delete_many({"run_id": "A", "step": "promote"}) == 1
+
+    # Cycle B supersedes A's promotion (and swaps the newer model live).
+    newer = dms.model_builder()
+    rec_b = dms.fairms.register(newer, result_a.context["lookup"].input_distribution,
+                                origin="manual")
+    assert zoo.promote(rec_b.model_id) == "v2"
+    handle.swap(zoo.load_model(rec_b.model_id), "v2")
+
+    resumed = clp.build(drifted).run({"run_id": "A"}, run_id="A")
+    assert resumed.succeeded
+    # A's promotion is reported under its original label, not re-applied...
+    assert resumed.context["promotion"]["version"] == "v1"
+    assert zoo.promotion_count() == 3  # v0, v1 (A), v2 (B) — no fourth layer
+    assert zoo.resolve() == rec_b.model_id
+    # ...and the live model is still B's (the swap was skipped).
+    assert resumed.context["swap"] is None
+    assert handle.version == "v2"
+
+
+def test_default_run_id_is_content_derived():
+    """A restarted process handed the same scan resumes its own checkpoints;
+    a different scan can never collide with them (no counter reuse)."""
+    scan_a = np.arange(12.0).reshape(3, 2, 2)
+    scan_b = scan_a + 1.0
+    assert ContinualLearningPipeline.run_id_for(scan_a) == ContinualLearningPipeline.run_id_for(scan_a.copy())
+    assert ContinualLearningPipeline.run_id_for(scan_a) != ContinualLearningPipeline.run_id_for(scan_b)
+    # Same values, different shape -> different run.
+    assert ContinualLearningPipeline.run_id_for(scan_a) != ContinualLearningPipeline.run_id_for(scan_a.reshape(3, 4))
+
+
+def test_process_scan_clears_checkpoints_after_success(experiment):
+    store = CheckpointStore()
+    _, _, clp, _ = _bootstrap(experiment, checkpoints=store)
+    report = clp.process_scan(experiment.scan(DRIFTED_SCAN).images, run_id="ok-1")
+    assert report.swapped  # the full DAG ran (and wrote checkpoints)...
+    assert store.completed(PIPELINE_NAME, "ok-1") == {}  # ...then cleaned up
+
+
+def test_untriggered_fast_path_writes_no_checkpoints(experiment):
+    store = CheckpointStore()
+    _, _, clp, _ = _bootstrap(experiment, checkpoints=store)
+    report = clp.process_scan(experiment.scan(BENIGN_SCAN).images, run_id="quiet")
+    assert not report.triggered
+    assert store.collection.count() == 0  # fast path: nothing ever persisted
+
+
+def test_promote_step_is_idempotent_across_checkpoint_crash_window(experiment):
+    """Crash between the promote step completing and its checkpoint landing:
+    the re-run must not register a duplicate model or stack a bogus
+    promotion-history layer (rollback must still reach the true previous model)."""
+    store = CheckpointStore()
+    dms, handle, clp, boot_record = _bootstrap(experiment, checkpoints=store)
+    zoo = dms.fairms.zoo
+    drifted = experiment.scan(DRIFTED_SCAN).images
+
+    first = clp.build(drifted)
+    result1 = first.run({"run_id": "win-1"}, run_id="win-1")
+    assert result1.succeeded
+    promoted_first = result1.context["promotion"]
+    assert len(zoo) == 2 and zoo.promotion_count() == 2
+
+    # Simulate the crash window: the promote checkpoint never landed.
+    assert store.collection.delete_many({"run_id": "win-1", "step": "promote"}) == 1
+
+    second = clp.build(drifted)
+    result2 = second.run({"run_id": "win-1"}, run_id="win-1")
+    assert result2.succeeded
+    assert result2.statuses["promote"] == COMPLETED  # re-ran...
+    assert result2.context["promotion"] == promoted_first  # ...but reused the registration
+    assert len(zoo) == 2 and zoo.promotion_count() == 2  # no duplicate, no extra layer
+    assert zoo.rollback() == boot_record.model_id  # lineage intact
+
+
+# ---------------------------------------------------------------------------------
+# Hot-swap stress: 32 clients, repeated swaps, no torn reads
+# ---------------------------------------------------------------------------------
+def test_hot_swap_stress_no_torn_reads_across_32_threads():
+    # "Models" are integer offsets so correctness is exact: version "red"
+    # must add 1_000, version "blue" must add 2_000.
+    offsets = {"red": 1_000.0, "blue": 2_000.0}
+    handle = ModelHandle(offsets["red"], version="red")
+    handler = versioned_handler(handle, lambda offset, payloads: [p + offset for p in payloads])
+    runtime = ServingRuntime(
+        {"predict": handler},
+        policy=BatchingPolicy(max_batch_size=16, max_wait_ms=0.5, max_queue_depth=4096),
+        num_workers=4,
+    )
+
+    stop = threading.Event()
+    start_gate = threading.Barrier(33, timeout=10.0)
+    responses = [[] for _ in range(32)]
+    errors = []
+
+    def client(idx):
+        start_gate.wait()
+        i = 0
+        while not stop.is_set() or i == 0:  # every client serves at least once
+            payload = float(idx * 10_000 + i)
+            try:
+                result = runtime.call("predict", payload, timeout=10.0)
+            except Exception as exc:  # noqa: BLE001 — collected for the assertion
+                errors.append(exc)
+                return
+            responses[idx].append((payload, result))
+            i += 1
+
+    def swapper():
+        start_gate.wait()
+        for swap_idx in range(50):
+            version = "blue" if swap_idx % 2 == 0 else "red"
+            handle.swap(offsets[version], version)
+            stop.wait(0.002)
+        stop.set()
+
+    with runtime:
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(32)]
+        swap_thread = threading.Thread(target=swapper)
+        for t in threads:
+            t.start()
+        swap_thread.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        swap_thread.join(timeout=30.0)
+        assert runtime.drain(timeout=10.0)
+
+    assert not errors
+    seen_versions = set()
+    total = 0
+    for client_responses in responses:
+        assert client_responses  # nobody starved
+        for payload, result in client_responses:
+            total += 1
+            seen_versions.add(result.version)
+            # Exactly one of the two versions produced this response: the
+            # version label and the arithmetic must agree.
+            assert result.value - payload == offsets[result.version]
+    # 50 swaps happened while traffic was flowing, so both versions served.
+    assert seen_versions == {"red", "blue"}
+    assert handle.swap_count == 50
+    assert total >= 32
+
+
+def test_monitor_retry_after_transient_refresh_failure_does_not_reobserve(experiment):
+    """A transient system-plane refresh failure is retried WITHOUT observing
+    the trigger again — under a cooldown, a second observation would report
+    triggered=False and silently swallow the drift event."""
+    dms, handle, clp, _ = _bootstrap(experiment)
+    clp.trigger = CertaintyTrigger(TRIGGER_THRESHOLD, cooldown=2)
+    clp.step_retries = 1
+    failures = {"n": 0}
+    original_refresh = dms.fairds.refresh
+
+    def flaky_refresh(*args, **kwargs):
+        if failures["n"] == 0:
+            failures["n"] += 1
+            raise RuntimeError("transient store hiccup")
+        return original_refresh(*args, **kwargs)
+
+    dms.fairds.refresh = flaky_refresh
+    result = clp.build(experiment.scan(DRIFTED_SCAN).images).run({"run_id": "retry-1"})
+    assert result.succeeded
+    assert result.step_attempts["monitor"] == 1  # observation untouched by the retry
+    assert result.step_attempts["refresh"] == 2
+    assert failures["n"] == 1
+    assert result.context["monitor"]["triggered"]
+    assert result.context["refresh"] == {"refreshed": True}
+    # The trigger saw exactly one observation despite the refresh retry.
+    assert len(clp.trigger.history) == 1 and clp.trigger.times_fired == 1
+
+
+def test_reinvoked_failed_cycle_under_cooldown_keeps_the_drift_event(experiment):
+    """The firing observation is persisted before anything can fail: a cycle
+    that dies right after triggering (e.g. refresh outage) and is re-invoked
+    must resume as triggered — re-observing under the armed cooldown would
+    report triggered=False and permanently drop the event."""
+    store = CheckpointStore()
+    dms, handle, clp, _ = _bootstrap(experiment, checkpoints=store)
+    clp.trigger = CertaintyTrigger(TRIGGER_THRESHOLD, cooldown=5)
+    drifted = experiment.scan(DRIFTED_SCAN).images
+
+    def outage(*args, **kwargs):
+        raise RuntimeError("store outage")
+
+    original_refresh = dms.fairds.refresh
+    dms.fairds.refresh = outage
+    with pytest.raises(RuntimeError, match="store outage"):
+        clp.process_scan(drifted)
+
+    dms.fairds.refresh = original_refresh
+    report = clp.process_scan(drifted)  # same content digest -> same run id
+    assert "monitor" in report.resumed  # the observation was not repeated
+    assert report.triggered and report.swapped and report.promoted_version == "v1"
+    assert len(clp.trigger.history) == 1  # one observation total, not two
+
+
+def test_crashed_cycle_after_a_completed_same_scan_cycle_registers_fresh_model(experiment):
+    """The promote idempotency key is per cycle attempt (monitor checkpoint
+    id), not per scan digest: a crash-resume of cycle 2 over the same scan
+    content must not match cycle 1's completed registration."""
+    store = CheckpointStore()
+    dms, handle, clp, _ = _bootstrap(experiment, checkpoints=store, gate_factor=10.0)
+    zoo = dms.fairms.zoo
+    drifted = experiment.scan(DRIFTED_SCAN).images
+    run_id = clp.run_id_for(drifted)
+
+    first_cycle = clp.process_scan(drifted)  # completes; checkpoints cleared
+    assert first_cycle.promoted_version == "v1"
+
+    # Cycle 2, same scan content: crashes in the promote crash window.
+    crashing = clp.build(drifted)
+    result = crashing.run({"run_id": run_id}, run_id=run_id)
+    assert result.succeeded
+    assert store.collection.delete_many({"run_id": run_id, "step": "promote"}) == 1
+    second_promotion = result.context["promotion"]
+    assert second_promotion["version"] == "v2"
+
+    resumed = clp.build(drifted).run({"run_id": run_id}, run_id=run_id)
+    assert resumed.succeeded
+    # The resume reuses CYCLE 2's registration (crash-window idempotency)...
+    assert resumed.context["promotion"] == second_promotion
+    # ...and never matched cycle 1's model despite the identical run id.
+    assert resumed.context["promotion"]["model_id"] != first_cycle.model_id
+    assert zoo.promotion_count() == 3  # v0, v1 (cycle 1), v2 (cycle 2) — no v3

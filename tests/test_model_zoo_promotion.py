@@ -1,0 +1,227 @@
+"""Promotion/rollback tests for the ModelZoo version-tag layer.
+
+Includes seeded property-based tests (hypothesis) of the invariants the
+continual-learning loop depends on: the latest tag is always loadable, labels
+are never reused, and a rollback restores byte-identical parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import DatasetDistribution
+from repro.core.model_zoo import ModelZoo
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+from repro.storage import DocumentDB
+from repro.utils.errors import StorageError, ValidationError
+
+
+def _model(seed):
+    return Sequential([Dense(3, 2, seed=seed, name=f"d{seed}")], name=f"m{seed}")
+
+
+def _distribution(seed):
+    rng = np.random.default_rng(seed)
+    return DatasetDistribution(pdf=rng.integers(1, 10, size=4).astype(float),
+                               n_samples=20, label=f"d{seed}")
+
+
+def _zoo_with_models(n):
+    zoo = ModelZoo()
+    records = [zoo.add(_model(i), _distribution(i), name=f"model-{i}") for i in range(n)]
+    return zoo, records
+
+
+def _assert_states_equal(model, expected_state):
+    state = model.state_dict()
+    assert set(state) == set(expected_state)
+    for key, value in expected_state.items():
+        assert np.array_equal(state[key], value), key
+
+
+# -- deterministic behaviour ------------------------------------------------------
+def test_promote_assigns_sequential_version_labels():
+    zoo, records = _zoo_with_models(3)
+    assert zoo.promote(records[0].model_id) == "v0"
+    assert zoo.promote(records[1].model_id) == "v1"
+    assert zoo.promote(records[2].model_id) == "v2"
+    assert zoo.resolve() == records[2].model_id
+    assert zoo.promotion_history() == [records[0].model_id, records[1].model_id]
+    assert zoo.promotion_count() == 3
+
+
+def test_version_labels_are_never_reused_after_rollback():
+    zoo, records = _zoo_with_models(3)
+    zoo.promote(records[0].model_id)
+    zoo.promote(records[1].model_id)
+    assert zoo.rollback() == records[0].model_id
+    # The next promotion continues the numbering; "v1" is not recycled.
+    assert zoo.promote(records[2].model_id) == "v2"
+
+
+def test_promoted_version_is_rollback_aware():
+    zoo, records = _zoo_with_models(3)
+    zoo.promote(records[0].model_id)          # v0
+    zoo.promote(records[1].model_id)          # v1
+    assert zoo.promoted_version() == "v1"
+    zoo.rollback()
+    # The live model is m0 again, and its label says so — not "v1".
+    assert zoo.promoted_version() == "v0"
+    assert zoo.resolve() == records[0].model_id
+    # A fresh promotion still never reuses labels.
+    assert zoo.promote(records[2].model_id) == "v2"
+    assert zoo.promoted_version() == "v2"
+    zoo.rollback()
+    assert zoo.promoted_version() == "v0"
+
+
+def test_promote_unknown_model_or_empty_tag_rejected():
+    zoo, records = _zoo_with_models(1)
+    with pytest.raises(StorageError):
+        zoo.promote("no-such-model")
+    with pytest.raises(ValidationError):
+        zoo.promote(records[0].model_id, tag="")
+
+
+def test_resolve_and_rollback_errors():
+    zoo, records = _zoo_with_models(1)
+    with pytest.raises(StorageError):
+        zoo.resolve("latest")
+    with pytest.raises(StorageError):
+        zoo.rollback("latest")
+    zoo.promote(records[0].model_id)
+    with pytest.raises(StorageError):
+        zoo.rollback("latest")  # nothing earlier to roll back to
+
+
+def test_independent_tags_do_not_interfere():
+    zoo, records = _zoo_with_models(2)
+    assert zoo.promote(records[0].model_id, tag="latest") == "v0"
+    assert zoo.promote(records[1].model_id, tag="canary") == "v0"  # per-tag numbering
+    assert zoo.tags() == {"latest": records[0].model_id, "canary": records[1].model_id}
+    assert zoo.resolve("latest") == records[0].model_id
+    assert zoo.resolve("canary") == records[1].model_id
+
+
+def test_tags_survive_database_save_and_load(tmp_path):
+    db = DocumentDB()
+    zoo = ModelZoo(db=db)
+    records = [zoo.add(_model(i), _distribution(i)) for i in range(2)]
+    zoo.promote(records[0].model_id)
+    zoo.promote(records[1].model_id)
+    db.save(str(tmp_path / "zoo.db"))
+
+    zoo2 = ModelZoo(db=DocumentDB.load(str(tmp_path / "zoo.db")))
+    assert zoo2.resolve() == records[1].model_id
+    assert zoo2.rollback() == records[0].model_id
+    _assert_states_equal(zoo2.load_tag(), _model(0).state_dict())
+
+
+# -- property-based invariants ----------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(st.integers(min_value=-1, max_value=2), min_size=1, max_size=12))
+def test_promote_rollback_invariants(ops):
+    """Random promote/rollback sequences against a reference stack.
+
+    ``-1`` means rollback, ``0..2`` promote model i.  Invariants after every
+    operation: the latest tag resolves to the reference stack top and is
+    loadable; its parameters are byte-identical to the registered model's;
+    the persisted history equals the rest of the stack; rollback on an empty
+    history fails and changes nothing.
+    """
+    zoo, records = _zoo_with_models(3)
+    snapshots = [_model(i).state_dict() for i in range(3)]
+    stack = []  # reference implementation: indices of promoted models
+    for op in ops:
+        if op == -1:
+            if len(stack) > 1:
+                stack.pop()
+                zoo.rollback()
+            else:
+                # Empty history (or never promoted): rollback fails, state kept.
+                with pytest.raises(StorageError):
+                    zoo.rollback()
+        else:
+            stack.append(op)
+            zoo.promote(records[op].model_id)
+
+        if not stack:
+            with pytest.raises(StorageError):
+                zoo.resolve()
+            continue
+        # Latest tag resolves to the stack top and is always loadable...
+        assert zoo.resolve() == records[stack[-1]].model_id
+        live = zoo.load_tag()
+        # ...with parameters byte-identical to what was registered.
+        _assert_states_equal(live, snapshots[stack[-1]])
+        assert zoo.promotion_history() == [records[i].model_id for i in stack[:-1]]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_rollback_restores_byte_identical_parameters(seed):
+    """Promote A, promote B, rollback -> serving A again, bit for bit."""
+    rng = np.random.default_rng(seed)
+    zoo = ModelZoo()
+    model_a = _model(int(rng.integers(0, 1_000)))
+    # Perturb so A and B genuinely differ.
+    model_b = model_a.clone()
+    for p in model_b.parameters():
+        p.data += rng.standard_normal(p.data.shape).astype(p.data.dtype)
+    rec_a = zoo.add(model_a, _distribution(0), name="a")
+    rec_b = zoo.add(model_b, _distribution(1), name="b")
+    snapshot_a = {k: v.copy() for k, v in model_a.state_dict().items()}
+
+    zoo.promote(rec_a.model_id)
+    zoo.promote(rec_b.model_id)
+    assert zoo.rollback() == rec_a.model_id
+    _assert_states_equal(zoo.load_tag(), snapshot_a)
+
+
+def test_concurrent_promotion_through_separate_zoo_wrappers_loses_nothing():
+    """Two ModelZoo objects over the same DocumentDB promote concurrently;
+    the collection-level atomic read-modify-write must not lose promotions
+    or hand out duplicate version labels."""
+    import threading
+
+    from repro.storage import DocumentDB
+
+    db = DocumentDB()
+    zoo_a, zoo_b = ModelZoo(db=db), ModelZoo(db=db)
+    records = [zoo_a.add(_model(i), _distribution(i)) for i in range(2)]
+    per_thread = 25
+    labels = [[], []]
+
+    def promoter(zoo, record, out):
+        for _ in range(per_thread):
+            out.append(zoo.promote(record.model_id))
+
+    threads = [
+        threading.Thread(target=promoter, args=(zoo_a, records[0], labels[0])),
+        threading.Thread(target=promoter, args=(zoo_b, records[1], labels[1])),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    all_labels = labels[0] + labels[1]
+    assert len(set(all_labels)) == 2 * per_thread  # no duplicate version labels
+    assert zoo_a.promotion_count() == 2 * per_thread  # no lost promotions
+    assert len(zoo_b.promotion_history()) == 2 * per_thread - 1
+
+
+def test_promoted_version_of_prefers_live_lineage_over_tombstones():
+    """A model rolled back and later re-promoted reports its newest label."""
+    zoo, records = _zoo_with_models(3)
+    a, b, c = (r.model_id for r in records)
+    zoo.promote(a)                 # v0
+    zoo.promote(b)                 # v1
+    zoo.rollback()                 # withdraws b (tombstone [b, v1])
+    assert zoo.promoted_version_of(b) == "v1"  # only the tombstone knows b
+    assert zoo.promote(b) == "v2"  # re-promoted under a fresh label
+    zoo.promote(c)                 # v3; b moves into history as (b, v2)
+    assert zoo.promoted_version_of(b) == "v2"  # history outranks the tombstone
+    assert zoo.promoted_version_of(a) == "v0"
+    assert zoo.promoted_version_of("ghost") is None

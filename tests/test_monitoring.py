@@ -102,3 +102,16 @@ def test_degradation_detector_validation():
     detector = DegradationDetector(model, mc_samples=5)
     with pytest.raises(ValidationError):
         detector.evaluate_scan(0, np.zeros((0, 1, 15, 15)), np.zeros((0, 2)))
+
+
+def test_trigger_reset_rearms_cooldown_and_last_value_tracks_history():
+    from repro.monitoring import ThresholdTrigger
+
+    trigger = ThresholdTrigger(threshold=10.0, direction="below", cooldown=3)
+    assert trigger.last_value is None
+    assert trigger.observe(5.0)           # fires, arms the 3-observation cooldown
+    assert not trigger.observe(4.0)       # suppressed by cooldown
+    trigger.reset()
+    assert trigger.observe(3.0)           # re-armed: fires immediately
+    assert trigger.last_value == 3.0
+    assert trigger.times_fired == 2

@@ -1,0 +1,543 @@
+"""Tests for the async DAG pipeline engine (ordering, fault tolerance, resume)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.storage.documentdb import DocumentDB
+from repro.utils.errors import ConfigurationError, PipelineError, StepTimeoutError
+from repro.workflow.flows import Flow
+from repro.workflow.pipeline import (
+    COMPLETED,
+    FAILED,
+    RESUMED,
+    SKIPPED,
+    CheckpointStore,
+    Pipeline,
+    PipelineStep,
+)
+
+
+def _recorder():
+    """A thread-safe completion log: (list, fn-factory)."""
+    log = []
+    lock = threading.Lock()
+
+    def make(name, value=None):
+        def fn(ctx):
+            with lock:
+                log.append(name)
+            return value
+
+        return fn
+
+    return log, make
+
+
+# -- graph validation -------------------------------------------------------------
+def test_duplicate_step_names_rejected():
+    p = Pipeline("p").add_step("a", lambda ctx: 1).add_step("a", lambda ctx: 2)
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        p.validate()
+
+
+def test_unknown_dependency_rejected():
+    p = Pipeline("p").add_step("a", lambda ctx: 1, depends_on=("ghost",))
+    with pytest.raises(ConfigurationError, match="unknown"):
+        p.validate()
+
+
+def test_self_dependency_rejected():
+    with pytest.raises(ConfigurationError):
+        PipelineStep(name="a", fn=lambda ctx: 1, depends_on=("a",))
+
+
+def test_cycle_detected():
+    p = (
+        Pipeline("p")
+        .add_step("a", lambda ctx: 1, depends_on=("c",))
+        .add_step("b", lambda ctx: 1, depends_on=("a",))
+        .add_step("c", lambda ctx: 1, depends_on=("b",))
+    )
+    with pytest.raises(ConfigurationError, match="cycle"):
+        p.validate()
+
+
+def test_step_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        PipelineStep(name="", fn=lambda ctx: 1)
+    with pytest.raises(ConfigurationError):
+        PipelineStep(name="a", fn=lambda ctx: 1, retries=-1)
+    with pytest.raises(ConfigurationError):
+        PipelineStep(name="a", fn=lambda ctx: 1, timeout_s=0)
+    with pytest.raises(ConfigurationError):
+        PipelineStep(name="a", fn=lambda ctx: 1, retry_delay_s=-0.1)
+    with pytest.raises(ConfigurationError):
+        Pipeline("")
+    with pytest.raises(ConfigurationError):
+        Pipeline("p", max_workers=0)
+
+
+# -- execution order --------------------------------------------------------------
+def test_dependencies_execute_before_dependents():
+    log, make = _recorder()
+    p = (
+        Pipeline("diamond", max_workers=4)
+        .add_step("a", make("a"))
+        .add_step("b", make("b"), depends_on=("a",))
+        .add_step("c", make("c"), depends_on=("a",))
+        .add_step("d", make("d"), depends_on=("b", "c"))
+    )
+    result = p.run()
+    assert result.succeeded
+    assert set(log) == {"a", "b", "c", "d"}
+    assert log.index("a") < log.index("b")
+    assert log.index("a") < log.index("c")
+    assert log.index("d") == 3
+
+
+def test_independent_steps_run_concurrently():
+    barrier = threading.Barrier(2, timeout=5.0)
+
+    def wait_at_barrier(ctx):
+        barrier.wait()  # only passes if both steps are in flight at once
+        return True
+
+    p = (
+        Pipeline("parallel", max_workers=2)
+        .add_step("left", wait_at_barrier)
+        .add_step("right", wait_at_barrier)
+    )
+    result = p.run()
+    assert result.succeeded
+
+
+def test_outputs_flow_through_context():
+    p = (
+        Pipeline("ctx")
+        .add_step("double", lambda ctx: ctx["x"] * 2, output_key="doubled")
+        .add_step("plus_one", lambda ctx: ctx["doubled"] + 1,
+                  depends_on=("double",), output_key="result")
+    )
+    result = p.run({"x": 5})
+    assert result.succeeded
+    assert result.context["result"] == 11
+    assert result.order == ["double", "plus_one"]
+
+
+# -- failure semantics ------------------------------------------------------------
+def test_failure_skips_transitive_dependents_but_independent_branch_completes():
+    log, make = _recorder()
+    p = (
+        Pipeline("partial", max_workers=2)
+        .add_step("boom", lambda ctx: 1 / 0)
+        .add_step("child", make("child"), depends_on=("boom",))
+        .add_step("grandchild", make("grandchild"), depends_on=("child",))
+        .add_step("island", make("island"))
+        .add_step("island2", make("island2"), depends_on=("island",))
+    )
+    result = p.run()
+    assert not result.succeeded
+    assert result.statuses["boom"] == FAILED
+    assert result.statuses["child"] == SKIPPED
+    assert result.statuses["grandchild"] == SKIPPED
+    assert result.statuses["island"] == COMPLETED
+    assert result.statuses["island2"] == COMPLETED
+    assert isinstance(result.errors["boom"], ZeroDivisionError)
+    assert result.failed_steps == ["boom"]
+    assert set(result.skipped_steps) == {"child", "grandchild"}
+    assert "child" not in log and "grandchild" not in log
+
+
+def test_raise_on_error_reraises_original_exception():
+    p = Pipeline("p").add_step("boom", lambda ctx: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        p.run(raise_on_error=True)
+
+
+def test_retries_rerun_failed_attempts():
+    attempts = {"n": 0}
+
+    def flaky(ctx):
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise RuntimeError("transient")
+        return "ok"
+
+    p = Pipeline("retrying").add_step("flaky", flaky, output_key="out", retries=3)
+    result = p.run()
+    assert result.succeeded
+    assert result.context["out"] == "ok"
+    assert result.step_attempts["flaky"] == 3
+
+
+def test_retries_exhausted_reports_failure():
+    p = Pipeline("p").add_step("always", lambda ctx: 1 / 0, retries=2)
+    result = p.run()
+    assert result.statuses["always"] == FAILED
+    assert result.step_attempts["always"] == 3
+
+
+# -- timeouts ---------------------------------------------------------------------
+def test_step_timeout_fails_step_and_skips_dependents():
+    log, make = _recorder()
+    p = (
+        Pipeline("timeout", max_workers=2)
+        .add_step("slow", lambda ctx: time.sleep(5.0), timeout_s=0.05)
+        .add_step("after", make("after"), depends_on=("slow",))
+        .add_step("island", make("island"))
+    )
+    start = time.perf_counter()
+    result = p.run()
+    assert time.perf_counter() - start < 3.0  # did not wait out the sleep
+    assert result.statuses["slow"] == FAILED
+    assert isinstance(result.errors["slow"], StepTimeoutError)
+    assert isinstance(result.errors["slow"], PipelineError)
+    assert result.statuses["after"] == SKIPPED
+    assert result.statuses["island"] == COMPLETED
+
+
+def test_timeout_attempt_is_retriable():
+    attempts = {"n": 0}
+
+    def slow_then_fast(ctx):
+        attempts["n"] += 1
+        if attempts["n"] == 1:
+            time.sleep(5.0)
+        return "recovered"
+
+    p = Pipeline("p").add_step("s", slow_then_fast, timeout_s=0.2, retries=1,
+                               output_key="out")
+    result = p.run()
+    assert result.succeeded
+    assert result.context["out"] == "recovered"
+    assert result.step_attempts["s"] == 2
+
+
+# -- checkpointed resume ----------------------------------------------------------
+def _counting_pipeline(store, counters, fail_step=None):
+    """a -> b -> c -> d, each counting invocations; fail_step raises."""
+
+    def step(name, value):
+        def fn(ctx):
+            counters[name] = counters.get(name, 0) + 1
+            if name == fail_step:
+                raise RuntimeError(f"killed at {name}")
+            return value
+
+        return fn
+
+    p = Pipeline("resumable", checkpoints=store)
+    p.add_step("a", step("a", np.arange(6).reshape(2, 3)), output_key="a_out")
+    p.add_step("b", step("b", {"k": 1}), depends_on=("a",), output_key="b_out")
+    p.add_step("c", step("c", "cc"), depends_on=("b",), output_key="c_out")
+    p.add_step("d", step("d", 4), depends_on=("c",), output_key="d_out")
+    return p
+
+
+def test_resume_skips_checkpointed_steps_and_restores_outputs():
+    db = DocumentDB()
+    store = CheckpointStore(db)
+    counters = {}
+
+    first = _counting_pipeline(store, counters, fail_step="c").run(run_id="run-1")
+    assert not first.succeeded
+    assert first.statuses["a"] == COMPLETED and first.statuses["b"] == COMPLETED
+    assert first.statuses["c"] == FAILED and first.statuses["d"] == SKIPPED
+
+    second = _counting_pipeline(store, counters).run(run_id="run-1")
+    assert second.succeeded
+    # a and b were not re-executed; c and d ran for the first/second time.
+    assert counters == {"a": 1, "b": 1, "c": 2, "d": 1}
+    assert second.resumed == ["a", "b"]
+    assert second.statuses["a"] == RESUMED and second.statuses["b"] == RESUMED
+    # Restored outputs are available to the re-run steps and the final context.
+    assert np.array_equal(second.context["a_out"], np.arange(6).reshape(2, 3))
+    assert second.context["b_out"] == {"k": 1}
+    assert second.context["d_out"] == 4
+
+
+def test_resume_survives_database_save_and_load(tmp_path):
+    """Simulate process death: checkpoints persisted to disk, reloaded fresh."""
+    db = DocumentDB()
+    store = CheckpointStore(db)
+    counters = {}
+    _counting_pipeline(store, counters, fail_step="d").run(run_id="run-9")
+    db.save(str(tmp_path / "ckpt.db"))
+
+    db2 = DocumentDB.load(str(tmp_path / "ckpt.db"))
+    store2 = CheckpointStore(db2)
+    counters2 = {}
+    result = _counting_pipeline(store2, counters2).run(run_id="run-9")
+    assert result.succeeded
+    assert counters2 == {"d": 1}  # only the failed step re-ran
+    assert result.resumed == ["a", "b", "c"]
+    assert np.array_equal(result.context["a_out"], np.arange(6).reshape(2, 3))
+
+
+def test_runs_are_isolated_by_run_id():
+    store = CheckpointStore()
+    counters = {}
+    _counting_pipeline(store, counters).run(run_id="run-A")
+    _counting_pipeline(store, counters).run(run_id="run-B")
+    assert counters == {"a": 2, "b": 2, "c": 2, "d": 2}
+
+
+def test_without_run_id_nothing_is_checkpointed():
+    store = CheckpointStore()
+    counters = {}
+    _counting_pipeline(store, counters).run()
+    assert store.collection.count() == 0
+
+
+def test_non_checkpointed_step_reruns_on_resume():
+    store = CheckpointStore()
+    counters = {"side": 0}
+
+    def side_effect(ctx):
+        counters["side"] += 1
+        return counters["side"]
+
+    def build(fail=False):
+        p = Pipeline("fx", checkpoints=store)
+        p.add_step("side", side_effect, output_key="s", checkpoint=False)
+        p.add_step("tail", (lambda ctx: 1 / 0) if fail else (lambda ctx: "ok"),
+                   depends_on=("side",), output_key="t")
+        return p
+
+    build(fail=True).run(run_id="r")
+    result = build().run(run_id="r")
+    assert result.succeeded
+    assert counters["side"] == 2  # re-applied despite being complete before
+    assert result.resumed == []
+
+
+def test_checkpoint_clear():
+    store = CheckpointStore()
+    counters = {}
+    _counting_pipeline(store, counters).run(run_id="run-X")
+    assert store.collection.count() == 4
+    assert store.clear("resumable", "run-X") == 4
+    _counting_pipeline(store, counters).run(run_id="run-X")
+    assert counters["a"] == 2  # nothing resumed after the clear
+
+
+def test_checkpoint_store_distinguishes_none_output():
+    store = CheckpointStore()
+    store.record("p", "r", "s", value=None, has_output=True)
+    entry = store.completed("p", "r")["s"]
+    assert entry.has_output and entry.value is None
+
+
+# -- Flow adapter -----------------------------------------------------------------
+def test_flow_is_backed_by_pipeline():
+    flow = Flow("legacy")
+    flow.add_step("one", lambda ctx: 1, output_key="a")
+    flow.add_step("two", lambda ctx: ctx["a"] + 1, output_key="b")
+    pipeline = flow.as_pipeline()
+    assert pipeline.validate() == ["one", "two"]
+    assert pipeline.step("two").depends_on == ("one",)
+    result = flow.run()
+    assert result.succeeded and result.context["b"] == 2
+
+
+def test_flow_supports_step_timeouts():
+    flow = Flow("slow").add_step("s", lambda ctx: time.sleep(5.0), timeout_s=0.05)
+    result = flow.run()
+    assert not result.succeeded
+    assert result.failed_step == "s"
+    assert isinstance(result.error, StepTimeoutError)
+
+
+def test_flow_as_pipeline_resumes_from_checkpoints():
+    store = CheckpointStore()
+    calls = {"head": 0}
+
+    def head(ctx):
+        calls["head"] += 1
+        return "h"
+
+    def build(fail=False):
+        flow = Flow("resumable-flow")
+        flow.add_step("head", head, output_key="h")
+        flow.add_step("tail", (lambda ctx: 1 / 0) if fail else (lambda ctx: ctx["h"] + "!"),
+                      output_key="t")
+        return flow.as_pipeline(checkpoints=store)
+
+    build(fail=True).run(run_id="f1")
+    result = build().run(run_id="f1")
+    assert result.succeeded
+    assert calls["head"] == 1
+    assert result.context["t"] == "h!"
+
+
+def test_reserved_resumed_context_key():
+    from repro.workflow.pipeline import RESUMED_CONTEXT_KEY
+
+    p = Pipeline("p").add_step("a", lambda ctx: 1, output_key=RESUMED_CONTEXT_KEY)
+    with pytest.raises(ConfigurationError, match="reserved"):
+        p.validate()
+    # Non-checkpointed runs (incl. every legacy Flow.run) never see the key.
+    result = Pipeline("q").add_step("a", lambda ctx: 1, output_key="x").run({"seed": 0})
+    assert result.context == {"seed": 0, "x": 1}
+    assert RESUMED_CONTEXT_KEY not in Flow("f").add_step("s", lambda ctx: 2, output_key="y").run().context
+    # Checkpointed runs expose it (empty on a fresh run).
+    store = CheckpointStore()
+    fresh = Pipeline("r", checkpoints=store).add_step("a", lambda ctx: 1).run(run_id="R")
+    assert fresh.context[RESUMED_CONTEXT_KEY] == []
+
+
+def test_flow_with_duplicate_step_names_keeps_legacy_behaviour():
+    """The old linear Flow never required unique names; the adapter must not
+    regress that (duplicates run in order, last occurrence wins in timings)."""
+    calls = []
+    flow = Flow("dups")
+    flow.add_step("s", lambda ctx: calls.append("first") or 1, output_key="a")
+    flow.add_step("s", lambda ctx: calls.append("second") or ctx["a"] + 1, output_key="b")
+    flow.add_step("s", lambda ctx: calls.append("third") or ctx["b"] + 1, output_key="c")
+    result = flow.run()
+    assert result.succeeded
+    assert calls == ["first", "second", "third"]
+    assert result.context["c"] == 3
+    assert list(result.step_times) == ["s"] and result.step_attempts == {"s": 1}
+
+
+def test_flow_duplicate_name_failure_reports_the_flow_name():
+    flow = Flow("dups")
+    flow.add_step("s", lambda ctx: 1)
+    flow.add_step("s", lambda ctx: 1 / 0)
+    result = flow.run()
+    assert not result.succeeded
+    assert result.failed_step == "s"
+    assert isinstance(result.error, ZeroDivisionError)
+
+
+def test_mid_chain_non_checkpointed_step_does_not_block_downstream_resume():
+    """a -> fx(checkpoint=False) -> b -> c: resuming after a failure at c must
+    resume a and b (fx re-runs by design; it does not stale b's checkpoint)."""
+    store = CheckpointStore()
+    counters = {"a": 0, "fx": 0, "b": 0, "c": 0}
+
+    def counting(name, fail=False):
+        def fn(ctx):
+            counters[name] += 1
+            if fail:
+                raise RuntimeError("boom")
+            return name
+
+        return fn
+
+    def build(fail_c):
+        p = Pipeline("fxchain", checkpoints=store)
+        p.add_step("a", counting("a"), output_key="a")
+        p.add_step("fx", counting("fx"), depends_on=("a",), checkpoint=False)
+        p.add_step("b", counting("b"), depends_on=("fx",), output_key="b")
+        p.add_step("c", counting("c", fail=fail_c), depends_on=("b",), output_key="c")
+        return p
+
+    assert not build(fail_c=True).run(run_id="R").succeeded
+    result = build(fail_c=False).run(run_id="R")
+    assert result.succeeded
+    assert result.resumed == ["a", "b"]
+    assert counters == {"a": 1, "fx": 2, "b": 1, "c": 2}
+    assert result.context["b"] == "b" and result.context["c"] == "c"
+
+
+def test_flow_duplicate_names_with_hash_literals_do_not_collide():
+    """User step names containing '#' must not collide with the adapter's
+    duplicate-disambiguation scheme."""
+    calls = []
+    flow = Flow("hashy")
+    flow.add_step("a", lambda ctx: calls.append(1))
+    flow.add_step("a#2", lambda ctx: calls.append(2))
+    flow.add_step("a", lambda ctx: calls.append(3))
+    result = flow.run()
+    assert result.succeeded
+    assert calls == [1, 2, 3]
+    assert set(result.step_times) == {"a", "a#2"}
+
+
+def test_failed_rerunning_step_skips_pending_descendants_through_resumed_steps():
+    """a -> fx(checkpoint=False) -> b -> c -> d, crash at d: on resume fx
+    re-runs and fails permanently — d (pending) must be SKIPPED even though
+    its direct dependency c was resumed, and its side effect must not fire."""
+    store = CheckpointStore()
+    ran = []
+
+    def step(name, fail=False):
+        def fn(ctx):
+            ran.append(name)
+            if fail:
+                raise RuntimeError(f"{name} failed")
+            return name
+
+        return fn
+
+    def build(fx_fails, d_fails):
+        p = Pipeline("skipchain", checkpoints=store)
+        p.add_step("a", step("a"), output_key="a")
+        p.add_step("fx", step("fx", fail=fx_fails), depends_on=("a",), checkpoint=False)
+        p.add_step("b", step("b"), depends_on=("fx",), output_key="b")
+        p.add_step("c", step("c"), depends_on=("b",), output_key="c")
+        p.add_step("d", step("d", fail=d_fails), depends_on=("c",), output_key="d")
+        return p
+
+    assert not build(fx_fails=False, d_fails=True).run(run_id="R").succeeded
+    ran.clear()
+    result = build(fx_fails=True, d_fails=False).run(run_id="R")
+    assert not result.succeeded
+    assert result.statuses["fx"] == FAILED
+    assert result.statuses["b"] == RESUMED and result.statuses["c"] == RESUMED
+    assert result.statuses["d"] == SKIPPED  # no side effect despite resumed parent
+    assert ran == ["fx"]
+
+
+def test_pending_step_waits_for_rerunning_ancestor_through_resumed_chain():
+    """On resume, a pending descendant must execute AFTER a re-running
+    checkpoint=False ancestor, not concurrently with it."""
+    store = CheckpointStore()
+    order_log = []
+    lock = threading.Lock()
+
+    def step(name, fail=False, delay=0.0):
+        def fn(ctx):
+            if delay:
+                time.sleep(delay)
+            with lock:
+                order_log.append(name)
+            if fail:
+                raise RuntimeError("boom")
+            return name
+
+        return fn
+
+    def build(d_fails, fx_delay=0.0):
+        p = Pipeline("orderchain", max_workers=4, checkpoints=store)
+        p.add_step("a", step("a"), output_key="a")
+        p.add_step("fx", step("fx", delay=fx_delay), depends_on=("a",), checkpoint=False)
+        p.add_step("b", step("b"), depends_on=("fx",), output_key="b")
+        p.add_step("d", step("d", fail=d_fails), depends_on=("b",), output_key="d")
+        return p
+
+    assert not build(d_fails=True).run(run_id="S").succeeded
+    order_log.clear()
+    result = build(d_fails=False, fx_delay=0.1).run(run_id="S")
+    assert result.succeeded
+    assert order_log == ["fx", "d"]  # d waited out fx's re-run
+
+
+def test_checkpoint_write_failure_degrades_durability_but_not_the_run():
+    store = CheckpointStore()
+    unpicklable = threading.Lock()
+    p = (
+        Pipeline("badckpt", checkpoints=store)
+        .add_step("a", lambda ctx: unpicklable, output_key="a")
+        .add_step("b", lambda ctx: "ok", depends_on=("a",), output_key="b")
+    )
+    result = p.run(run_id="R")  # must not raise despite the pickle failure
+    assert result.succeeded
+    assert result.context["b"] == "ok"
+    # Only b's checkpoint landed; a will simply re-run on resume.
+    assert set(store.completed("badckpt", "R")) == {"b"}

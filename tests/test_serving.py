@@ -378,3 +378,91 @@ def test_serving_runtime_overload_on_live_service():
             assert not not_done
         assert outcomes["ok"] == len(futures)
         assert outcomes["ok"] + outcomes["rejected"] == 60
+
+
+# -- flush and live handler swap -------------------------------------------------------
+def test_micro_batcher_flush_releases_partial_batch_immediately():
+    batcher = MicroBatcher(BatchingPolicy(max_batch_size=64, max_wait_ms=5_000.0))
+    out = []
+
+    def consume():
+        out.append(batcher.next_batch())
+
+    t = threading.Thread(target=consume)
+    t.start()
+    for i in range(3):
+        batcher.submit(Request(op="op", payload=i))
+    time.sleep(0.05)
+    assert not out  # far from full, far from the deadline: still waiting
+    batcher.flush()
+    t.join(timeout=2.0)
+    assert [r.payload for r in out[0]] == [0, 1, 2]
+    batcher.close()
+
+
+def test_micro_batcher_flush_on_empty_queue_is_noop():
+    batcher = MicroBatcher(BatchingPolicy(max_batch_size=4, max_wait_ms=1.0))
+    batcher.flush()
+    batcher.submit(Request(op="op", payload="x"))
+    batch = batcher.next_batch()
+    assert [r.payload for r in batch] == ["x"]
+    batcher.close()
+
+
+def test_runtime_flush_trades_batching_for_latency():
+    runtime = ServingRuntime(
+        {"echo": lambda xs: list(xs)},
+        policy=BatchingPolicy(max_batch_size=1024, max_wait_ms=10_000.0),
+        num_workers=1,
+    )
+    with runtime:
+        futures = [runtime.submit("echo", i) for i in range(5)]
+        runtime.flush("echo")
+        results = [f.result(timeout=2.0) for f in futures]  # well before max_wait_ms
+    assert results == [0, 1, 2, 3, 4]
+    with pytest.raises(ConfigurationError):
+        runtime.flush("nope")
+
+
+def test_swap_handler_switches_live_traffic_without_dropping_requests():
+    release = threading.Event()
+
+    def old_handler(xs):
+        release.wait(5.0)  # hold the in-flight batch until after the swap
+        return [("old", x) for x in xs]
+
+    runtime = ServingRuntime(
+        {"op": old_handler},
+        policy=BatchingPolicy(max_batch_size=4, max_wait_ms=0.5),
+        num_workers=2,
+    )
+    with runtime:
+        inflight = [runtime.submit("op", i) for i in range(4)]  # full batch -> dispatched
+        time.sleep(0.05)
+        runtime.swap_handler("op", lambda xs: [("new", x) for x in xs])
+        release.set()
+        after = [runtime.submit("op", i) for i in range(10, 14)]
+        inflight_results = [f.result(timeout=5.0) for f in inflight]
+        after_results = [f.result(timeout=5.0) for f in after]
+    # The batch that was already executing finished on the old handler...
+    assert all(tag == "old" for tag, _ in inflight_results)
+    # ...and everything admitted after the swap was served by the new one.
+    assert all(tag == "new" for tag, _ in after_results)
+    with pytest.raises(ConfigurationError):
+        runtime.swap_handler("nope", lambda xs: xs)
+
+
+def test_flush_releases_all_queued_batches_not_just_the_first():
+    """The flush watermark covers requests spanning several max-size batches."""
+    batcher = MicroBatcher(BatchingPolicy(max_batch_size=4, max_wait_ms=5_000.0))
+    for i in range(6):
+        batcher.submit(Request(op="op", payload=i))
+    batcher.flush()
+    start = time.monotonic()
+    first = batcher.next_batch()
+    second = batcher.next_batch()
+    elapsed = time.monotonic() - start
+    assert [r.payload for r in first] == [0, 1, 2, 3]
+    assert [r.payload for r in second] == [4, 5]  # also prompt: no max_wait_ms stall
+    assert elapsed < 1.0
+    batcher.close()

@@ -478,3 +478,87 @@ def test_clustered_index_validation(rng):
     cindex.add(["a"], np.zeros((1, 3)), [0])
     with pytest.raises(ValidationError):
         cindex.query(np.zeros(4))
+
+
+# -- Collection.upsert_one -----------------------------------------------------------
+def test_upsert_one_inserts_when_no_match_and_seeds_query_fields():
+    coll = DocumentDB().collection("ckpt")
+    doc_id = coll.upsert_one({"run": "r1", "step": "a"}, {"status": "done"})
+    doc = coll.get(doc_id)
+    assert doc["run"] == "r1" and doc["step"] == "a" and doc["status"] == "done"
+    assert coll.count() == 1
+
+
+def test_upsert_one_updates_existing_match_in_place():
+    coll = DocumentDB().collection("ckpt")
+    first = coll.upsert_one({"run": "r1", "step": "a"}, {"attempt": 1})
+    second = coll.upsert_one({"run": "r1", "step": "a"}, {"attempt": 2})
+    assert first == second
+    assert coll.count() == 1
+    assert coll.get(first)["attempt"] == 2
+
+
+def test_upsert_one_replaces_payload_and_maintains_indexes():
+    coll = DocumentDB().collection("ckpt")
+    coll.create_index("run")
+    coll.upsert_one({"run": "r1", "step": "a"}, {}, payload=np.arange(3))
+    coll.upsert_one({"run": "r1", "step": "a"}, {}, payload=np.arange(5))
+    docs = coll.find({"run": "r1"}, decode_payload=True)
+    assert len(docs) == 1
+    np.testing.assert_array_equal(docs[0]["payload"], np.arange(5))
+    assert docs[0]["payload_bytes"] > 0
+
+
+def test_upsert_one_range_query_terms_do_not_seed_insert():
+    coll = DocumentDB().collection("c")
+    doc_id = coll.upsert_one({"x": {"$gte": 3}, "name": "n"}, {"y": 1})
+    doc = coll.get(doc_id)
+    assert "x" not in doc and doc["name"] == "n" and doc["y"] == 1
+
+
+# -- Collection.transform_one ---------------------------------------------------------
+def test_transform_one_updates_inserts_and_snapshots():
+    coll = DocumentDB().collection("tags")
+    # Insert path (transform sees None).
+    doc_id = coll.transform_one({"tag": "latest"}, lambda doc: {"n": 1} if doc is None else None)
+    assert coll.get(doc_id)["n"] == 1 and coll.get(doc_id)["tag"] == "latest"
+    # Update path (read-modify-write).
+    assert coll.transform_one({"tag": "latest"}, lambda doc: {"n": doc["n"] + 1}) == doc_id
+    assert coll.get(doc_id)["n"] == 2
+    # Returning None aborts: a consistent read-only snapshot.
+    seen = {}
+    assert coll.transform_one({"tag": "latest"}, lambda doc: seen.update(doc)) == doc_id
+    assert seen["n"] == 2 and coll.get(doc_id)["n"] == 2
+    # No match + abort -> no insert, None returned.
+    assert coll.transform_one({"tag": "ghost"}, lambda doc: None) is None
+    assert coll.count() == 1
+
+
+def test_transform_one_read_modify_write_is_atomic_under_contention():
+    coll = DocumentDB().collection("counters")
+    coll.insert_one({"key": "k", "n": 0})
+    n_threads, per_thread = 8, 50
+
+    def bump():
+        for _ in range(per_thread):
+            coll.transform_one({"key": "k"}, lambda doc: {"n": doc["n"] + 1})
+
+    threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # A find_one/update_one interleaving would lose increments.
+    assert coll.find_one({"key": "k"})["n"] == n_threads * per_thread
+
+
+def test_snapshot_one_returns_consistent_copy():
+    coll = DocumentDB().collection("tags")
+    coll.insert_one({"tag": "latest", "model_id": "m1", "version": "v0"})
+    snap = coll.snapshot_one({"tag": "latest"})
+    assert snap["model_id"] == "m1" and snap["version"] == "v0"
+    # It's a copy: mutating it does not touch the stored document...
+    snap["model_id"] = "tampered"
+    assert coll.find_one({"tag": "latest"})["model_id"] == "m1"
+    # ...and a miss returns None.
+    assert coll.snapshot_one({"tag": "ghost"}) is None

@@ -163,3 +163,48 @@ def test_closable_queue_iteration_stops_at_sentinel():
         q.put(i)
     q.close()
     assert list(q) == [0, 1, 2, 3, 4]
+
+
+# -- KeyboardInterrupt propagation (regression) --------------------------------------
+def test_thread_map_propagates_keyboard_interrupt_from_worker():
+    def boom(x):
+        if x == 3:
+            raise KeyboardInterrupt
+        return x
+
+    with pytest.raises(KeyboardInterrupt):
+        thread_map(boom, list(range(8)), max_workers=4)
+
+
+def test_thread_map_chunked_propagates_keyboard_interrupt():
+    def boom(chunk):
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        thread_map(boom, list(range(8)), max_workers=4, chunk=True)
+
+
+def test_worker_pool_join_reraises_worker_keyboard_interrupt():
+    def interrupted(worker_id):
+        if worker_id == 1:
+            raise KeyboardInterrupt
+
+    pool = WorkerPool(3, interrupted)
+    pool.start()
+    with pytest.raises(KeyboardInterrupt):
+        pool.join(timeout=2)
+    # The interrupt was consumed by the re-raise; a second join is clean.
+    pool.join(timeout=2)
+    assert pool.errors == []
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+def test_worker_pool_records_but_does_not_reraise_ordinary_exceptions():
+    def crash(worker_id):
+        raise ValueError(f"worker {worker_id}")
+
+    pool = WorkerPool(2, crash)
+    pool.start()
+    pool.join(timeout=2)  # must not raise
+    assert len(pool.errors) == 2
+    assert all(isinstance(e, ValueError) for e in pool.errors)
