@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """The closed continual-learning loop on the synthetic drifting experiment.
 
-This is the paper's end-to-end story as one subsystem: a serving runtime
-answers prediction requests from client threads while every arriving scan is
-pushed through the ``ContinualLearningPipeline`` DAG —
+This is the paper's end-to-end story as one subsystem, materialised entirely
+from a spec file (``examples/specs/continual.json`` — the ``"continual"``
+preset): a serving runtime answers prediction requests from client threads
+while every arriving scan is pushed through the
+``ContinualLearningPipeline`` DAG —
 
     monitor -> pseudo_label -> train -> validate -> promote -> hot_swap
 
@@ -15,6 +17,10 @@ and hot-swapped into the live runtime.  In-flight requests finish on the old
 model; later ones are served by the new version — every response is stamped
 with the version that produced it, and nothing is dropped.
 
+Note what the script does **not** contain: not a single component
+constructor.  The spec names every part by registry key; the
+:class:`~repro.api.deployment.Deployment` facade wires them.
+
 Run with:  python examples/continual_learning.py
 """
 
@@ -22,106 +28,85 @@ from __future__ import annotations
 
 import threading
 from collections import Counter
+from pathlib import Path
 
-from repro import FairDMS, FairDS, UpdatePolicy
-from repro.datasets import BraggPeakDataset, make_two_phase_schedule
-from repro.embedding import PCAEmbedder
-from repro.models import build_braggnn
-from repro.monitoring import CertaintyTrigger
-from repro.nn.trainer import TrainingConfig
-from repro.serving import BatchingPolicy
-from repro.storage import DocumentDB
-from repro.workflow.continual import ContinualLearningPipeline
-from repro.workflow.pipeline import CheckpointStore
+from repro import Deployment
 
+SPEC_PATH = Path(__file__).parent / "specs" / "continual.json"
 N_SCANS = 14
 PHASE_CHANGE_AT = 8
-TRIGGER_THRESHOLD = 20.0  # percent certainty
 
 
 def main() -> None:
-    seed = 0
-    experiment = BraggPeakDataset(
-        make_two_phase_schedule(n_scans=N_SCANS, change_at=PHASE_CHANGE_AT, seed=seed),
-        peaks_per_scan=60, seed=seed,
-    )
+    from repro.datasets import BraggPeakDataset, make_two_phase_schedule
 
-    # Bootstrap the data service + an initial model, promoted as v0.
-    db = DocumentDB()
-    fairds = FairDS(PCAEmbedder(embedding_dim=6), n_clusters=6, db=db, seed=seed)
-    dms = FairDMS(
-        fairds,
-        model_builder=lambda: build_braggnn(width=4, seed=seed),
-        training_config=TrainingConfig(epochs=6, batch_size=32, lr=3e-3, seed=seed),
-        policy=UpdatePolicy(distance_threshold=0.7, certainty_threshold=10.0),
-        seed=seed,
-    )
-    hist_x, hist_y = experiment.stacked(range(3))
-    record = dms.bootstrap(hist_x, hist_y)
-    zoo = dms.fairms.zoo
-    zoo.promote(record.model_id)
-    handle = ContinualLearningPipeline.bootstrap_handle(dms)
-    print(f"bootstrapped: {hist_x.shape[0]} historical samples, serving {handle.version}")
+    with Deployment.from_json(SPEC_PATH) as dep:
+        seed = dep.spec.seed
+        experiment = BraggPeakDataset(
+            make_two_phase_schedule(n_scans=N_SCANS, change_at=PHASE_CHANGE_AT, seed=seed),
+            peaks_per_scan=60, seed=seed,
+        )
 
-    clp = ContinualLearningPipeline(
-        dms, handle,
-        # cooldown=1: after a firing, skip one scan before re-arming, so a
-        # sustained shift doesn't retrain on every single scan.
-        trigger=CertaintyTrigger(TRIGGER_THRESHOLD, cooldown=1),
-        checkpoints=CheckpointStore(db),  # crashed cycles resume mid-DAG
-    )
+        # Bootstrap the data service + an initial model, promoted as v0.
+        hist_x, hist_y = experiment.stacked(range(3))
+        dep.fit(hist_x, hist_y)
+        live = dep.snapshot()["zoo"]["promoted_version"]
+        print(f"bootstrapped from {SPEC_PATH.name} (digest {dep.spec.digest()[:12]}): "
+              f"{hist_x.shape[0]} historical samples, serving {live}")
 
-    # Serving traffic runs throughout: one client thread per "experiment
-    # station" asking for predictions on current-phase samples.
-    versions_served: Counter = Counter()
-    versions_lock = threading.Lock()
-    stop = threading.Event()
+        # Serving traffic runs throughout: one client thread per "experiment
+        # station" asking for predictions on current-phase samples.
+        versions_served: Counter = Counter()
+        versions_lock = threading.Lock()
+        stop = threading.Event()
 
-    def client() -> None:
-        i = 0
-        while not stop.is_set():
-            scan = experiment.scan(min(3 + i % 10, N_SCANS - 1))
-            response = runtime.call("predict", scan.images[i % len(scan)], timeout=30.0)
-            with versions_lock:
-                versions_served[response.version] += 1
-            i += 1
+        def client() -> None:
+            i = 0
+            while not stop.is_set():
+                scan = experiment.scan(min(3 + i % 10, N_SCANS - 1))
+                response = runtime.call("predict", scan.images[i % len(scan)], timeout=30.0)
+                with versions_lock:
+                    versions_served[response.version] += 1
+                i += 1
 
-    with clp.runtime(policy=BatchingPolicy(max_batch_size=16, max_wait_ms=2.0),
-                     num_workers=2) as runtime:
-        clients = [threading.Thread(target=client) for _ in range(4)]
-        for t in clients:
-            t.start()
+        with dep.serve() as runtime:
+            clients = [threading.Thread(target=client) for _ in range(4)]
+            for t in clients:
+                t.start()
 
-        for scan_index in range(3, N_SCANS):
-            report = clp.process_scan(experiment.scan(scan_index).images,
-                                      run_id=f"scan-{scan_index:02d}")
-            marker = "TRIGGERED" if report.triggered else "ok"
-            line = f"scan {scan_index:2d}: certainty={report.signal:5.1f}%  {marker}"
-            if report.swapped:
-                line += (f"  -> {report.strategy} retrain, val_loss={report.val_loss:.4f},"
-                         f" promoted {report.promoted_version}, hot-swapped live")
-            elif report.gate_passed is False:
-                line += (f"  -> {report.strategy} retrain rejected by validation gate"
-                         f" (val_loss={report.val_loss:.4f}); still serving {handle.version}")
-            print(line)
+            for scan_index in range(3, N_SCANS):
+                report = dep.process_scan(experiment.scan(scan_index).images,
+                                          run_id=f"scan-{scan_index:02d}")
+                marker = "TRIGGERED" if report.triggered else "ok"
+                line = f"scan {scan_index:2d}: certainty={report.signal:5.1f}%  {marker}"
+                if report.swapped:
+                    line += (f"  -> {report.strategy} retrain, val_loss={report.val_loss:.4f},"
+                             f" promoted {report.promoted_version}, hot-swapped live")
+                elif report.gate_passed is False:
+                    line += (f"  -> {report.strategy} retrain rejected by validation gate"
+                             f" (val_loss={report.val_loss:.4f})")
+                print(line)
 
-        stop.set()
-        for t in clients:
-            t.join(timeout=30.0)
-        runtime.drain(timeout=30.0)
+            stop.set()
+            for t in clients:
+                t.join(timeout=30.0)
+            runtime.drain(timeout=30.0)
 
-    print(f"\nZoo: {len(zoo)} models; tag 'latest' -> {zoo.resolve()}")
-    print(f"promotion history depth: {len(zoo.promotion_history())}")
-    print(f"responses per model version: {dict(sorted(versions_served.items()))}")
-    snapshot = runtime.telemetry.snapshot()
-    print(f"serving: {snapshot['completed']} responses, "
-          f"p95 latency {snapshot['latency_ms']['p95_ms']:.2f} ms, "
-          f"mean batch size {snapshot['batch_size']['mean']:.1f}")
+        zoo = dep.zoo
+        snapshot = dep.snapshot()
+        print(f"\nZoo: {len(zoo)} models; tag 'latest' -> {zoo.resolve()}")
+        print(f"promotion history depth: {len(zoo.promotion_history())}")
+        print(f"responses per model version: {dict(sorted(versions_served.items()))}")
+        serving = snapshot["serving"]
+        print(f"serving: {serving['completed']} responses, "
+              f"p95 latency {serving['latency_ms']['p95_ms']:.2f} ms, "
+              f"mean batch size {serving['batch_size']['mean']:.1f}")
 
-    assert zoo.promotion_count() >= 2, "expected at least one drift-triggered promotion"
-    assert handle.version != "v0", "expected the live model to have been hot-swapped"
-    print("\ncontinual-learning loop closed: drift detected, model retrained, "
-          "promoted, and served without downtime.")
+        assert zoo.promotion_count() >= 2, "expected at least one drift-triggered promotion"
+        assert snapshot["continual"]["live_version"] != "v0", \
+            "expected the live model to have been hot-swapped"
+        print("\ncontinual-learning loop closed: drift detected, model retrained, "
+              "promoted, and served without downtime — from one spec file.")
 
 
 if __name__ == "__main__":

@@ -1,16 +1,19 @@
 #!/usr/bin/env python
 """Quickstart: rapid model updating with fairDMS in ~30 seconds on a laptop.
 
-The script walks through the paper's core loop end to end:
+The script walks through the paper's core loop end to end, configured
+entirely through the declarative API plane — the whole system is ten lines
+of :class:`~repro.api.spec.SystemSpec`, materialised by
+:class:`~repro.api.deployment.Deployment`:
 
 1. generate a synthetic HEDM experiment whose conditions drift over time,
-2. bootstrap fairDMS on the early, already-labeled scans (this trains the
-   embedding + clustering models, fills the data store, and registers an
+2. ``fit()`` the deployment on the early, already-labeled scans (this trains
+   the embedding + clustering models, fills the data store, and registers an
    initial BraggNN in the model Zoo),
 3. pretend a later scan arrives *unlabeled* after the deployed model has
    degraded, and
-4. let fairDMS update the model: pseudo-label via fairDS, pick the best Zoo
-   model via fairMS, fine-tune it, and report the timing breakdown.
+4. ``update_model()``: pseudo-label via fairDS, pick the best Zoo model via
+   fairMS, fine-tune it, and report the timing breakdown.
 
 Run with:  python examples/quickstart.py
 """
@@ -19,60 +22,62 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FairDMS, FairDS, UpdatePolicy
+from repro import Deployment, SystemSpec
+from repro.api.spec import ClusteringSpec, EmbedderSpec, ModelSpec
 from repro.datasets import BraggPeakDataset, make_two_phase_schedule
-from repro.embedding import PCAEmbedder
-from repro.models import build_braggnn
 from repro.nn.metrics import euclidean_pixel_error
-from repro.nn.trainer import TrainingConfig
-from repro.workflow import TransferService
 
 
 def main() -> None:
-    rng_seed = 0
+    # The whole system, declaratively.  Every component is named by its
+    # registry key; swap "pca" for "byol", or "braggnn" for "cookienetae",
+    # and nothing else changes.
+    spec = SystemSpec(
+        name="quickstart",
+        seed=0,
+        embedder=EmbedderSpec("pca", {"embedding_dim": 8}),
+        clustering=ClusteringSpec("kmeans", n_clusters=8),
+        model=ModelSpec("braggnn", {"width": 4},
+                        training={"epochs": 15, "batch_size": 32, "lr": 3e-3}),
+        policy={"distance_threshold": 0.6, "certainty_threshold": 60.0},
+    )
+    print(f"SystemSpec {spec.name!r}, digest {spec.digest()[:12]}")
 
     # 1. A drifting experiment: 20 scans, configuration change at scan 12.
-    schedule = make_two_phase_schedule(n_scans=20, change_at=12, seed=rng_seed)
-    experiment = BraggPeakDataset(schedule, peaks_per_scan=120, seed=rng_seed)
+    schedule = make_two_phase_schedule(n_scans=20, change_at=12, seed=spec.seed)
+    experiment = BraggPeakDataset(schedule, peaks_per_scan=120, seed=spec.seed)
 
-    # 2. Bootstrap fairDMS on the first 4 (labeled) scans.
-    hist_images, hist_labels = experiment.stacked(range(4))
-    fairds = FairDS(PCAEmbedder(embedding_dim=8), n_clusters=8, seed=rng_seed)
-    dms = FairDMS(
-        fairds,
-        model_builder=lambda: build_braggnn(width=4, seed=rng_seed),
-        training_config=TrainingConfig(epochs=15, batch_size=32, lr=3e-3, seed=rng_seed),
-        transfer=TransferService(),
-        policy=UpdatePolicy(distance_threshold=0.6, certainty_threshold=60.0),
-        seed=rng_seed,
-    )
-    print("Bootstrapping fairDMS on 4 historical scans "
-          f"({hist_images.shape[0]} labeled Bragg peaks)...")
-    dms.bootstrap(hist_images, hist_labels)
-    print(f"  data store: {fairds.store_size()} samples in {fairds.n_clusters} clusters")
-    print(f"  model Zoo : {len(dms.fairms.zoo)} model(s)")
+    with Deployment.from_spec(spec) as dep:
+        # 2. Bootstrap on the first 4 (labeled) scans.
+        hist_images, hist_labels = experiment.stacked(range(4))
+        print("Bootstrapping fairDMS on 4 historical scans "
+              f"({hist_images.shape[0]} labeled Bragg peaks)...")
+        dep.fit(hist_images, hist_labels)
+        print(f"  data store: {dep.fairds.store_size()} samples "
+              f"in {dep.fairds.n_clusters} clusters")
+        print(f"  model Zoo : {len(dep.zoo)} model(s)")
 
-    # 3. A new scan arrives unlabeled (still phase 0, so the Zoo is useful).
-    new_scan = experiment.scan(6)
-    print("\nScan 6 arrives unlabeled; requesting a model update...")
-    report = dms.update_model(new_scan.images, label="scan-6")
+        # 3. A new scan arrives unlabeled (still phase 0, so the Zoo is useful).
+        new_scan = experiment.scan(6)
+        print("\nScan 6 arrives unlabeled; requesting a model update...")
+        report = dep.update_model(new_scan.images, label="scan-6")
 
-    print(f"  strategy            : {report.strategy}")
-    if report.recommendation is not None:
-        print(f"  recommended model   : {report.recommendation.record.name} "
-              f"(JSD = {report.recommendation.distance:.3f})")
-    print(f"  cluster certainty   : {report.certainty:.1f}%")
-    print(f"  pseudo-label time   : {report.label_time * 1e3:.1f} ms")
-    print(f"  training time       : {report.train_time:.2f} s "
-          f"({report.history.epochs_run} epochs)")
-    print(f"  end-to-end time     : {report.end_to_end_time:.2f} s")
+        print(f"  strategy            : {report.strategy}")
+        if report.recommendation is not None:
+            print(f"  recommended model   : {report.recommendation.record.name} "
+                  f"(JSD = {report.recommendation.distance:.3f})")
+        print(f"  cluster certainty   : {report.certainty:.1f}%")
+        print(f"  pseudo-label time   : {report.label_time * 1e3:.1f} ms")
+        print(f"  training time       : {report.train_time:.2f} s "
+              f"({report.history.epochs_run} epochs)")
+        print(f"  end-to-end time     : {report.end_to_end_time:.2f} s")
 
-    # 4. Check the updated model on the new scan's ground truth.
-    pred = report.model.predict(new_scan.images)
-    err = euclidean_pixel_error(pred * 15.0, new_scan.centers)
-    print(f"\nUpdated model error on scan 6: median {np.median(err):.3f} px, "
-          f"P95 {np.percentile(err, 95):.3f} px")
-    print(f"Model Zoo now holds {len(dms.fairms.zoo)} models.")
+        # 4. Check the updated model on the new scan's ground truth.
+        pred = report.model.predict(new_scan.images)
+        err = euclidean_pixel_error(pred * 15.0, new_scan.centers)
+        print(f"\nUpdated model error on scan 6: median {np.median(err):.3f} px, "
+              f"P95 {np.percentile(err, 95):.3f} px")
+        print(f"Model Zoo now holds {len(dep.zoo)} models.")
 
 
 if __name__ == "__main__":

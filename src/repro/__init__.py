@@ -15,6 +15,9 @@ sub-packages for the full substrates:
   datasets and the conventional pseudo-Voigt labeling baseline.
 * :mod:`repro.workflow` / :mod:`repro.monitoring` — orchestration and
   degradation monitoring.
+* :mod:`repro.api` — the declarative plane: :class:`~repro.api.spec.SystemSpec`
+  configs, the package-wide component registry, and the
+  :class:`~repro.api.deployment.Deployment` facade (``python -m repro`` CLI).
 """
 
 from repro.core import (
@@ -30,10 +33,20 @@ from repro.core import (
     UpdatePolicy,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Declarative-plane names re-exported lazily (PEP 562): the spec/deployment
+#: modules pull in serving + workflow, which plain data-plane users of
+#: ``import repro`` should not pay for.
+_API_EXPORTS = {
+    "Deployment": "repro.api.deployment",
+    "SystemSpec": "repro.api.spec",
+    "preset": "repro.api.spec",
+}
 
 __all__ = [
     "DatasetDistribution",
+    "Deployment",
     "FairDS",
     "FairMS",
     "FairDMS",
@@ -42,6 +55,22 @@ __all__ = [
     "ModelUpdateReport",
     "ModelZoo",
     "Recommendation",
+    "SystemSpec",
     "UpdatePolicy",
+    "preset",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _API_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_API_EXPORTS))

@@ -20,11 +20,13 @@ Responsibilities (paper Section II-A):
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.api.registry import component_factory, filter_supported_kwargs, is_registered
 from repro.clustering.elbow import select_k_elbow
 from repro.clustering.fuzzy import assignment_certainty_batch
 from repro.clustering.kmeans import KMeans
@@ -32,7 +34,6 @@ from repro.core.distribution import DatasetDistribution
 from repro.dataio.sampler import WeightedClusterSampler
 from repro.embedding.base import Embedder
 from repro.storage.documentdb import Collection, DocumentDB
-from repro.storage.vector_index import ClusteredVectorIndex
 from repro.utils.cache import LRUCache, row_digests
 from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
 from repro.utils.rng import SeedLike, default_rng, derive_seed
@@ -83,6 +84,17 @@ class FairDS:
         authoritative store; pass ``np.float64`` to hold one full-precision
         copy (the mirror becomes a free view) and make
         :meth:`nearest_labeled` thresholds exact.
+    clustering_algorithm / clustering_params:
+        Registry name (kind ``"clustering"``) and extra constructor kwargs of
+        the clustering model fitted over the embedding space.  The component
+        must expose the KMeans-style surface (``fit`` / ``predict`` /
+        ``labels_`` / ``cluster_centers_`` / ``n_clusters``).
+    index_backend / index_params:
+        Registry name (kind ``"index"``) and extra constructor kwargs of the
+        nearest-neighbour index.  ``"clustered"`` (default) partitions by
+        cluster id; ``"flat"`` scans exactly.  Custom backends are built with
+        ``(centers=..., dtype=...)`` when their factory accepts them, and fed
+        through ``add(keys, vectors[, cluster_ids])``.
     """
 
     def __init__(
@@ -95,6 +107,10 @@ class FairDS:
         seed: SeedLike = 0,
         embedding_cache_size: int = 4096,
         index_dtype=np.float32,
+        clustering_algorithm: str = "kmeans",
+        clustering_params: Optional[Dict[str, Any]] = None,
+        index_backend: str = "clustered",
+        index_params: Optional[Dict[str, Any]] = None,
     ):
         if isinstance(n_clusters, str):
             if n_clusters != "auto":
@@ -108,11 +124,25 @@ class FairDS:
         self.max_auto_clusters = int(max_auto_clusters)
         if embedding_cache_size < 0:
             raise ConfigurationError("embedding_cache_size must be non-negative")
+        if not is_registered("clustering", clustering_algorithm):
+            raise ConfigurationError(
+                f"unknown clustering algorithm {clustering_algorithm!r}; "
+                "register it under kind 'clustering' first"
+            )
+        if not is_registered("index", index_backend):
+            raise ConfigurationError(
+                f"unknown index backend {index_backend!r}; register it under kind 'index' first"
+            )
         self.db = db or DocumentDB()
         self.collection_name = collection
         self.seed = seed
-        self._kmeans: Optional[KMeans] = None
-        self._index: Optional[ClusteredVectorIndex] = None
+        self.clustering_algorithm = clustering_algorithm
+        self.clustering_params = dict(clustering_params or {})
+        self.index_backend = index_backend
+        self.index_params = dict(index_params or {})
+        self._kmeans = None  # the fitted clustering model (KMeans-style surface)
+        self._index = None
+        self._index_takes_cluster_ids: Optional[bool] = None
         self._lookup_counter = 0
         self._embed_cache = LRUCache(embedding_cache_size)
         self._embed_generation = 0
@@ -213,7 +243,7 @@ class FairDS:
             raise ValidationError(
                 f"need at least n_clusters={k} samples to fit fairDS, got {embeddings.shape[0]}"
             )
-        self._kmeans = KMeans(n_clusters=k, seed=derive_seed(self.seed, 2)).fit(embeddings)
+        self._kmeans = self._make_clusterer(k).fit(embeddings)
         cluster_ids = self._kmeans.labels_
 
         # Reset the collection so repeated fits don't accumulate stale copies.
@@ -245,17 +275,65 @@ class FairDS:
             metas.append(meta)
         return coll.insert_many(metas, list(images))
 
-    def _rebuild_index(self) -> None:
+    def _make_clusterer(self, k: int):
+        """The clustering model named by ``clustering_algorithm``, through the
+        unified component registry.
+
+        ``n_clusters`` (and any ``clustering_params``) are passed always;
+        the derived ``seed`` only when the factory's signature accepts it —
+        so a custom algorithm that validated at spec time (where no seed is
+        offered) constructs identically here.
+        """
+        factory = component_factory("clustering", self.clustering_algorithm)
+        if factory is KMeans and not self.clustering_params:
+            # Fast path only when "kmeans" still resolves to the builtin — a
+            # user overwrite through the registry must win.
+            return KMeans(n_clusters=k, seed=derive_seed(self.seed, 2))
+        optional = filter_supported_kwargs(factory, {"seed": derive_seed(self.seed, 2)})
+        return factory(**{"n_clusters": k, **optional, **self.clustering_params})
+
+    def _make_index(self):
+        """The lookup index named by ``index_backend``.
+
+        ``"flat"`` backends take the embedding dimensionality; cluster-aware
+        backends are *offered* the fitted cluster centres, the index dtype,
+        and an ``n_probe`` default, each passed only when the factory's
+        signature accepts it (custom backends need not declare them).
+        ``add`` is probed once for whether it accepts per-row ``cluster_ids``
+        (see :meth:`_index_add`).
+        """
         assert self._kmeans is not None
+        centers = np.asarray(self._kmeans.cluster_centers_, dtype=np.float64)
+        if self.index_backend == "flat":
+            factory = component_factory("index", "flat")
+            offered = {"dim": centers.shape[1], "dtype": self.index_dtype}
+        else:
+            factory = component_factory("index", self.index_backend)
+            offered = {"centers": centers, "dtype": self.index_dtype, "n_probe": 2}
+        kwargs = {**filter_supported_kwargs(factory, offered), **self.index_params}
+        index = factory(**kwargs)
+        try:
+            signature = inspect.signature(index.add)
+            self._index_takes_cluster_ids = "cluster_ids" in signature.parameters
+        except (TypeError, ValueError):  # builtins / C callables without signatures
+            self._index_takes_cluster_ids = True
+        return index
+
+    def _index_add(self, keys: List[str], vectors: np.ndarray, cluster_ids: np.ndarray) -> None:
+        assert self._index is not None
+        if self._index_takes_cluster_ids:
+            self._index.add(keys, vectors, cluster_ids)
+        else:
+            self._index.add(keys, vectors)
+
+    def _rebuild_index(self) -> None:
         docs = self.collection.find()
-        self._index = ClusteredVectorIndex(
-            self._kmeans.cluster_centers_, n_probe=2, dtype=self.index_dtype
-        )
+        self._index = self._make_index()
         if docs:
             keys = [d.id for d in docs]
             vectors = np.array([d["embedding"] for d in docs], dtype=np.float64)
             cluster_ids = np.array([d["cluster_id"] for d in docs], dtype=int)
-            self._index.add(keys, vectors, cluster_ids)
+            self._index_add(keys, vectors, cluster_ids)
 
     def ingest(
         self,
@@ -270,8 +348,7 @@ class FairDS:
         embeddings = self._embed(images)
         cluster_ids = self._kmeans.predict(embeddings)
         ids = self._write_samples(self.collection, images, labels, embeddings, cluster_ids, metadata)
-        assert self._index is not None
-        self._index.add(ids, embeddings, cluster_ids)
+        self._index_add(ids, embeddings, cluster_ids)
         return ids
 
     # -- discovery ----------------------------------------------------------------------------

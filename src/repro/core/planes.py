@@ -12,8 +12,9 @@ deployment; :class:`FairDMSService` reproduces that wiring on top of the local
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +27,33 @@ from repro.workflow.flows import Flow, FlowResult
 from repro.workflow.funcx import FuncXExecutor
 
 logger = get_logger("repro.core.planes")
+
+
+def lookup_payload(result) -> Dict[str, Any]:
+    """The serving-payload dict of one :class:`~repro.core.fairds.LookupResult`
+    — the wire shape shared by :meth:`FairDMSService.lookup_labeled_data` and
+    the ``"lookup_labeled_data"`` serving operation (also when a model-less
+    ``Deployment`` serves it straight off fairDS)."""
+    return {
+        "images": result.images,
+        "labels": result.labels,
+        "doc_ids": result.doc_ids,
+        "distribution": result.input_distribution.as_dict(),
+    }
+
+
+def split_lookup_payloads(
+    payloads: Sequence[Union[np.ndarray, Tuple[np.ndarray, Optional[int]]]],
+) -> Tuple[List[np.ndarray], List[Optional[int]]]:
+    """Unpack ``"lookup_labeled_data"`` serving payloads — each an images
+    array, or an ``(images, n_samples)`` tuple — into parallel batch lists."""
+    batches: List[np.ndarray] = []
+    n_samples: List[Optional[int]] = []
+    for payload in payloads:
+        images, n = payload if isinstance(payload, tuple) else (payload, None)
+        batches.append(images)
+        n_samples.append(n)
+    return batches, n_samples
 
 
 @dataclass
@@ -69,6 +97,9 @@ class FairDMSService:
         self.auto_system_plane = bool(auto_system_plane)
         self.activity: List[PlaneActivity] = []
         self._function_ids: Dict[str, str] = {}
+        # Serving runtimes wired to this service (weakly held, so an
+        # abandoned runtime does not pin the service's telemetry forever).
+        self._runtimes: "weakref.WeakSet[ServingRuntime]" = weakref.WeakSet()
         self._register_plane_functions()
 
     # -- registration --------------------------------------------------------------
@@ -100,14 +131,9 @@ class FairDMSService:
         dists = self.dms.fairds.dataset_distribution_batch(batches, labels=[label] * len(batches))
         return [d.as_dict() for d in dists]
 
-    @staticmethod
-    def _lookup_payload(result) -> Dict[str, Any]:
-        return {
-            "images": result.images,
-            "labels": result.labels,
-            "doc_ids": result.doc_ids,
-            "distribution": result.input_distribution.as_dict(),
-        }
+    #: Kept as an attribute for back-compat; the canonical definition is the
+    #: module-level :func:`lookup_payload`.
+    _lookup_payload = staticmethod(lookup_payload)
 
     def _fn_lookup(self, images: np.ndarray, n_samples: Optional[int] = None) -> Dict[str, Any]:
         return self._lookup_payload(self.dms.fairds.lookup(images, n_samples=n_samples))
@@ -255,43 +281,67 @@ class FairDMSService:
         :meth:`~repro.serving.runtime.ServingRuntime.shutdown` around the
         service's own lifetime.
         """
-        handlers = {
+        runtime = ServingRuntime(
+            self.serving_handlers(),
+            policy=policy,
+            num_workers=num_workers,
+            telemetry=telemetry,
+            observers=self.serving_observers(certainty_trigger),
+        )
+        return self.track_runtime(runtime)
+
+    def serving_handlers(self) -> Dict[str, Callable[[List[Any]], Sequence[Any]]]:
+        """The batch handlers :meth:`serving_runtime` wires, exposed so a
+        facade can compose them with additional operations (e.g. the
+        ``Deployment`` facade adds a hot-swappable ``"predict"``) into one
+        :class:`~repro.serving.runtime.ServingRuntime`."""
+        return {
             "query_distribution": lambda payloads: self.query_distribution_batch(list(payloads)),
             "lookup_labeled_data": self._serve_lookup_batch,
             "certainty": lambda payloads: self.certainty_batch(list(payloads)),
         }
-        observers: Dict[str, Any] = {}
+
+    def serving_observers(
+        self, certainty_trigger: Optional[ThresholdTrigger] = None
+    ) -> Dict[str, Callable[[List[Any]], Any]]:
+        """Arrival-order observers matching :meth:`serving_handlers`."""
+        observers: Dict[str, Callable[[List[Any]], Any]] = {}
         if certainty_trigger is not None:
             observers["certainty"] = certainty_trigger.observe_many
-        return ServingRuntime(
-            handlers,
-            policy=policy,
-            num_workers=num_workers,
-            telemetry=telemetry,
-            observers=observers,
-        )
+        return observers
+
+    def track_runtime(self, runtime: ServingRuntime) -> ServingRuntime:
+        """Register ``runtime`` as serving this service, so its completion
+        counts surface in :meth:`activity_summary` (one telemetry source)."""
+        self._runtimes.add(runtime)
+        return runtime
 
     def _serve_lookup_batch(
         self, payloads: Sequence[Union[np.ndarray, Tuple[np.ndarray, Optional[int]]]]
     ) -> List[Dict[str, Any]]:
         """Batch handler for ``"lookup_labeled_data"`` serving requests."""
-        batches: List[np.ndarray] = []
-        n_samples: List[Optional[int]] = []
-        for payload in payloads:
-            if isinstance(payload, tuple):
-                images, n = payload
-            else:
-                images, n = payload, None
-            batches.append(images)
-            n_samples.append(n)
+        batches, n_samples = split_lookup_payloads(payloads)
         return self.lookup_labeled_data_batch(batches, n_samples=n_samples)
 
     # -- introspection ----------------------------------------------------------------------
-    def activity_summary(self) -> Dict[str, int]:
+    def activity_summary(self, include_serving: bool = True) -> Dict[str, int]:
+        """Invocation counts per plane function, as ``{"plane:function": n}``.
+
+        With ``include_serving`` (default), per-operation request counts of
+        every serving runtime created by :meth:`serving_runtime` (or adopted
+        via :meth:`track_runtime`) are folded in under ``"serving:<op>"``
+        keys, so callers aggregating system health read one summary instead
+        of walking runtimes themselves.
+        """
         summary: Dict[str, int] = {}
         for entry in self.activity:
             key = f"{entry.plane}:{entry.function}"
             summary[key] = summary.get(key, 0) + 1
+        if include_serving:
+            for runtime in list(self._runtimes):
+                for op, counts in runtime.telemetry_snapshot()["per_op"].items():
+                    key = f"serving:{op}"
+                    summary[key] = summary.get(key, 0) + counts["completed"]
         return summary
 
     def shutdown(self) -> None:

@@ -55,10 +55,18 @@ _EMBEDDERS: Dict[str, Type[Embedder]] = {}
 
 
 def register_embedder(cls: Type[Embedder]) -> Type[Embedder]:
-    """Register an embedder class under its ``name`` (usable as a decorator)."""
+    """Register an embedder class under its ``name`` (usable as a decorator).
+
+    Also forwards the registration to the package-wide component registry
+    (:mod:`repro.api.registry`, kind ``"embedder"``), so embedders registered
+    here are constructible from :class:`~repro.api.spec.EmbedderSpec` configs.
+    """
     if not getattr(cls, "name", None) or cls.name == "base":
         raise ConfigurationError("embedder classes must define a unique 'name'")
     _EMBEDDERS[cls.name] = cls
+    from repro.api.registry import _register_direct  # lazy: avoids an import cycle
+
+    _register_direct("embedder", cls.name, cls)
     return cls
 
 

@@ -242,6 +242,17 @@ class ServingRuntime:
     def operations(self) -> List[str]:
         return list(self._ops)
 
+    # -- observability -----------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """True between :meth:`start` and :meth:`shutdown`."""
+        return self._started and not self._closed
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Shorthand for ``runtime.telemetry.snapshot()`` — the one-call
+        health view facades aggregate (see ``Deployment.snapshot``)."""
+        return self.telemetry.snapshot()
+
     # -- internal threads --------------------------------------------------------
     def _flush_loop(self, worker_id: int) -> None:
         """One flusher per operation: turn ready micro-batches into work items."""

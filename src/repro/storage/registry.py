@@ -1,4 +1,4 @@
-"""Name-based registry for storage and index backends.
+"""Name-based registry for storage and index backends (back-compat shim).
 
 The scalability ablations of the paper swap the storage/lookup configuration
 — document DB vs file store, flat vs cluster-partitioned index — between
@@ -9,29 +9,34 @@ name from configuration instead of hard-coded imports:
     >>> index = create_index_backend("flat", dim=16)
     >>> db = create_storage_backend("documentdb", codec="blosc")
 
-Two kinds of backend exist:
+Since the declarative API plane landed, the authoritative store is the
+**package-wide component registry** (:mod:`repro.api.registry`), which also
+covers embedders, clustering algorithms, models, triggers, and policies.
+This module remains as a thin delegating shim over its ``"storage"`` and
+``"index"`` kinds — backends registered through either module are visible to
+both — plus the two backend protocols:
 
 * ``"storage"`` — sample/document persistence (``"file"``, ``"documentdb"``),
   described by the :class:`StorageBackend` protocol.
 * ``"index"`` — nearest-neighbour lookup (``"flat"``, ``"clustered"``),
   described by the :class:`IndexBackend` protocol.
 
-User code can plug in its own backends with :func:`register_backend` (usable
-as a decorator); benchmarks and examples enumerate the available names via
-:func:`available_backends`.
+:func:`create_from_config` is **deprecated** in favour of
+:func:`repro.api.registry.create_from_spec` (identical semantics, all kinds).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Protocol, runtime_checkable
+import warnings
+from typing import Any, Callable, List, Mapping, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.storage.codecs import get_codec
-from repro.storage.documentdb import DocumentDB, NetworkModel
-from repro.storage.file_store import FileStore
-from repro.storage.vector_index import ClusteredVectorIndex, QueryResult, VectorIndex
+from repro.api import registry as _unified
+from repro.storage.vector_index import QueryResult
 from repro.utils.errors import ConfigurationError
+
+_BACKEND_KINDS = ("storage", "index")
 
 
 @runtime_checkable
@@ -54,16 +59,12 @@ class IndexBackend(Protocol):
     def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]: ...
 
 
-_REGISTRIES: Dict[str, Dict[str, Callable[..., Any]]] = {"storage": {}, "index": {}}
-
-
-def _registry(kind: str) -> Dict[str, Callable[..., Any]]:
-    try:
-        return _REGISTRIES[kind]
-    except KeyError:
+def _check_kind(kind: str) -> str:
+    if kind not in _BACKEND_KINDS:
         raise ConfigurationError(
-            f"unknown backend kind {kind!r}; expected one of {sorted(_REGISTRIES)}"
-        ) from None
+            f"unknown backend kind {kind!r}; expected one of {sorted(_BACKEND_KINDS)}"
+        )
+    return kind
 
 
 def register_backend(
@@ -76,19 +77,11 @@ def register_backend(
 
     Usable directly (``register_backend("index", "flat", VectorIndex)``) or as
     a decorator (``@register_backend("index", "annoy")``).  Duplicate names
-    raise unless ``overwrite=True``.
+    raise unless ``overwrite=True``.  Registers into the package-wide
+    component registry, so the backend is equally constructible through
+    :func:`repro.api.registry.create_component`.
     """
-    registry = _registry(kind)
-
-    def _register(fn: Callable[..., Any]) -> Callable[..., Any]:
-        if name in registry and not overwrite:
-            raise ConfigurationError(
-                f"{kind} backend {name!r} is already registered; pass overwrite=True to replace it"
-            )
-        registry[name] = fn
-        return fn
-
-    return _register(factory) if factory is not None else _register
+    return _unified.register_component(_check_kind(kind), name, factory, overwrite=overwrite)
 
 
 def unregister_backend(kind: str, name: str) -> bool:
@@ -97,24 +90,17 @@ def unregister_backend(kind: str, name: str) -> bool:
     Mainly for tests and plugins that add temporary backends and must not
     leak them into the process-wide registry.
     """
-    return _registry(kind).pop(name, None) is not None
+    return _unified.unregister_component(_check_kind(kind), name)
 
 
 def available_backends(kind: str) -> List[str]:
     """Names registered for ``kind`` (``"storage"`` or ``"index"``)."""
-    return sorted(_registry(kind))
+    return _unified.available_components(_check_kind(kind))
 
 
 def create_backend(kind: str, name: str, **kwargs: Any) -> Any:
     """Instantiate the backend registered under ``(kind, name)``."""
-    registry = _registry(kind)
-    try:
-        factory = registry[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown {kind} backend {name!r}; available: {sorted(registry)}"
-        ) from None
-    return factory(**kwargs)
+    return _unified.create_component(_check_kind(kind), name, **kwargs)
 
 
 def create_storage_backend(name: str, **kwargs: Any) -> StorageBackend:
@@ -126,24 +112,20 @@ def create_index_backend(name: str, **kwargs: Any) -> IndexBackend:
 
 
 def create_from_config(config: Mapping[str, Any]) -> Any:
-    """Instantiate a backend from ``{"kind": ..., "name": ..., "params": {...}}``."""
+    """Instantiate a backend from ``{"kind": ..., "name": ..., "params": {...}}``.
+
+    .. deprecated::
+        Use :func:`repro.api.registry.create_from_spec`, which accepts every
+        component kind.  This shim validates the kind against the two storage
+        kinds and delegates; results are identical for storage/index configs.
+    """
+    warnings.warn(
+        "repro.storage.registry.create_from_config is deprecated; use "
+        "repro.api.registry.create_from_spec instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if "kind" not in config or "name" not in config:
         raise ConfigurationError("backend config requires 'kind' and 'name' entries")
-    params = dict(config.get("params") or {})
-    return create_backend(config["kind"], config["name"], **params)
-
-
-# -- built-in backends ---------------------------------------------------------
-def _make_documentdb(codec=None, network=None, **kwargs: Any) -> DocumentDB:
-    """DocumentDB factory accepting codec names and network-model dicts."""
-    if isinstance(codec, str):
-        codec = get_codec(codec)
-    if isinstance(network, Mapping):
-        network = NetworkModel(**network)
-    return DocumentDB(codec=codec, network=network, **kwargs)
-
-
-register_backend("storage", "file", FileStore)
-register_backend("storage", "documentdb", _make_documentdb)
-register_backend("index", "flat", VectorIndex)
-register_backend("index", "clustered", ClusteredVectorIndex)
+    _check_kind(config["kind"])
+    return _unified.create_from_spec(config)

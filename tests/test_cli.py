@@ -1,0 +1,109 @@
+"""Tests of the ``python -m repro`` CLI (repro.__main__)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.api.spec import preset
+
+
+@pytest.fixture()
+def specs_dir(tmp_path):
+    directory = tmp_path / "specs"
+    directory.mkdir()
+    for name in ("minimal", "serving", "continual"):
+        preset(name).save(directory / f"{name}.json")
+    return directory
+
+
+def test_presets_lists_all_and_writes_files(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    assert main(["presets", "--write", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    for name in ("minimal", "serving", "continual"):
+        assert name in out
+        written = out_dir / f"{name}.json"
+        assert written.exists()
+        assert json.loads(written.read_text())["name"] == name
+
+
+def test_validate_accepts_good_specs_and_prints_digests(specs_dir, capsys):
+    paths = [str(specs_dir / f"{n}.json") for n in ("minimal", "serving", "continual")]
+    assert main(["validate", *paths]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ok ") == 3
+    assert preset("serving").digest() in out
+
+
+def test_validate_rejects_bad_specs_with_exit_1(specs_dir, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"embedder": {"name": "no-such-embedder"}}))
+    null_spec = tmp_path / "null.json"
+    null_spec.write_text("null")
+    bad_type = tmp_path / "bad_type.json"
+    bad_type.write_text(json.dumps({"continual": {"gate_factor": "2.0"},
+                                    "model": {"architecture": "braggnn"}}))
+    good = str(specs_dir / "minimal.json")
+    assert main(["validate", good, str(bad), str(tmp_path / "missing.json"),
+                 str(null_spec), str(bad_type)]) == 1
+    out = capsys.readouterr().out
+    assert out.count("INVALID") == 4  # every bad file reported, none crashed the loop
+    assert out.count("ok ") == 1
+    assert "no-such-embedder" in out
+    assert "gate_factor" in out
+
+
+def test_run_minimal_exercises_the_data_plane(specs_dir, capsys):
+    assert main(["run", str(specs_dir / "minimal.json"), "--scans", "5", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "data plane only" in out and "lookup returned" in out
+
+
+def test_run_serving_spec_updates_a_model(specs_dir, capsys):
+    assert main(["run", str(specs_dir / "serving.json"), "--scans", "5", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "updating model" in out and "strategy=" in out
+    assert "zoo holds 2 model(s)" in out
+
+
+def test_run_continual_spec_closes_the_loop(specs_dir, capsys):
+    assert main(["run", str(specs_dir / "continual.json"),
+                 "--scans", "7", "--change-at", "5", "--peaks", "40", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "TRIGGERED" in out and "hot-swapped" in out
+    snapshot = json.loads(out[out.index("{"):])
+    assert snapshot["continual"]["times_fired"] >= 1
+    assert snapshot["zoo"]["promoted_version"] != "v0"
+
+
+def test_run_and_serve_report_missing_spec_without_traceback(capsys):
+    assert main(["run", "no-such-spec.json"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error: no-such-spec.json: file not found")
+    assert main(["serve", "no-such-spec.json"]) == 1
+    assert "file not found" in capsys.readouterr().err
+
+
+def test_run_rejects_bad_scan_counts(specs_dir, capsys):
+    assert main(["run", str(specs_dir / "minimal.json"), "--scans", "3"]) == 1
+    assert "--scans" in capsys.readouterr().err
+    assert main(["run", str(specs_dir / "minimal.json"),
+                 "--scans", "6", "--change-at", "2"]) == 1
+    assert "--change-at" in capsys.readouterr().err
+
+
+def test_serve_answers_a_burst_and_prints_telemetry(specs_dir, capsys):
+    assert main(["serve", str(specs_dir / "serving.json"),
+                 "--requests", "24", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "'predict'" in out
+    assert "served 24 requests" in out
+
+
+def test_serve_minimal_spec_serves_certainty(specs_dir, capsys):
+    assert main(["serve", str(specs_dir / "minimal.json"),
+                 "--requests", "8", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "'predict'" not in out
+    assert "served 8 requests" in out

@@ -1,0 +1,334 @@
+"""Tests of the unified Deployment facade (repro.api.deployment).
+
+The headline test reproduces the drift → retrain → promote → hot-swap e2e of
+``tests/test_continual_loop.py`` with the system materialised entirely from a
+spec JSON file — zero direct component constructor calls in the test body.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.deployment import Deployment
+from repro.api.registry import available_components, create_component
+from repro.api.spec import ClusteringSpec, IndexSpec, SystemSpec, preset
+from repro.serving.hot_swap import VersionedResult
+from repro.utils.errors import ConfigurationError, ServingError
+from repro.datasets import BraggPeakDataset, make_two_phase_schedule
+
+BENIGN_SCAN = 5     # same phase as the bootstrap data -> certainty ~33-45 %
+DRIFTED_SCAN = 9    # after the phase change at scan 8 -> certainty ~0 %
+TRIGGER_THRESHOLD = 20.0  # the "continual" preset's trigger threshold
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return BraggPeakDataset(make_two_phase_schedule(n_scans=14, change_at=8, seed=0),
+                            peaks_per_scan=60, seed=0)
+
+
+@pytest.fixture()
+def continual_spec_path(tmp_path):
+    """The 'continual' preset, shipped to disk the way an operator would."""
+    return preset("continual").save(tmp_path / "continual.json")
+
+
+# ---------------------------------------------------------------------------------
+# The acceptance e2e: a spec file is the whole system
+# ---------------------------------------------------------------------------------
+def test_from_json_reproduces_drift_retrain_hot_swap_e2e(experiment, continual_spec_path):
+    hist_x, hist_y = experiment.stacked(range(3))
+    benign = experiment.scan(BENIGN_SCAN).images
+    drifted = experiment.scan(DRIFTED_SCAN).images
+    probes = experiment.scan(BENIGN_SCAN).images[:24]
+
+    with Deployment.from_json(continual_spec_path) as dep:
+        boot_record = dep.fit(hist_x, hist_y)
+        assert boot_record is not None
+        assert dep.zoo.promoted_version() == "v0"
+
+        with dep.serve() as runtime:
+            # Phase 0 traffic: everything served by v0.
+            early = [runtime.call("predict", x, timeout=30.0) for x in probes[:8]]
+            assert all(isinstance(r, VersionedResult) and r.version == "v0" for r in early)
+
+            # A benign scan does not trigger anything.
+            report = dep.process_scan(benign, run_id="benign")
+            assert not report.triggered and not report.swapped
+            assert report.signal > TRIGGER_THRESHOLD
+            assert len(dep.zoo) == 1
+
+            # Submit in-flight traffic, then process the drifted scan.
+            futures = [runtime.submit("predict", x) for x in probes]
+            report = dep.process_scan(drifted, run_id="drifted")
+            assert report.triggered and report.signal < TRIGGER_THRESHOLD
+            assert report.gate_passed and report.promoted_version == "v1"
+            assert report.swapped
+            assert report.strategy in ("fine-tune", "scratch")
+            assert len(dep.zoo) == 2
+            assert dep.zoo.resolve("latest") == report.model_id
+
+            # No in-flight future was dropped or errored by the swap...
+            inflight = [f.result(timeout=10.0) for f in futures]
+            # ...and post-swap traffic is served by the promoted model.
+            runtime.drain(timeout=10.0)
+            late = [runtime.call("predict", x, timeout=30.0) for x in probes[:8]]
+
+        model_v0 = dep.zoo.load_model(boot_record.model_id)
+        model_v1 = dep.zoo.load_model(report.model_id)
+        by_version = {"v0": model_v0, "v1": model_v1}
+        for response, x in zip(inflight + late, list(probes) + list(probes[:8])):
+            assert response.version in by_version
+            expected = by_version[response.version].predict(x[None])[0]
+            np.testing.assert_allclose(response.value, expected, rtol=1e-5, atol=1e-6)
+        assert all(r.version == "v1" for r in late)
+
+        snap = dep.snapshot()
+        assert snap["zoo"]["promoted_version"] == "v1"
+        assert snap["continual"]["times_fired"] == 1
+        assert snap["continual"]["live_version"] == "v1"
+        assert snap["serving"]["completed"] == len(early) + len(probes) + len(late)
+
+
+def test_every_component_kind_constructible_by_name():
+    """The acceptance criterion on the unified registry: one create call per
+    component kind, by name alone."""
+    cases = {
+        "embedder": ("pca", {"embedding_dim": 4}),
+        "clustering": ("kmeans", {"n_clusters": 3}),
+        "storage": ("documentdb", {}),
+        "index": ("flat", {"dim": 4}),
+        "model": ("braggnn", {"width": 4}),
+        "trigger": ("certainty", {"threshold_percent": 50.0}),
+        "policy": ("batching", {"max_batch_size": 8}),
+    }
+    for kind, (name, kwargs) in cases.items():
+        assert name in available_components(kind)
+        assert create_component(kind, name, **kwargs) is not None
+    clustered = create_component("index", "clustered", centers=np.zeros((2, 4)), n_probe=2)
+    assert len(clustered) == 0
+
+
+# ---------------------------------------------------------------------------------
+# Facade surface per preset tier
+# ---------------------------------------------------------------------------------
+def test_minimal_deployment_serves_the_data_plane(experiment):
+    hist_x, hist_y = experiment.stacked(range(3))
+    probe = experiment.scan(3).images[:16]
+    with Deployment.from_preset("minimal") as dep:
+        assert dep.fit(hist_x, hist_y) is None
+        assert dep.fairds.store_size() == hist_x.shape[0]
+        assert dep.ingest(probe, experiment.scan(3).normalized_centers[:16])
+        lookup = dep.lookup(probe, n_samples=8)
+        assert len(lookup) == 8
+        assert len(dep.lookup_batch([probe, probe])) == 2
+        assert 0.0 <= dep.certainty(probe) <= 100.0
+        assert pytest.approx(sum(dep.distribution(probe).pdf), abs=1e-9) == 1.0
+
+        # Model-plane operations state their requirement explicitly.
+        with pytest.raises(ConfigurationError, match="requires a 'model'"):
+            dep.update_model(probe)
+        with pytest.raises(ConfigurationError, match="requires a 'model'"):
+            _ = dep.zoo
+        with pytest.raises(ConfigurationError, match="no 'continual' section"):
+            dep.continual()
+
+        # serve() still works: data-plane handlers straight off fairDS.
+        with dep.serve() as runtime:
+            assert runtime.operations == ["certainty", "lookup_labeled_data", "query_distribution"]
+            dist = runtime.call("query_distribution", probe, timeout=30.0)
+            assert dist["pdf"] == dep.distribution(probe).as_dict()["pdf"]
+            payload = runtime.call("lookup_labeled_data", (probe, 5), timeout=30.0)
+            assert payload["images"].shape[0] == 5
+            cert = runtime.call("certainty", probe, timeout=30.0)
+            assert cert == pytest.approx(dep.certainty(probe), rel=1e-12)
+
+
+def test_serving_deployment_predicts_with_versioned_responses(experiment):
+    hist_x, hist_y = experiment.stacked(range(3))
+    probes = experiment.scan(4).images[:8]
+    with Deployment.from_preset("serving") as dep:
+        record = dep.fit(hist_x, hist_y)
+        runtime = dep.serve()
+        assert dep.serve() is runtime  # idempotent while live
+        responses = [runtime.call("predict", x, timeout=30.0) for x in probes]
+        assert all(r.version == "v0" for r in responses)
+        expected = dep.zoo.load_model(record.model_id).predict(np.stack(probes))
+        np.testing.assert_allclose(np.stack([r.value for r in responses]), expected,
+                                   rtol=1e-5, atol=1e-6)
+
+        # One telemetry source: the service activity folds in serving counts.
+        summary = dep.service.activity_summary()
+        assert summary["serving:predict"] == len(probes)
+        snap = dep.snapshot()
+        assert snap["activity"]["serving:predict"] == len(probes)
+        assert snap["serving"]["per_op"]["predict"]["completed"] == len(probes)
+        assert snap["zoo"]["models"] == 1 and snap["zoo"]["promoted_version"] == "v0"
+    # Context exit closed everything; serving rejects new traffic.
+    with pytest.raises(ServingError):
+        runtime.submit("predict", probes[0])
+
+
+def test_update_model_through_the_facade(experiment):
+    hist_x, hist_y = experiment.stacked(range(3))
+    with Deployment.from_preset("serving") as dep:
+        dep.fit(hist_x, hist_y)
+        report = dep.update_model(experiment.scan(4).images, label="facade")
+        assert report.strategy in ("fine-tune", "scratch")
+        assert len(dep.zoo) == 2
+
+
+def test_runtime_started_before_fit_serves_predictions_after_fit(experiment):
+    """The predict handler resolves the model handle lazily per batch, so a
+    runtime started before fit() begins predicting the moment a model is
+    promoted — no restart needed."""
+    hist_x, hist_y = experiment.stacked(range(3))
+    probe = experiment.scan(4).images[0]
+    with Deployment.from_preset("serving") as dep:
+        runtime = dep.serve()
+        assert "predict" in runtime.operations
+        # Before any promoted model, predict fails with a clear error...
+        future = runtime.submit("predict", probe)
+        with pytest.raises(ConfigurationError, match="call fit"):
+            future.result(timeout=10.0)
+        # ...and the very same runtime serves once fit() promotes v0.
+        dep.fit(hist_x, hist_y)
+        response = runtime.call("predict", probe, timeout=30.0)
+        assert response.version == "v0"
+
+
+def test_custom_components_without_context_kwargs_materialise(experiment):
+    """Components that validate at spec time must also construct at fit time:
+    the wiring only offers seed/centers/dtype kwargs to factories whose
+    signatures accept them."""
+    from repro.api.registry import register_component, unregister_component
+    from repro.clustering.kmeans import KMeans
+
+    class SeedlessKMeans(KMeans):
+        def __init__(self, n_clusters):  # no seed parameter
+            super().__init__(n_clusters=n_clusters, seed=123)
+
+    class MiniFlatIndex:
+        def __init__(self):  # no centers/dtype/n_probe parameters
+            self._keys, self._rows = [], []
+
+        def __len__(self):
+            return len(self._keys)
+
+        def add(self, keys, vectors):  # no cluster_ids parameter
+            self._keys.extend(keys)
+            self._rows.extend(np.asarray(vectors, dtype=np.float64))
+
+        def query(self, vector, k=1):
+            return self.query_batch(np.asarray(vector)[None], k=k)[0]
+
+        def query_batch(self, vectors, k=1):
+            data = np.stack(self._rows)
+            results = []
+            for v in np.atleast_2d(np.asarray(vectors, dtype=np.float64)):
+                dists = np.linalg.norm(data - v, axis=1)
+                order = np.argsort(dists)[:k]
+                results.append([(self._keys[i], float(dists[i])) for i in order])
+            return results
+
+    register_component("clustering", "seedless-kmeans", SeedlessKMeans)
+    register_component("index", "mini-flat", MiniFlatIndex)
+    try:
+        spec = SystemSpec(
+            name="custom-components",
+            embedder=preset("minimal").embedder,
+            clustering=ClusteringSpec("seedless-kmeans", n_clusters=4),
+            index=IndexSpec("mini-flat"),
+        )
+        hist_x, hist_y = experiment.stacked(range(2))
+        with Deployment.from_spec(spec) as dep:
+            dep.fit(hist_x, hist_y)
+            assert dep.fairds.n_clusters == 4
+            assert len(dep.lookup(hist_x[:10])) == 10
+            hits = dep.fairds.nearest_labeled(hist_x[:3], threshold=10.0)
+            assert all(label is not None for label, _ in hits)
+    finally:
+        assert unregister_component("clustering", "seedless-kmeans")
+        assert unregister_component("index", "mini-flat")
+
+
+def test_overwriting_the_builtin_kmeans_registration_wins(experiment):
+    """A user overwrite of 'kmeans' must be honoured even with empty
+    clustering_params (no silent builtin fast path)."""
+    from repro.api.registry import component_factory, register_component
+    from repro.clustering.kmeans import KMeans
+
+    builtin = component_factory("clustering", "kmeans")
+    constructed = []
+
+    class SpyKMeans(KMeans):
+        def __init__(self, n_clusters, seed=0):
+            constructed.append(n_clusters)
+            super().__init__(n_clusters=n_clusters, seed=seed)
+
+    register_component("clustering", "kmeans", SpyKMeans, overwrite=True)
+    try:
+        with Deployment.from_preset("minimal") as dep:
+            dep.fit(*experiment.stacked(range(2)))
+        # Two constructions, both through the override: the spec's eager
+        # trial validation and the actual fit.
+        assert constructed == [6, 6]
+    finally:
+        register_component("clustering", "kmeans", builtin, overwrite=True)
+
+
+def test_flat_index_backend_materialises_and_answers(experiment):
+    spec = SystemSpec(
+        name="flat-index",
+        embedder=preset("minimal").embedder,
+        clustering=preset("minimal").clustering,
+        index=IndexSpec("flat"),
+    )
+    hist_x, hist_y = experiment.stacked(range(2))
+    with Deployment.from_spec(spec) as dep:
+        dep.fit(hist_x, hist_y)
+        hits = dep.fairds.nearest_labeled(hist_x[:4], threshold=10.0)
+        assert len(hits) == 4
+        assert all(label is not None for label, _ in hits)
+
+
+def test_closed_deployment_refuses_work(experiment):
+    dep = Deployment.from_preset("minimal")
+    dep.close()
+    dep.close()  # idempotent
+    with pytest.raises(ConfigurationError, match="closed"):
+        dep.fit(*experiment.stacked(range(2)))
+    with pytest.raises(ConfigurationError, match="closed"):
+        dep.serve()
+
+
+def test_snapshot_before_fit_reports_unfitted():
+    with Deployment.from_preset("serving") as dep:
+        snap = dep.snapshot()
+        assert snap["fitted"] is False
+        assert snap["store"] == {"samples": 0, "clusters": None}
+        assert snap["zoo"]["models"] == 0 and snap["zoo"]["promoted_version"] is None
+        assert snap["serving"] is None and snap["continual"] is None
+        assert snap["digest"] == preset("serving").digest()
+
+
+def test_from_dict_and_from_spec_agree():
+    spec = preset("minimal")
+    via_dict = Deployment.from_dict(spec.to_dict())
+    via_spec = Deployment.from_spec(spec)
+    try:
+        assert via_dict.spec == via_spec.spec
+        assert via_dict.spec.digest() == spec.digest()
+    finally:
+        via_dict.close()
+        via_spec.close()
+
+
+def test_persist_spec_round_trips_through_the_deployment_db():
+    with Deployment.from_preset("minimal") as dep:
+        digest = dep.persist_spec()
+        assert SystemSpec.from_db(dep.db, digest) == dep.spec
+
+
+def test_deployment_requires_a_system_spec():
+    with pytest.raises(ConfigurationError, match="SystemSpec"):
+        Deployment({"name": "not-a-spec"})

@@ -96,7 +96,129 @@ def test_register_custom_backend_decorator_and_duplicates():
 
 
 def test_create_from_config():
-    index = create_from_config({"kind": "index", "name": "flat", "params": {"dim": 4}})
+    with pytest.deprecated_call():
+        index = create_from_config({"kind": "index", "name": "flat", "params": {"dim": 4}})
     assert isinstance(index, VectorIndex) and index.dim == 4
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(ConfigurationError), pytest.deprecated_call():
         create_from_config({"name": "flat"})
+
+
+# ---------------------------------------------------------------------------------
+# The unified package-wide component registry (repro.api.registry)
+# ---------------------------------------------------------------------------------
+def test_unified_registry_covers_every_component_kind():
+    from repro.api.registry import available_components, component_kinds
+
+    assert component_kinds() == [
+        "embedder", "clustering", "storage", "index", "model", "trigger", "policy",
+    ]
+    assert {"pca", "autoencoder", "contrastive", "byol"} <= set(available_components("embedder"))
+    assert "kmeans" in available_components("clustering")
+    assert {"file", "documentdb"} <= set(available_components("storage"))
+    assert {"flat", "clustered"} <= set(available_components("index"))
+    assert {"braggnn", "cookienetae", "tomogan"} <= set(available_components("model"))
+    assert {"threshold", "certainty"} <= set(available_components("trigger"))
+    assert {"batching", "update"} <= set(available_components("policy"))
+
+
+def test_unified_registry_unknown_kind_and_name():
+    from repro.api.registry import available_components, create_component
+
+    with pytest.raises(ConfigurationError, match="unknown component kind"):
+        available_components("bogus")
+    with pytest.raises(ConfigurationError, match="available"):
+        create_component("trigger", "nope")
+
+
+def test_storage_shim_and_unified_registry_share_one_store():
+    """A backend registered through either module is visible — and
+    constructible — through both."""
+    from repro.api.registry import (
+        available_components,
+        create_component,
+        register_component,
+        unregister_component,
+    )
+
+    class TinyIndex:
+        def __init__(self, dim=1):
+            self.dim = dim
+
+        def __len__(self):
+            return 0
+
+        def query(self, vector, k=1):
+            return []
+
+        def query_batch(self, vectors, k=1):
+            return []
+
+    try:
+        register_backend("index", "shim-shared", TinyIndex)
+        assert "shim-shared" in available_components("index")
+        assert isinstance(create_component("index", "shim-shared", dim=2), TinyIndex)
+        register_component("index", "unified-shared", TinyIndex)
+        assert "unified-shared" in available_backends("index")
+        assert isinstance(create_index_backend("unified-shared", dim=3), TinyIndex)
+        with pytest.raises(ConfigurationError):  # duplicates detected across paths
+            register_component("index", "shim-shared", TinyIndex)
+    finally:
+        assert unregister_backend("index", "shim-shared")
+        assert unregister_component("index", "unified-shared")
+
+
+def test_deprecated_create_from_config_matches_create_from_spec():
+    """The deprecation satellite: both construction paths return identical
+    backends for the same config."""
+    from repro.api.registry import create_from_spec
+
+    config = {"kind": "storage", "name": "documentdb", "params": {"codec": "blosc"}}
+    with pytest.deprecated_call():
+        old = create_from_config(dict(config))
+    new = create_from_spec(dict(config))
+    assert type(old) is type(new) is DocumentDB
+    assert type(old.codec) is type(new.codec) is CompressedCodec
+    assert old.network.latency_s == new.network.latency_s
+
+    index_config = {"kind": "index", "name": "clustered",
+                    "params": {"centers": np.zeros((2, 3)), "n_probe": 2}}
+    with pytest.deprecated_call():
+        old_index = create_from_config(dict(index_config))
+    new_index = create_from_spec(dict(index_config))
+    assert type(old_index) is type(new_index) is ClusteredVectorIndex
+    assert old_index.n_probe == new_index.n_probe == 2
+    assert old_index.dtype == new_index.dtype
+
+    # The shim stays storage-scoped: non-storage kinds are rejected there but
+    # served by the unified path.
+    with pytest.raises(ConfigurationError, match="backend kind"):
+        with pytest.deprecated_call():
+            create_from_config({"kind": "trigger", "name": "certainty"})
+    assert create_from_spec({"kind": "trigger", "name": "certainty"}) is not None
+
+
+def test_custom_embedder_registration_reaches_the_unified_registry():
+    from repro.api.registry import create_component, is_registered, unregister_component
+    from repro.embedding import Embedder, get_embedder, register_embedder
+
+    class NullEmbedder(Embedder):
+        name = "unit-test-null"
+
+        def fit(self, x, **kwargs):
+            return self
+
+        def transform(self, x):
+            return self.flatten(x)[:, : self.embedding_dim]
+
+    try:
+        register_embedder(NullEmbedder)
+        assert is_registered("embedder", "unit-test-null")
+        assert isinstance(get_embedder("unit-test-null", embedding_dim=2), NullEmbedder)
+        assert isinstance(
+            create_component("embedder", "unit-test-null", embedding_dim=2), NullEmbedder
+        )
+    finally:
+        unregister_component("embedder", "unit-test-null")
+        from repro.embedding.base import _EMBEDDERS
+
+        _EMBEDDERS.pop("unit-test-null", None)

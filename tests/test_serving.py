@@ -466,3 +466,27 @@ def test_flush_releases_all_queued_batches_not_just_the_first():
     assert [r.payload for r in second] == [4, 5]  # also prompt: no max_wait_ms stall
     assert elapsed < 1.0
     batcher.close()
+
+
+def test_telemetry_snapshot_convenience_and_activity_serving_stats():
+    """The one-telemetry-source satellite: ``telemetry_snapshot()`` mirrors
+    ``telemetry.snapshot()``, and runtimes created by a service fold their
+    per-op completion counts into ``activity_summary()``."""
+    scans = _scan_batches(n_batches=4)
+    with _service_stack() as service:
+        runtime = service.serving_runtime(
+            policy=BatchingPolicy(max_batch_size=4, max_wait_ms=20), num_workers=1
+        )
+        with runtime:
+            for s in scans:
+                runtime.call("certainty", s, timeout=60)
+            runtime.call("query_distribution", scans[0], timeout=60)
+            snap = runtime.telemetry_snapshot()
+        assert snap["completed"] == runtime.telemetry.snapshot()["completed"] == len(scans) + 1
+        summary = service.activity_summary()
+        assert summary["serving:certainty"] == len(scans)
+        assert summary["serving:query_distribution"] == 1
+        # The plane-function counts are still there, untouched...
+        assert summary["system:certainty_batch"] >= 1
+        # ...and the serving fold-in can be switched off.
+        assert "serving:certainty" not in service.activity_summary(include_serving=False)

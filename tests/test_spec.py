@@ -1,0 +1,251 @@
+"""Tests of the declarative config plane (repro.api.spec).
+
+Covers the satellite checklist explicitly: unknown backend names, negative
+batch size, JSON round-trip stability, digest invariance under key
+reordering — plus cross-field constraints, diffing, DocumentDB persistence,
+and preset/shipped-file consistency.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.spec import (
+    ClusteringSpec,
+    ContinualSpec,
+    EmbedderSpec,
+    IndexSpec,
+    ModelSpec,
+    ServingSpec,
+    StorageSpec,
+    SystemSpec,
+    preset,
+    preset_names,
+)
+from repro.storage import DocumentDB
+from repro.utils.errors import ConfigurationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------------
+# Validation failure modes
+# ---------------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: EmbedderSpec("no-such-embedder"),
+        lambda: ClusteringSpec("no-such-algorithm"),
+        lambda: StorageSpec("no-such-store"),
+        lambda: IndexSpec("no-such-index"),
+        lambda: ModelSpec("no-such-model"),
+        lambda: ContinualSpec(trigger="no-such-trigger"),
+    ],
+    ids=["embedder", "clustering", "storage", "index", "model", "trigger"],
+)
+def test_unknown_component_names_fail_eagerly(build):
+    with pytest.raises(ConfigurationError, match="unknown"):
+        build()
+
+
+def test_unknown_names_list_available_components():
+    with pytest.raises(ConfigurationError, match="pca"):
+        EmbedderSpec("typo")
+
+
+def test_negative_batch_size_fails_at_spec_time():
+    with pytest.raises(ConfigurationError, match="batch_size"):
+        ModelSpec("braggnn", training={"batch_size": -4})
+
+
+@pytest.mark.parametrize(
+    "build, match",
+    [
+        (lambda: ClusteringSpec(n_clusters=0), "n_clusters"),
+        (lambda: ClusteringSpec(n_clusters="many"), "n_clusters"),
+        (lambda: ClusteringSpec(max_auto_clusters=1), "max_auto_clusters"),
+        (lambda: IndexSpec(dtype="float16"), "dtype"),
+        (lambda: ModelSpec("braggnn", training={"epochs": 0}), "epochs"),
+        (lambda: ModelSpec("braggnn", training={"nonsense": 1}), "invalid parameters"),
+        (lambda: ModelSpec("braggnn", params={"width": "wide"}), "ModelSpec"),
+        (lambda: ServingSpec(num_workers=0), "num_workers"),
+        (lambda: ServingSpec(batching={"max_batch_size": 0}), "max_batch_size"),
+        (lambda: ContinualSpec(gate_factor=0.0), "gate_factor"),
+        (lambda: ContinualSpec(gate_factor="2.0"), "gate_factor.*number"),
+        (lambda: ContinualSpec(absolute_gate=-1.0), "absolute_gate"),
+        (lambda: ContinualSpec(absolute_gate="low"), "absolute_gate.*number"),
+        (lambda: ContinualSpec(step_timeout_s="soon"), "step_timeout_s.*number"),
+        (lambda: ContinualSpec(step_retries=-1), "step_retries"),
+        (lambda: ClusteringSpec(max_auto_clusters="many"), "max_auto_clusters"),
+        (lambda: ClusteringSpec(n_clusters=4, params={"n_clusters": 8}),
+         "must not contain 'n_clusters'"),
+        (lambda: ServingSpec(num_workers=True), "num_workers"),
+        (lambda: ContinualSpec(trigger_params={"threshold_percent": 200.0}), "threshold_percent"),
+        (lambda: StorageSpec(collection=""), "collection"),
+        (lambda: SystemSpec(policy={"distance_threshold": 5.0}), "distance_threshold"),
+        (lambda: SystemSpec(seed="zero"), "seed"),
+    ],
+    ids=lambda val: getattr(val, "__name__", str(val)),
+)
+def test_out_of_range_params_fail_eagerly(build, match):
+    with pytest.raises(ConfigurationError, match=match):
+        build()
+
+
+def test_params_must_be_json_serialisable():
+    with pytest.raises(ConfigurationError, match="JSON"):
+        EmbedderSpec("pca", {"embedding_dim": object()})
+    with pytest.raises(ConfigurationError, match="keys must be strings"):
+        EmbedderSpec("pca", {1: 2})
+
+
+def test_cross_field_continual_requires_model():
+    with pytest.raises(ConfigurationError, match="requires a 'model'"):
+        SystemSpec(continual=ContinualSpec())
+
+
+def test_cross_field_file_backend_cannot_back_the_system_store():
+    with pytest.raises(ConfigurationError, match="document database"):
+        SystemSpec(storage=StorageSpec("file"))
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ConfigurationError, match="unknown SystemSpec field"):
+        SystemSpec.from_dict({"name": "x", "turbo": True})
+    with pytest.raises(ConfigurationError, match="unknown EmbedderSpec field"):
+        SystemSpec.from_dict({"embedder": {"name": "pca", "dim": 3}})
+
+
+# ---------------------------------------------------------------------------------
+# Round-trip, digest, diff
+# ---------------------------------------------------------------------------------
+def _full_spec() -> SystemSpec:
+    return SystemSpec(
+        name="roundtrip",
+        seed=7,
+        embedder=EmbedderSpec("pca", {"embedding_dim": 5, "whiten": True}),
+        clustering=ClusteringSpec("kmeans", n_clusters=4, params={"n_init": 2}),
+        storage=StorageSpec("documentdb", collection="samples", params={"codec": "blosc"}),
+        index=IndexSpec("clustered", dtype="float64", params={"n_probe": 3}),
+        model=ModelSpec("braggnn", {"width": 4}, training={"epochs": 2, "batch_size": 8}),
+        serving=ServingSpec(batching={"max_batch_size": 8}, num_workers=3),
+        continual=ContinualSpec(trigger="certainty",
+                                trigger_params={"threshold_percent": 30.0, "cooldown": 2},
+                                gate_factor=1.5, step_retries=1),
+        policy={"distance_threshold": 0.6},
+    )
+
+
+def test_json_round_trip_is_stable():
+    spec = _full_spec()
+    once = SystemSpec.from_json(spec.to_json())
+    twice = SystemSpec.from_json(once.to_json())
+    assert once == spec and twice == spec
+    assert once.to_dict() == spec.to_dict()
+    assert once.digest() == spec.digest()
+
+
+def test_save_load_round_trip(tmp_path):
+    spec = _full_spec()
+    path = spec.save(tmp_path / "spec.json")
+    assert SystemSpec.load(path) == spec
+
+
+def test_digest_invariant_under_key_reordering():
+    spec = _full_spec()
+    data = spec.to_dict()
+    # Rebuild the dict with reversed key insertion order at every level.
+    reordered = json.loads(
+        json.dumps({k: data[k] for k in reversed(list(data))})
+    )
+    reordered["model"] = {k: spec.to_dict()["model"][k]
+                          for k in reversed(list(spec.to_dict()["model"]))}
+    assert list(reordered) != list(data)  # genuinely different orderings
+    assert SystemSpec.from_dict(reordered).digest() == spec.digest()
+
+
+def test_digest_distinguishes_different_specs():
+    spec = _full_spec()
+    other = dataclasses.replace(spec, seed=8)
+    assert other.digest() != spec.digest()
+
+
+def test_diff_reports_dotted_paths():
+    spec = _full_spec()
+    other = dataclasses.replace(
+        spec,
+        seed=8,
+        embedder=EmbedderSpec("pca", {"embedding_dim": 9, "whiten": True}),
+    )
+    diff = spec.diff(other)
+    assert diff["seed"] == (7, 8)
+    assert diff["embedder.params.embedding_dim"] == (5, 9)
+    assert "name" not in diff
+    assert spec.diff(spec) == {}
+
+
+def test_diff_sections_present_on_one_side_are_json_serialisable():
+    """Paths that exist on only one side report None (no private sentinel
+    leaking out), and the whole diff is JSON-serialisable."""
+    minimal, serving = preset("minimal"), preset("serving")
+    diff = minimal.diff(serving)
+    assert diff["model"] == (None, serving.to_dict()["model"])
+    assert diff["model.architecture"] == (None, "braggnn")
+    assert diff["serving.num_workers"] == (None, 2)
+    json.dumps({path: list(values) for path, values in diff.items()})  # no opaque objects
+
+
+def test_invalid_json_text_raises_configuration_error():
+    with pytest.raises(ConfigurationError, match="invalid spec JSON"):
+        SystemSpec.from_json("{not json")
+
+
+def test_json_null_spec_is_rejected_not_none():
+    with pytest.raises(ConfigurationError, match="must be a mapping"):
+        SystemSpec.from_json("null")
+    with pytest.raises(ConfigurationError, match="must be a mapping"):
+        SystemSpec.from_dict(None)
+
+
+# ---------------------------------------------------------------------------------
+# DocumentDB persistence
+# ---------------------------------------------------------------------------------
+def test_persist_and_load_by_digest_survive_save_load(tmp_path):
+    spec = _full_spec()
+    db = DocumentDB()
+    digest = spec.persist(db)
+    assert spec.persist(db) == digest  # idempotent upsert
+    assert db.collection("system_specs").count() == 1
+    db.save(tmp_path / "db.bin")
+    restored_db = DocumentDB.load(tmp_path / "db.bin")
+    assert SystemSpec.from_db(restored_db, digest) == spec
+    with pytest.raises(ConfigurationError, match="no spec with digest"):
+        SystemSpec.from_db(db, "0" * 64)
+
+
+# ---------------------------------------------------------------------------------
+# Presets and shipped spec files
+# ---------------------------------------------------------------------------------
+def test_preset_names_and_unknown_preset():
+    assert preset_names() == ["continual", "minimal", "serving"]
+    with pytest.raises(ConfigurationError, match="unknown preset"):
+        preset("turbo")
+
+
+def test_presets_compose_incrementally():
+    minimal, serving, continual = preset("minimal"), preset("serving"), preset("continual")
+    assert minimal.model is None and minimal.continual is None
+    assert serving.model is not None and serving.continual is None
+    assert continual.model is not None and continual.continual is not None
+    # serving extends minimal; continual extends serving.
+    assert {p.split(".")[0] for p in minimal.diff(serving)} <= {"name", "model", "serving", "policy"}
+    assert {p.split(".")[0] for p in serving.diff(continual)} == {"name", "continual"}
+
+
+@pytest.mark.parametrize("name", ["minimal", "serving", "continual"])
+def test_shipped_spec_files_match_presets(name):
+    """examples/specs/*.json are the presets, verbatim (same content digest)."""
+    shipped = SystemSpec.load(REPO_ROOT / "examples" / "specs" / f"{name}.json")
+    assert shipped.digest() == preset(name).digest()
