@@ -74,6 +74,65 @@ def write_bench_json(
 
 
 # ---------------------------------------------------------------------------
+# ANN ground truth + recall
+# ---------------------------------------------------------------------------
+def exact_nearest_neighbors(
+    base: np.ndarray, queries: np.ndarray, k: int, chunk_queries: int = 256
+) -> np.ndarray:
+    """Indices of the exact ``k`` nearest ``base`` rows per query (L2).
+
+    The brute-force ground truth ANN benchmarks measure recall against.
+    Queries are processed in chunks of ``chunk_queries`` so the distance
+    matrix stays at ``chunk × n_base`` floats regardless of query count.
+    Returns an ``(n_queries, min(k, n_base))`` int64 array, each row sorted
+    nearest-first.
+    """
+    base = np.asarray(base)
+    queries = np.asarray(queries)
+    n = base.shape[0]
+    kk = min(int(k), n)
+    if kk <= 0 or queries.shape[0] == 0:
+        return np.empty((queries.shape[0], max(kk, 0)), dtype=np.int64)
+    base_sq = np.einsum("ij,ij->i", base, base)
+    out = np.empty((queries.shape[0], kk), dtype=np.int64)
+    for start in range(0, queries.shape[0], int(chunk_queries)):
+        q = queries[start:start + int(chunk_queries)]
+        # + ||q||^2 is constant per row, so it cannot change the ranking.
+        d2 = base_sq[None, :] - 2.0 * (q @ base.T)
+        if kk < n:
+            top = np.argpartition(d2, kk - 1, axis=1)[:, :kk]
+        else:
+            top = np.broadcast_to(np.arange(n), (q.shape[0], n)).copy()
+        rows = np.arange(q.shape[0])[:, None]
+        order = np.argsort(d2[rows, top], axis=1, kind="stable")
+        out[start:start + q.shape[0]] = top[rows, order]
+    return out
+
+
+def recall_at_k(retrieved: Sequence[Sequence], ground_truth: Sequence[Sequence], k: int) -> float:
+    """Mean per-query recall@k: ``|retrieved@k ∩ truth@k| / |truth@k|``.
+
+    ``retrieved`` and ``ground_truth`` hold one id sequence per query (any
+    hashable id type, nearest-first); both are truncated to their first
+    ``k`` entries.  Queries whose ground truth is empty (degenerate corpora)
+    count as perfect recall — there was nothing to miss.
+    """
+    if len(retrieved) != len(ground_truth):
+        raise ValueError(
+            f"retrieved has {len(retrieved)} queries, ground_truth {len(ground_truth)}"
+        )
+    scores: List[float] = []
+    for got, truth in zip(retrieved, ground_truth):
+        truth_k = list(truth)[: int(k)]
+        if not truth_k:
+            scores.append(1.0)
+            continue
+        got_k = set(list(got)[: int(k)])
+        scores.append(sum(1 for t in truth_k if t in got_k) / len(truth_k))
+    return float(np.mean(scores)) if scores else 1.0
+
+
+# ---------------------------------------------------------------------------
 # experiment builders (shared across benches)
 # ---------------------------------------------------------------------------
 def bragg_experiment(n_scans: int = 24, change_at: int = 12, peaks_per_scan: int = 120, seed: int = 0) -> BraggPeakDataset:

@@ -37,7 +37,13 @@ from repro.api.spec import SystemSpec, preset
 from repro.core.fairdms import FairDMS, ModelUpdateReport, UpdatePolicy
 from repro.core.fairds import FairDS, LookupResult
 from repro.core.model_zoo import ModelRecord, ModelZoo
-from repro.core.planes import FairDMSService, lookup_payload, split_lookup_payloads
+from repro.core.planes import (
+    FairDMSService,
+    lookup_payload,
+    nearest_hits_payload,
+    split_lookup_payloads,
+    split_nearest_payloads,
+)
 from repro.nn.trainer import TrainingConfig
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.hot_swap import ModelHandle, versioned_handler
@@ -72,6 +78,9 @@ class Deployment:
                 "(no .collection()); the system store must provide collections"
             )
         embedder = create_component("embedder", spec.embedder.name, **spec.embedder.params)
+        index_params = dict(spec.index.params)
+        if spec.index.n_probe is not None:
+            index_params["n_probe"] = spec.index.n_probe
         self.fairds = FairDS(
             embedder,
             n_clusters=spec.clustering.n_clusters,
@@ -83,7 +92,7 @@ class Deployment:
             clustering_algorithm=spec.clustering.algorithm,
             clustering_params=dict(spec.clustering.params),
             index_backend=spec.index.backend,
-            index_params=dict(spec.index.params),
+            index_params=index_params,
         )
         self.dms: Optional[FairDMS] = None
         if spec.model is not None:
@@ -290,24 +299,35 @@ class Deployment:
         def certainty(payloads: List[Any]) -> List[float]:
             return fairds.certainty_batch(list(payloads))
 
+        def nearest(payloads: List[Any]) -> List[Dict[str, Any]]:
+            images, thresholds = split_nearest_payloads(payloads)
+            hits = fairds.nearest_labeled(np.stack(images), threshold=None)
+            return nearest_hits_payload(hits, thresholds)
+
         return {
             "query_distribution": query_distribution,
             "lookup_labeled_data": lookup,
+            "nearest_labeled": nearest,
             "certainty": certainty,
         }
 
     def serve(self) -> ServingRuntime:
         """Start (or return the live) micro-batching serving runtime.
 
-        Operations: ``query_distribution``, ``lookup_labeled_data``, and
-        ``certainty`` always; plus ``predict`` whenever the spec names a
-        model — served from the live hot-swappable model handle, every
-        response stamped with its version.  The handle resolves lazily per
-        batch: a runtime started before :meth:`fit` serves predictions as
-        soon as a model is promoted (predict requests merely error with
-        "call fit() first" until then).  The runtime honours the spec's
-        ``serving`` section (batching policy, worker count) and is returned
-        started, so both styles work::
+        Operations: ``query_distribution``, ``lookup_labeled_data``,
+        ``nearest_labeled``, and ``certainty`` always; plus ``predict``
+        whenever the spec names a model — served from the live hot-swappable
+        model handle, every response stamped with its version.  The handle
+        resolves lazily per batch: a runtime started before :meth:`fit`
+        serves predictions as soon as a model is promoted (predict requests
+        merely error with "call fit() first" until then).  When the index
+        backend supports probe retuning (e.g. ``"ivf"``), the runtime gets a
+        live ``"n_probe"`` knob — ``runtime.set_knob("n_probe", 16)``
+        retunes the recall/latency trade-off without a restart — and an
+        ``"index_scan"`` stats provider folding per-partition scan counters
+        into :meth:`~repro.serving.runtime.ServingRuntime.telemetry_snapshot`.
+        The runtime honours the spec's ``serving`` section (batching policy,
+        worker count) and is returned started, so both styles work::
 
             runtime = dep.serve(); ...; dep.close()
             with dep.serve() as runtime: ...
@@ -327,10 +347,30 @@ class Deployment:
             policy=policy,
             num_workers=serving.num_workers if serving is not None else 2,
         )
+        self._wire_index_controls(runtime)
         if self._service is not None:
             self._service.track_runtime(runtime)
         self._runtime = runtime.start()
         return runtime
+
+    def _wire_index_controls(self, runtime: ServingRuntime) -> None:
+        """Register the ``n_probe`` live knob and the ``index_scan`` stats
+        provider on ``runtime``.  Before :meth:`fit` the index instance does
+        not exist yet, so support is inferred from the backend factory; the
+        knob's setter resolves against the live index at call time."""
+        caps = self.fairds.index_capabilities
+        if caps is not None:
+            supports_knob = caps.supports_n_probe
+        else:
+            factory = component_factory("index", self.spec.index.backend)
+            supports_knob = callable(getattr(factory, "set_n_probe", None))
+        if supports_knob:
+            runtime.register_knob(
+                "n_probe",
+                self.fairds.set_index_n_probe,
+                getter=lambda: self.fairds.index_n_probe,
+            )
+        runtime.register_stats_provider("index_scan", self.fairds.index_stats)
 
     # -- lifecycle: continual learning -------------------------------------------
     def continual(self) -> ContinualLearningPipeline:

@@ -13,7 +13,7 @@ embedder   ``pca``, ``autoencoder``, ``contrastive``,     :mod:`repro.embedding`
            ``byol``
 clustering ``kmeans``                                     :mod:`repro.clustering`
 storage    ``documentdb``, ``file``                       :mod:`repro.storage`
-index      ``flat``, ``clustered``                        :mod:`repro.storage`
+index      ``flat``, ``clustered``, ``ivf``               :mod:`repro.storage`
 model      ``braggnn``, ``cookienetae``, ``tomogan``      :mod:`repro.models`
 trigger    ``threshold``, ``certainty``                   :mod:`repro.monitoring`
 policy     ``batching``, ``update``                       serving / core
@@ -144,6 +144,7 @@ def _load_builtins() -> None:
     from repro.storage.codecs import get_codec
     from repro.storage.documentdb import DocumentDB, NetworkModel
     from repro.storage.file_store import FileStore
+    from repro.storage.ivf_index import IVFVectorIndex
     from repro.storage.vector_index import ClusteredVectorIndex, VectorIndex
 
     def _make_documentdb(codec=None, network=None, **kwargs: Any) -> DocumentDB:
@@ -158,6 +159,7 @@ def _load_builtins() -> None:
     _builtin("storage", "documentdb", _make_documentdb)
     _builtin("index", "flat", VectorIndex)
     _builtin("index", "clustered", ClusteredVectorIndex)
+    _builtin("index", "ivf", IVFVectorIndex)
 
     from repro.models import build_braggnn, build_cookienetae, build_tomogan_denoiser
 

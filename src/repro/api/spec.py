@@ -25,10 +25,12 @@ same system collide on purpose), can be diffed field-by-field
 :class:`~repro.storage.documentdb.DocumentDB` keyed by digest
 (:meth:`SystemSpec.persist` / :meth:`SystemSpec.from_db`).
 
-Named presets (:func:`preset`) describe the three canonical configurations —
+Named presets (:func:`preset`) describe the canonical configurations —
 ``"minimal"`` (data plane only), ``"serving"`` (adds a model and the
 micro-batching runtime), ``"continual"`` (adds the drift-triggered retraining
-loop) — and are shipped verbatim as ``examples/specs/*.json``.
+loop), ``"ann"`` (the data plane with the IVF approximate index and a live
+``n_probe`` serving knob) — and are shipped verbatim as
+``examples/specs/*.json``.
 """
 
 from __future__ import annotations
@@ -40,7 +42,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.api.registry import available_components, create_component, is_registered
+from repro.api.registry import (
+    available_components,
+    component_factory,
+    create_component,
+    filter_supported_kwargs,
+    is_registered,
+)
 from repro.utils.errors import ConfigurationError
 
 __all__ = [
@@ -238,12 +246,33 @@ class IndexSpec:
     #: :class:`repro.core.fairds.FairDS` for the precision trade-off.
     dtype: str = "float32"
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: Partitions probed per query for probing backends (``"clustered"``,
+    #: ``"ivf"``); ``None`` keeps the backend's default.  On an ``"ivf"``
+    #: deployment this is also the serving runtime's live ``n_probe`` knob's
+    #: initial value.
+    n_probe: Optional[int] = None
 
     def __post_init__(self) -> None:
         _frozen_params(self)
         _check_registered("index", self.backend, "IndexSpec")
         if self.dtype not in ("float32", "float64"):
             raise ConfigurationError("IndexSpec.dtype must be 'float32' or 'float64'")
+        if self.n_probe is not None:
+            if not isinstance(self.n_probe, int) or isinstance(self.n_probe, bool) \
+                    or self.n_probe < 1:
+                raise ConfigurationError("IndexSpec.n_probe must be an integer >= 1")
+            if "n_probe" in self.params:
+                raise ConfigurationError(
+                    "IndexSpec.params must not contain 'n_probe' when the "
+                    "n_probe field is set"
+                )
+            factory = component_factory("index", self.backend)
+            if not filter_supported_kwargs(factory, {"n_probe": self.n_probe}):
+                raise ConfigurationError(
+                    f"IndexSpec: index backend {self.backend!r} does not accept "
+                    "n_probe; use a probing backend ('clustered', 'ivf') or "
+                    "drop the field"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -569,10 +598,28 @@ def _preset_continual() -> SystemSpec:
     )
 
 
+def _preset_ann() -> SystemSpec:
+    minimal = _preset_minimal()
+    return dataclasses.replace(
+        minimal,
+        name="ann",
+        index=IndexSpec(
+            "ivf",
+            dtype="float32",
+            # Small enough that the CLI smoke path trains the quantizer on a
+            # few hundred bootstrap samples; production stores raise these.
+            params={"n_partitions": 16, "train_threshold": 64, "train_size": 4096},
+            n_probe=4,
+        ),
+        serving=ServingSpec(batching={"max_batch_size": 32, "max_wait_ms": 2.0}, num_workers=2),
+    )
+
+
 _PRESETS = {
     "minimal": _preset_minimal,
     "serving": _preset_serving,
     "continual": _preset_continual,
+    "ann": _preset_ann,
 }
 
 
@@ -587,6 +634,8 @@ def preset(name: str) -> SystemSpec:
     * ``"minimal"`` — the data plane alone: embed, cluster, store, look up.
     * ``"serving"`` — adds a BraggNN model and the micro-batching runtime.
     * ``"continual"`` — adds the drift-triggered retrain/promote/hot-swap loop.
+    * ``"ann"`` — the data plane with the IVF approximate index and the
+      serving runtime, exposing ``n_probe`` as a live knob.
     """
     try:
         factory = _PRESETS[name]

@@ -20,7 +20,6 @@ Responsibilities (paper Section II-A):
 
 from __future__ import annotations
 
-import inspect
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +33,7 @@ from repro.core.distribution import DatasetDistribution
 from repro.dataio.sampler import WeightedClusterSampler
 from repro.embedding.base import Embedder
 from repro.storage.documentdb import Collection, DocumentDB
+from repro.storage.registry import IndexCapabilities, probe_index_capabilities
 from repro.utils.cache import LRUCache, row_digests
 from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
 from repro.utils.rng import SeedLike, default_rng, derive_seed
@@ -142,7 +142,7 @@ class FairDS:
         self.index_params = dict(index_params or {})
         self._kmeans = None  # the fitted clustering model (KMeans-style surface)
         self._index = None
-        self._index_takes_cluster_ids: Optional[bool] = None
+        self._index_caps: Optional[IndexCapabilities] = None
         self._lookup_counter = 0
         self._embed_cache = LRUCache(embedding_cache_size)
         self._embed_generation = 0
@@ -295,36 +295,83 @@ class FairDS:
     def _make_index(self):
         """The lookup index named by ``index_backend``.
 
-        ``"flat"`` backends take the embedding dimensionality; cluster-aware
-        backends are *offered* the fitted cluster centres, the index dtype,
-        and an ``n_probe`` default, each passed only when the factory's
-        signature accepts it (custom backends need not declare them).
-        ``add`` is probed once for whether it accepts per-row ``cluster_ids``
-        (see :meth:`_index_add`).
+        No name-based special cases: every backend is *offered* one superset
+        of wiring context — the embedding dimensionality, the fitted cluster
+        centres, the index dtype, a conservative ``n_probe`` default, and a
+        derived seed — and receives exactly the subset its factory signature
+        declares (``"flat"`` takes ``dim``/``dtype``, ``"clustered"`` takes
+        ``centers``/``n_probe``, ``"ivf"`` takes ``dim``/``n_probe``/``seed``;
+        a custom backend takes whatever it asks for).  ``index_params`` is
+        merged last, so explicit configuration always wins.  The constructed
+        instance's surface is probed **once**
+        (:func:`~repro.storage.registry.probe_index_capabilities`) to learn
+        how to feed and query it — see :meth:`_index_add` and
+        :meth:`_index_query_batch`.
         """
         assert self._kmeans is not None
         centers = np.asarray(self._kmeans.cluster_centers_, dtype=np.float64)
-        if self.index_backend == "flat":
-            factory = component_factory("index", "flat")
-            offered = {"dim": centers.shape[1], "dtype": self.index_dtype}
-        else:
-            factory = component_factory("index", self.index_backend)
-            offered = {"centers": centers, "dtype": self.index_dtype, "n_probe": 2}
+        factory = component_factory("index", self.index_backend)
+        offered = {
+            "dim": centers.shape[1],
+            "centers": centers,
+            "dtype": self.index_dtype,
+            "n_probe": 2,
+            "seed": derive_seed(self.seed, 3),
+        }
         kwargs = {**filter_supported_kwargs(factory, offered), **self.index_params}
         index = factory(**kwargs)
-        try:
-            signature = inspect.signature(index.add)
-            self._index_takes_cluster_ids = "cluster_ids" in signature.parameters
-        except (TypeError, ValueError):  # builtins / C callables without signatures
-            self._index_takes_cluster_ids = True
+        self._index_caps = probe_index_capabilities(index)
         return index
 
+    @property
+    def index_capabilities(self) -> Optional[IndexCapabilities]:
+        """Probed surface of the current index (``None`` before fit)."""
+        return self._index_caps
+
     def _index_add(self, keys: List[str], vectors: np.ndarray, cluster_ids: np.ndarray) -> None:
-        assert self._index is not None
-        if self._index_takes_cluster_ids:
+        assert self._index is not None and self._index_caps is not None
+        if self._index_caps.takes_cluster_ids:
             self._index.add(keys, vectors, cluster_ids)
         else:
             self._index.add(keys, vectors)
+
+    def _index_query_batch(self, vectors: np.ndarray, k: int = 1):
+        """Batched lookup against any backend: one ``query_batch`` call when
+        the backend has it, a per-row ``query`` loop otherwise."""
+        assert self._index is not None and self._index_caps is not None
+        if self._index_caps.supports_query_batch:
+            return self._index.query_batch(vectors, k=k)
+        return [self._index.query(row, k=k) for row in np.atleast_2d(vectors)]
+
+    # -- live index knobs --------------------------------------------------------
+    def set_index_n_probe(self, n_probe: int) -> int:
+        """Atomically retune the index's ``n_probe`` scan width (no rebuild).
+
+        Only supported by backends exposing ``set_n_probe`` (``"ivf"``);
+        raises :class:`ConfigurationError` otherwise so a serving knob wired
+        to the wrong backend fails loudly, not silently.
+        """
+        if self._index is None or self._index_caps is None:
+            raise NotFittedError("set_index_n_probe() requires fit() first")
+        if not self._index_caps.supports_n_probe:
+            raise ConfigurationError(
+                f"index backend {self.index_backend!r} has no live n_probe knob"
+            )
+        return int(self._index.set_n_probe(n_probe))
+
+    @property
+    def index_n_probe(self) -> Optional[int]:
+        """The index's current ``n_probe`` (``None`` when not applicable)."""
+        index = self._index
+        n_probe = getattr(index, "n_probe", None) if index is not None else None
+        return int(n_probe) if n_probe is not None else None
+
+    def index_stats(self) -> Dict[str, int]:
+        """The index's cumulative scan counters (empty when unsupported)."""
+        if self._index is None or self._index_caps is None \
+                or not self._index_caps.supports_scan_stats:
+            return {}
+        return dict(self._index.scan_stats())
 
     def _rebuild_index(self) -> None:
         docs = self.collection.find()
@@ -488,22 +535,26 @@ class FairDS:
         return results
 
     def nearest_labeled(
-        self, images: np.ndarray, threshold: float
+        self, images: np.ndarray, threshold: Optional[float] = None
     ) -> List[Tuple[Optional[np.ndarray], float]]:
         """Per-sample nearest labeled historical sample within ``threshold``.
 
         Returns a list of ``(label, distance)``; ``label`` is ``None`` when no
         historical sample lies within the embedding-space threshold, in which
         case the caller should fall back to conventional labeling (Fig. 9's
-        ``|b - p| >= T`` branch).  All samples are resolved against the index
+        ``|b - p| >= T`` branch).  ``threshold=None`` disables the gate — the
+        nearest label is always returned (the serving path applies per-request
+        thresholds client-side).  All samples are resolved against the index
         in one batched query.
         """
         if not self.is_fitted or self._index is None:
             raise NotFittedError("fairDS.nearest_labeled() requires fit() first")
-        if threshold <= 0:
+        if threshold is None:
+            threshold = np.inf
+        elif threshold <= 0:
             raise ValidationError("threshold must be positive")
         embeddings = self._embed(np.asarray(images, dtype=np.float64))
-        hits = self._index.query_batch(embeddings, k=1)
+        hits = self._index_query_batch(embeddings, k=1)
         results: List[Tuple[Optional[np.ndarray], float]] = []
         for (doc_id, dist), in hits:
             if dist < threshold:

@@ -56,6 +56,42 @@ def split_lookup_payloads(
     return batches, n_samples
 
 
+def split_nearest_payloads(
+    payloads: Sequence[Union[np.ndarray, Tuple[np.ndarray, Optional[float]]]],
+) -> Tuple[List[np.ndarray], List[Optional[float]]]:
+    """Unpack ``"nearest_labeled"`` serving payloads — each one sample, or a
+    ``(sample, threshold)`` tuple — into parallel sample/threshold lists."""
+    images: List[np.ndarray] = []
+    thresholds: List[Optional[float]] = []
+    for payload in payloads:
+        image, threshold = payload if isinstance(payload, tuple) else (payload, None)
+        images.append(np.asarray(image, dtype=np.float64))
+        thresholds.append(None if threshold is None else float(threshold))
+    return images, thresholds
+
+
+def nearest_hits_payload(
+    hits: Sequence[Tuple[Optional[np.ndarray], float]],
+    thresholds: Optional[Sequence[Optional[float]]] = None,
+) -> List[Dict[str, Any]]:
+    """Wire shape of ``"nearest_labeled"`` results: one
+    ``{"label", "distance", "within"}`` dict per sample, with each request's
+    own threshold applied (``None`` accepts any distance).  The label of an
+    out-of-threshold hit is withheld — the caller should fall back to
+    conventional labeling, exactly the Fig. 9 branch."""
+    if thresholds is None:
+        thresholds = [None] * len(hits)
+    out: List[Dict[str, Any]] = []
+    for (label, distance), threshold in zip(hits, thresholds):
+        within = label is not None and (threshold is None or distance < threshold)
+        out.append({
+            "label": label if within else None,
+            "distance": float(distance),
+            "within": bool(within),
+        })
+    return out
+
+
 @dataclass
 class PlaneActivity:
     """A log entry for a plane function invocation."""
@@ -110,6 +146,7 @@ class FairDMSService:
             "query_distribution_batch": self._fn_query_distribution_batch,
             "lookup_labeled_data": self._fn_lookup,
             "lookup_labeled_data_batch": self._fn_lookup_batch,
+            "nearest_labeled": self._fn_nearest_labeled,
             "update_model": self._fn_update_model,
             # system plane
             "refresh_representations": self._fn_refresh,
@@ -145,6 +182,14 @@ class FairDMSService:
     ) -> List[Dict[str, Any]]:
         results = self.dms.fairds.lookup_batch(batches, n_samples=n_samples)
         return [self._lookup_payload(r) for r in results]
+
+    def _fn_nearest_labeled(
+        self,
+        images: np.ndarray,
+        thresholds: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[Dict[str, Any]]:
+        hits = self.dms.fairds.nearest_labeled(images, threshold=None)
+        return nearest_hits_payload(hits, thresholds)
 
     def _fn_certainty_batch(self, batches: List[np.ndarray]) -> List[float]:
         return self.dms.fairds.certainty_batch(batches)
@@ -205,6 +250,20 @@ class FairDMSService:
         :meth:`repro.core.fairds.FairDS.lookup_batch`.
         """
         return self._invoke(self.USER_PLANE, "lookup_labeled_data_batch", batches, n_samples)
+
+    def nearest_labeled(
+        self,
+        images: np.ndarray,
+        thresholds: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[Dict[str, Any]]:
+        """User plane: the nearest labeled historical sample per query image.
+
+        Returns one ``{"label", "distance", "within"}`` dict per row of
+        ``images``; when ``thresholds`` gives a per-sample distance gate, the
+        label of an out-of-threshold hit is withheld (``within=False``) so
+        the caller falls back to conventional labeling.
+        """
+        return self._invoke(self.USER_PLANE, "nearest_labeled", images, thresholds)
 
     def certainty_batch(self, batches: List[np.ndarray]) -> List[float]:
         """System plane: cluster-assignment certainty of several datasets."""
@@ -288,6 +347,7 @@ class FairDMSService:
             telemetry=telemetry,
             observers=self.serving_observers(certainty_trigger),
         )
+        self.wire_index_controls(runtime)
         return self.track_runtime(runtime)
 
     def serving_handlers(self) -> Dict[str, Callable[[List[Any]], Sequence[Any]]]:
@@ -298,6 +358,7 @@ class FairDMSService:
         return {
             "query_distribution": lambda payloads: self.query_distribution_batch(list(payloads)),
             "lookup_labeled_data": self._serve_lookup_batch,
+            "nearest_labeled": self._serve_nearest_batch,
             "certainty": lambda payloads: self.certainty_batch(list(payloads)),
         }
 
@@ -323,6 +384,32 @@ class FairDMSService:
         batches, n_samples = split_lookup_payloads(payloads)
         return self.lookup_labeled_data_batch(batches, n_samples=n_samples)
 
+    def _serve_nearest_batch(
+        self, payloads: Sequence[Union[np.ndarray, Tuple[np.ndarray, Optional[float]]]]
+    ) -> List[Dict[str, Any]]:
+        """Batch handler for ``"nearest_labeled"`` serving requests: each
+        payload is one sample, or a ``(sample, threshold)`` tuple.  The whole
+        micro-batch resolves in a single index probe; thresholds apply
+        per-request afterwards."""
+        images, thresholds = split_nearest_payloads(payloads)
+        return self.nearest_labeled(np.stack(images), thresholds=thresholds)
+
+    def wire_index_controls(self, runtime: ServingRuntime) -> ServingRuntime:
+        """Expose the vector index's live controls on ``runtime``: the
+        ``n_probe`` retuning knob (when the fitted backend supports it) and
+        an ``"index_scan"`` stats provider so per-partition scan counters
+        appear in every telemetry snapshot."""
+        fairds = self.dms.fairds
+        caps = fairds.index_capabilities
+        if caps is not None and caps.supports_n_probe:
+            runtime.register_knob(
+                "n_probe",
+                fairds.set_index_n_probe,
+                getter=lambda: fairds.index_n_probe,
+            )
+        runtime.register_stats_provider("index_scan", fairds.index_stats)
+        return runtime
+
     # -- introspection ----------------------------------------------------------------------
     def activity_summary(self, include_serving: bool = True) -> Dict[str, int]:
         """Invocation counts per plane function, as ``{"plane:function": n}``.
@@ -331,7 +418,11 @@ class FairDMSService:
         every serving runtime created by :meth:`serving_runtime` (or adopted
         via :meth:`track_runtime`) are folded in under ``"serving:<op>"``
         keys, so callers aggregating system health read one summary instead
-        of walking runtimes themselves.
+        of walking runtimes themselves.  When the fitted index backend
+        exposes scan statistics (e.g. the IVF index), its integer counters
+        are folded in under ``"index:<stat>"`` keys from the single
+        authoritative source — the index itself — so runtimes sharing one
+        index are not double-counted.
         """
         summary: Dict[str, int] = {}
         for entry in self.activity:
@@ -342,6 +433,10 @@ class FairDMSService:
                 for op, counts in runtime.telemetry_snapshot()["per_op"].items():
                     key = f"serving:{op}"
                     summary[key] = summary.get(key, 0) + counts["completed"]
+        for stat, value in self.dms.fairds.index_stats().items():
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                continue
+            summary[f"index:{stat}"] = int(value)
         return summary
 
     def shutdown(self) -> None:

@@ -103,6 +103,9 @@ class ServingRuntime:
         # One queue entry per flushed batch; bounding it keeps the flushers
         # from racing ahead of the workers, so admission control stays honest.
         self._batch_queue = ClosableQueue(maxsize=max(2, 2 * num_workers))
+        self._knob_lock = threading.Lock()
+        self._knobs: Dict[str, Dict[str, Optional[Callable[..., Any]]]] = {}
+        self._stats_providers: Dict[str, Callable[[], Any]] = {}
         self._flushers = WorkerPool(len(self._ops), self._flush_loop)
         self._workers = WorkerPool(num_workers, self._work_loop)
         self._quiesce = threading.Condition()
@@ -242,6 +245,69 @@ class ServingRuntime:
     def operations(self) -> List[str]:
         return list(self._ops)
 
+    # -- live knobs --------------------------------------------------------------
+    def register_knob(
+        self,
+        name: str,
+        setter: Callable[[Any], Any],
+        getter: Optional[Callable[[], Any]] = None,
+        overwrite: bool = False,
+    ) -> None:
+        """Expose a live tunable of the serving stack (e.g. the IVF index's
+        ``n_probe``) through this runtime.
+
+        ``setter`` must apply the value **atomically** with respect to
+        in-flight batches — the swap-handler discipline: batches already
+        executing finish with the value they snapshotted, later batches see
+        the new one, and no request is dropped either way.  The knob's
+        current value (from ``getter`` when given, else unknown until the
+        first :meth:`set_knob`) is reported in :meth:`telemetry_snapshot`.
+        """
+        if not callable(setter):
+            raise ConfigurationError(f"knob {name!r} requires a callable setter")
+        with self._knob_lock:
+            if name in self._knobs and not overwrite:
+                raise ConfigurationError(
+                    f"knob {name!r} is already registered; pass overwrite=True"
+                )
+            self._knobs[name] = {"setter": setter, "getter": getter}
+        if getter is not None:
+            try:
+                self.telemetry.record_knob(name, getter())
+            except Exception:  # a broken getter must not break registration
+                logger.exception("knob %r getter failed at registration", name)
+
+    def set_knob(self, name: str, value: Any) -> Any:
+        """Apply a live knob without stopping traffic; returns the value now
+        in effect (the setter's return value when it provides one)."""
+        with self._knob_lock:
+            try:
+                knob = self._knobs[name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown knob {name!r}; have {sorted(self._knobs)}"
+                ) from None
+        applied = knob["setter"](value)
+        effective = applied if applied is not None else value
+        self.telemetry.record_knob(name, effective, changed=True)
+        logger.info("knob %r set to %r", name, effective)
+        return effective
+
+    @property
+    def knobs(self) -> List[str]:
+        """Names of the registered live knobs."""
+        with self._knob_lock:
+            return sorted(self._knobs)
+
+    def register_stats_provider(self, name: str, provider: Callable[[], Any]) -> None:
+        """Merge ``provider()``'s dict into every :meth:`telemetry_snapshot`
+        under ``name`` — how deployment-level signals (index scan counters)
+        ride along with the runtime's own telemetry."""
+        if not callable(provider):
+            raise ConfigurationError(f"stats provider {name!r} must be callable")
+        with self._knob_lock:
+            self._stats_providers[name] = provider
+
     # -- observability -----------------------------------------------------------
     @property
     def is_running(self) -> bool:
@@ -249,9 +315,20 @@ class ServingRuntime:
         return self._started and not self._closed
 
     def telemetry_snapshot(self) -> Dict[str, Any]:
-        """Shorthand for ``runtime.telemetry.snapshot()`` — the one-call
-        health view facades aggregate (see ``Deployment.snapshot``)."""
-        return self.telemetry.snapshot()
+        """``runtime.telemetry.snapshot()`` plus registered stats providers —
+        the one-call health view facades aggregate (see
+        ``Deployment.snapshot``).  Live knob values appear under ``"knobs"``;
+        each provider's output under its registered name."""
+        snap = self.telemetry.snapshot()
+        with self._knob_lock:
+            providers = dict(self._stats_providers)
+        for name, provider in providers.items():
+            try:
+                snap[name] = provider()
+            except Exception:  # a broken provider must not hide the snapshot
+                logger.exception("stats provider %r failed", name)
+                snap[name] = None
+        return snap
 
     # -- internal threads --------------------------------------------------------
     def _flush_loop(self, worker_id: int) -> None:

@@ -49,6 +49,8 @@ class ServingTelemetry:
         self._completed: Counter = Counter()
         self._failed: Counter = Counter()
         self._rejected: Counter = Counter()
+        self._knob_values: Dict[str, Any] = {}
+        self._knob_changes: Counter = Counter()
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
 
@@ -105,6 +107,19 @@ class ServingTelemetry:
                 self._failed[op] += len(latencies_s)
             self._latencies.extend(latencies_s)
 
+    def record_knob(self, name: str, value: Any, changed: bool = False) -> None:
+        """The current value of a live serving knob (e.g. ``n_probe``).
+
+        ``changed=True`` marks an actual live retune (vs the initial value
+        recorded at knob registration), so the snapshot can report how often
+        each knob moved — the signal autoscaling experiments chart against
+        latency.
+        """
+        with self._lock:
+            self._knob_values[name] = value
+            if changed:
+                self._knob_changes[name] += 1
+
     # -- reporting ---------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """A point-in-time view of the runtime's health as a plain dict."""
@@ -142,6 +157,11 @@ class ServingTelemetry:
                     "mean": self._depth_sum / self._depth_count if self._depth_count else 0.0,
                     "max": self._depth_max,
                     "last": self._depth_last,
+                },
+                "knobs": {
+                    name: {"value": self._knob_values[name],
+                           "changes": self._knob_changes[name]}
+                    for name in sorted(self._knob_values)
                 },
                 "per_op": {
                     op: {

@@ -18,30 +18,47 @@ Blosc) and compares training-time I/O against reading files directly from NFS
 * :mod:`repro.storage.vector_index` — exact and cluster-partitioned
   nearest-neighbour lookup over embedding vectors, stored contiguously and
   queried a whole batch at a time.
+* :mod:`repro.storage.ivf_index` — the self-training IVF approximate index:
+  coarse-quantized inverted lists with a live ``n_probe`` knob and an
+  optional product-quantized compressed scan path.
 * :mod:`repro.storage.registry` — name-based construction of storage and
-  index backends, so benchmarks and services pick their stack from config.
+  index backends, plus one-shot capability probing
+  (:func:`~repro.storage.registry.probe_index_capabilities`), so benchmarks
+  and services pick their stack from config.
 """
 
-from repro.storage.codecs import Codec, PickleCodec, CompressedCodec, RawArrayCodec, get_codec
+from repro.storage.codecs import (
+    Codec,
+    PickleCodec,
+    CompressedCodec,
+    ProductQuantizer,
+    RawArrayCodec,
+    get_codec,
+)
 from repro.storage.concurrency import ReadWriteLock
 from repro.storage.document import Document, new_object_id
 from repro.storage.documentdb import Collection, DocumentDB, NetworkModel
 from repro.storage.file_store import FileStore
 from repro.storage.registry import (
     IndexBackend,
+    IndexCapabilities,
     StorageBackend,
     available_backends,
     create_backend,
     create_from_config,
     create_index_backend,
     create_storage_backend,
+    probe_index_capabilities,
     register_backend,
     unregister_backend,
 )
+from repro.storage.ivf_index import IVFVectorIndex
 from repro.storage.vector_index import VectorIndex, ClusteredVectorIndex
 
 __all__ = [
     "IndexBackend",
+    "IndexCapabilities",
+    "probe_index_capabilities",
     "StorageBackend",
     "available_backends",
     "create_backend",
@@ -62,6 +79,8 @@ __all__ = [
     "DocumentDB",
     "NetworkModel",
     "FileStore",
+    "ProductQuantizer",
     "VectorIndex",
     "ClusteredVectorIndex",
+    "IVFVectorIndex",
 ]

@@ -1,0 +1,524 @@
+"""IVF (inverted-file) approximate nearest-neighbour index.
+
+The flat index scans every stored vector per query; the clustered index needs
+cluster assignments handed to it by the caller.  :class:`IVFVectorIndex`
+closes the gap for *self-contained sublinear lookup*: it fits its own coarse
+quantizer (any registry ``"clustering"`` algorithm, k-means by default) over
+the stored vectors, partitions them into inverted lists — one contiguous
+per-partition float32 matrix, exactly like :class:`ClusteredVectorIndex` —
+and answers a query by scanning only the lists of its ``n_probe`` nearest
+centroids.
+
+Lifecycle:
+
+* **Cold start** — below ``train_threshold`` vectors there is nothing worth
+  partitioning; adds and queries fall through to an internal exact
+  :class:`~repro.storage.vector_index.VectorIndex`, so a small index is
+  always exact and composes with any caller that expects the plain
+  ``add(keys, vectors)`` / ``query_batch`` surface.
+* **Training** — the add that crosses the threshold fits the coarse
+  quantizer on a bounded subsample (``train_size``), assigns every stored
+  vector to its nearest centroid in bounded-memory chunks, and publishes the
+  partitioned state atomically; concurrent readers see either the old flat
+  index or the fully built partitions, never a half-built hybrid.
+* **Steady state** — adds route straight into partitions; queries are
+  batch-routed (each touched partition scanned once with the sub-batch of
+  queries probing it).
+
+``n_probe`` is a **live knob**: :meth:`set_n_probe` is a single atomic
+attribute publication read once per query batch, so a serving runtime can
+trade recall for latency under load without a restart or a rebuild.
+
+With a ``pq`` configuration, each partition additionally stores
+:class:`~repro.storage.codecs.ProductQuantizer` codes of the residuals
+(vector minus its centroid).  Probed lists are then scanned with asymmetric
+distance computation over the codes — a few table gathers per stored byte —
+and only the best ``rerank`` ADC candidates per query get exact distances
+against the full-precision vectors (which are kept; PQ here buys scan speed,
+not memory).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.storage.codecs import ProductQuantizer
+from repro.storage.vector_index import QueryResult, VectorIndex
+from repro.utils.errors import ConfigurationError, StorageError, ValidationError
+from repro.utils.rng import SeedLike, default_rng, derive_seed
+from repro.utils.stats import pairwise_squared_distances
+
+#: Rows per chunk of the (rows x centroids) assignment distance matrix, the
+#: largest transient of training; bounds it to ~64 MB at 1024 partitions.
+_ASSIGN_CHUNK_CELLS = 8_000_000
+
+#: Hard cap on the resolved partition count (``n_partitions="auto"``).
+_MAX_AUTO_PARTITIONS = 4096
+
+
+class _Partition:
+    """One inverted list: a :class:`VectorIndex` plus optional PQ codes.
+
+    The vector matrix reuses ``VectorIndex``'s amortised-doubling growth and
+    its torn-read discipline (size published after the rows are written); the
+    code matrix follows the same discipline, and is appended *before* the
+    vectors so a reader that observes the new size always finds the codes.
+    """
+
+    __slots__ = ("index", "codes", "_code_size")
+
+    def __init__(self, dim: int, dtype, cache_query_matrix: bool, code_width: int):
+        self.index = VectorIndex(dim, dtype=dtype, cache_query_matrix=cache_query_matrix)
+        self.codes: Optional[np.ndarray] = (
+            np.empty((0, code_width), dtype=np.uint8) if code_width else None
+        )
+        self._code_size = 0
+
+    def append(self, keys: Sequence[str], vectors: np.ndarray,
+               codes: Optional[np.ndarray] = None) -> None:
+        if self.codes is not None:
+            assert codes is not None and codes.shape[0] == vectors.shape[0]
+            needed = self._code_size + codes.shape[0]
+            capacity = self.codes.shape[0]
+            if needed > capacity:
+                new_capacity = max(capacity, 32)
+                while new_capacity < needed:
+                    new_capacity *= 2
+                grown = np.empty((new_capacity, self.codes.shape[1]), dtype=np.uint8)
+                grown[: self._code_size] = self.codes[: self._code_size]
+                self.codes = grown
+            self.codes[self._code_size : needed] = codes
+            self._code_size = needed
+        self.index.add(keys, vectors)
+
+
+class _IVFState:
+    """The trained, atomically published routing state."""
+
+    __slots__ = ("centers", "partitions", "pq")
+
+    def __init__(self, centers: np.ndarray, partitions: List[_Partition],
+                 pq: Optional[ProductQuantizer]):
+        self.centers = centers
+        self.partitions = partitions
+        self.pq = pq
+
+
+class IVFVectorIndex:
+    """Self-training inverted-file ANN index with a live ``n_probe`` knob.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stored vectors.
+    n_partitions:
+        Inverted-list count, or ``"auto"`` for ``round(sqrt(n))`` at training
+        time (clamped to ``[1, 4096]`` and the store size).
+    n_probe:
+        How many nearest partitions each query scans.  Higher is slower and
+        more accurate; change it any time with :meth:`set_n_probe`.
+    dtype:
+        Storage dtype of the partition matrices (float32 by default).
+    train_threshold:
+        Store size at which the quantizer is fitted; below it the index is an
+        exact flat scan.
+    train_size:
+        Quantizer training subsample cap — training cost stays bounded no
+        matter how large the triggering add is.
+    pq:
+        ``None`` for exact partition scans, or a mapping of
+        :class:`~repro.storage.codecs.ProductQuantizer` options (``m``,
+        ``bits``, ``max_iter``) to scan compressed residual codes with exact
+        re-ranking of the top candidates.
+    rerank:
+        With ``pq``: how many top ADC candidates per query get exact
+        distances (clamped up to ``k``).
+    clustering_algorithm / quantizer_params:
+        Registry name (kind ``"clustering"``) and extra constructor kwargs of
+        the coarse quantizer.  Speed-oriented defaults (``n_init=1``, a small
+        ``max_iter``) are *offered* and only applied when the factory's
+        signature accepts them; ``quantizer_params`` always wins.
+    seed:
+        Seed for subsampling and quantizer fitting.
+    cache_query_matrix:
+        Forwarded to the per-partition :class:`VectorIndex` storage.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_partitions: Union[int, str] = "auto",
+        n_probe: int = 8,
+        dtype=np.float32,
+        train_threshold: int = 4096,
+        train_size: int = 32768,
+        pq: Optional[Dict[str, Any]] = None,
+        rerank: int = 32,
+        clustering_algorithm: str = "kmeans",
+        quantizer_params: Optional[Dict[str, Any]] = None,
+        seed: SeedLike = 0,
+        cache_query_matrix: bool = True,
+    ):
+        if dim < 1:
+            raise ValidationError("dim must be >= 1")
+        if isinstance(n_partitions, str):
+            if n_partitions != "auto":
+                raise ConfigurationError("n_partitions must be an integer >= 1 or 'auto'")
+        elif not isinstance(n_partitions, (int, np.integer)) or isinstance(n_partitions, bool) \
+                or n_partitions < 1:
+            raise ConfigurationError("n_partitions must be an integer >= 1 or 'auto'")
+        if not isinstance(n_probe, (int, np.integer)) or isinstance(n_probe, bool) or n_probe < 1:
+            raise ValidationError("n_probe must be an integer >= 1")
+        if train_threshold < 2:
+            raise ConfigurationError("train_threshold must be >= 2")
+        if train_size < 2:
+            raise ConfigurationError("train_size must be >= 2")
+        if rerank < 1:
+            raise ConfigurationError("rerank must be >= 1")
+        if pq is not None and not hasattr(pq, "items"):
+            raise ConfigurationError("pq must be None or a mapping of ProductQuantizer options")
+        from repro.api.registry import is_registered
+
+        if not is_registered("clustering", clustering_algorithm):
+            raise ConfigurationError(
+                f"unknown clustering algorithm {clustering_algorithm!r}; "
+                "register it under kind 'clustering' first"
+            )
+        self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        self.n_partitions = n_partitions if n_partitions == "auto" else int(n_partitions)
+        self.train_threshold = int(train_threshold)
+        self.train_size = int(train_size)
+        self.pq_config = dict(pq) if pq is not None else None
+        self.rerank = int(rerank)
+        self.clustering_algorithm = clustering_algorithm
+        self.quantizer_params = dict(quantizer_params or {})
+        self.seed = seed
+        self.cache_query_matrix = bool(cache_query_matrix)
+        self._n_probe = int(n_probe)
+        self._lock = threading.RLock()
+        self._flat: Optional[VectorIndex] = VectorIndex(
+            self.dim, dtype=self.dtype, cache_query_matrix=self.cache_query_matrix
+        )
+        self._state: Optional[_IVFState] = None
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "queries": 0,
+            "batches": 0,
+            "partitions_probed": 0,
+            "candidates_scanned": 0,
+            "reranked": 0,
+            "flat_queries": 0,
+        }
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        state = self._state
+        if state is not None:
+            return sum(len(p.index) for p in state.partitions)
+        flat = self._flat
+        return len(flat) if flat is not None else 0
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the coarse quantizer has been fitted (partitioned mode)."""
+        return self._state is not None
+
+    @property
+    def n_probe(self) -> int:
+        return self._n_probe
+
+    @n_probe.setter
+    def n_probe(self, value: int) -> None:
+        self.set_n_probe(value)
+
+    def set_n_probe(self, n_probe: int) -> int:
+        """Atomically change how many partitions each query scans.
+
+        A single reference publication: in-flight query batches finish with
+        the value they snapshotted, later batches see the new one.  Returns
+        the value now in effect.
+        """
+        if not isinstance(n_probe, (int, np.integer)) or isinstance(n_probe, bool) \
+                or n_probe < 1:
+            raise ValidationError("n_probe must be an integer >= 1")
+        self._n_probe = int(n_probe)
+        return self._n_probe
+
+    def scan_stats(self) -> Dict[str, int]:
+        """Cumulative scan-effort counters (all plain ints).
+
+        ``partitions_probed`` and ``candidates_scanned`` divide by ``queries``
+        to give the per-query scan effort — the signal an autoscaler (or a
+        human tuning ``n_probe``) watches; ``flat_queries`` counts queries
+        answered by the pre-training exact fallback, and ``reranked`` the
+        exact re-rank volume of the PQ path.
+        """
+        with self._stats_lock:
+            stats = dict(self._stats)
+        state = self._state
+        stats["n_probe"] = self._n_probe
+        stats["n_partitions"] = len(state.partitions) if state is not None else 0
+        stats["size"] = len(self)
+        stats["trained"] = int(state is not None)
+        return stats
+
+    def _record_scan(self, queries: int, partitions: int, candidates: int,
+                     reranked: int = 0, flat: int = 0) -> None:
+        with self._stats_lock:
+            self._stats["queries"] += queries
+            self._stats["batches"] += 1
+            self._stats["partitions_probed"] += partitions
+            self._stats["candidates_scanned"] += candidates
+            self._stats["reranked"] += reranked
+            self._stats["flat_queries"] += flat
+
+    # -- writes ------------------------------------------------------------------
+    def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
+        """Add vectors; trains the quantizer when the store crosses
+        ``train_threshold`` (the paid-once cost of the add that crosses it)."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        if len(keys) != vectors.shape[0]:
+            raise ValidationError("keys and vectors must have the same length")
+        keys = [str(k) for k in keys]
+        with self._lock:
+            if self._state is None:
+                assert self._flat is not None
+                self._flat.add(keys, vectors)
+                if len(self._flat) >= self.train_threshold:
+                    self._train_locked()
+            else:
+                self._route_add(self._state, keys, vectors)
+
+    def train(self) -> bool:
+        """Fit the quantizer now, regardless of ``train_threshold``.
+
+        Returns True if training ran; False when already trained or the
+        store is too small to partition (fewer than 2 vectors).
+        """
+        with self._lock:
+            if self._state is not None:
+                return False
+            assert self._flat is not None
+            if len(self._flat) < 2:
+                return False
+            self._train_locked()
+            return True
+
+    def _resolve_partitions(self, n: int) -> int:
+        if self.n_partitions == "auto":
+            p = int(round(np.sqrt(n)))
+            p = min(p, _MAX_AUTO_PARTITIONS)
+        else:
+            p = int(self.n_partitions)
+        return max(1, min(p, n))
+
+    def _make_quantizer(self, n_clusters: int):
+        from repro.api.registry import component_factory, filter_supported_kwargs
+
+        factory = component_factory("clustering", self.clustering_algorithm)
+        # A coarse quantizer needs speed, not convergence: offer cheap
+        # settings, applied only when the factory's signature takes them,
+        # with user params overriding everything.
+        offered = filter_supported_kwargs(factory, {
+            "seed": derive_seed(self.seed, 9001),
+            "n_init": 1,
+            "max_iter": 16,
+            "tol": 1e-3,
+        })
+        return factory(**{"n_clusters": n_clusters, **offered, **self.quantizer_params})
+
+    def _assign(self, centers: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Nearest-centroid ids for ``vectors``, chunked so the distance
+        matrix transient stays bounded at any store size."""
+        n = vectors.shape[0]
+        chunk = max(1, _ASSIGN_CHUNK_CELLS // max(1, centers.shape[0]))
+        out = np.empty(n, dtype=np.int64)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            d2 = pairwise_squared_distances(vectors[start:stop], centers)
+            out[start:stop] = np.argmin(d2, axis=1)
+        return out
+
+    def _train_locked(self) -> None:
+        assert self._flat is not None and self._state is None
+        flat = self._flat
+        n = len(flat)
+        vectors = np.asarray(flat.vectors, dtype=np.float64)
+        keys = np.asarray(flat.keys, dtype=object)
+        p = self._resolve_partitions(n)
+
+        rng = default_rng(derive_seed(self.seed, 9002))
+        n_train = min(self.train_size, n)
+        train_rows = (rng.choice(n, size=n_train, replace=False)
+                      if n_train < n else np.arange(n))
+        quantizer = self._make_quantizer(min(p, n_train))
+        quantizer.fit(vectors[train_rows])
+        centers = np.atleast_2d(np.asarray(quantizer.cluster_centers_, dtype=np.float64))
+
+        pq: Optional[ProductQuantizer] = None
+        if self.pq_config is not None:
+            pq = ProductQuantizer(
+                self.dim,
+                **{"seed": derive_seed(self.seed, 9003), **self.pq_config},
+            )
+            train_vectors = vectors[train_rows]
+            residuals = train_vectors - centers[self._assign(centers, train_vectors)]
+            pq.fit(residuals)
+
+        partitions = [
+            _Partition(self.dim, self.dtype, self.cache_query_matrix,
+                       pq.m if pq is not None else 0)
+            for _ in range(centers.shape[0])
+        ]
+        state = _IVFState(centers, partitions, pq)
+        self._route_add(state, keys, vectors)
+        # Publish fully built state first; only then retire the flat index,
+        # so a concurrent reader always holds one complete view.
+        self._state = state
+        self._flat = None
+
+    def _route_add(self, state: _IVFState, keys: Sequence[str], vectors: np.ndarray) -> None:
+        if vectors.shape[0] == 0:
+            return
+        assignments = self._assign(state.centers, vectors)
+        codes = None
+        if state.pq is not None:
+            residuals = vectors - state.centers[assignments]
+            codes = state.pq.encode(residuals)
+        order = np.argsort(assignments, kind="stable")
+        sorted_ids = assignments[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        for rows in np.split(order, boundaries):
+            pid = int(assignments[rows[0]])
+            state.partitions[pid].append(
+                [keys[i] for i in rows],
+                vectors[rows],
+                codes[rows] if codes is not None else None,
+            )
+
+    # -- reads -------------------------------------------------------------------
+    def _probe_sets(self, state: _IVFState, probe_order: np.ndarray, k: int,
+                    n_probe: int) -> List[List[int]]:
+        """Partitions each query visits: nearest non-empty partitions until
+        both ``n_probe`` have been probed and ``k`` candidates exist."""
+        sizes = [len(p.index) for p in state.partitions]
+        probe_lists: List[List[int]] = []
+        for row in probe_order:
+            chosen: List[int] = []
+            probed = n_candidates = 0
+            for pid in row:
+                size = sizes[int(pid)]
+                if not size:
+                    continue
+                chosen.append(int(pid))
+                probed += 1
+                n_candidates += min(k, size)
+                if probed >= n_probe and n_candidates >= k:
+                    break
+            probe_lists.append(chosen)
+        return probe_lists
+
+    def _scan_exact(self, part: _Partition, sub_queries: np.ndarray, k: int
+                    ) -> List[QueryResult]:
+        results = part.index.query_batch(sub_queries, k=min(k, len(part.index)))
+        return results
+
+    def _scan_pq(self, state: _IVFState, pid: int, part: _Partition,
+                 sub_queries: np.ndarray, k: int) -> Tuple[List[QueryResult], int]:
+        """ADC scan of one partition's codes + exact re-rank of the top
+        candidates; returns per-query results and the re-ranked row count."""
+        pq = state.pq
+        assert pq is not None and part.codes is not None
+        n = len(part.index)
+        codes = part.codes[:n]
+        residual_queries = sub_queries - state.centers[pid]
+        tables = pq.distance_tables(residual_queries)
+        adc = pq.adc(tables, codes)
+        r = min(max(k, self.rerank), n)
+        if r < n:
+            top = np.argpartition(adc, r - 1, axis=1)[:, :r]
+        else:
+            top = np.broadcast_to(np.arange(n), adc.shape)
+        vectors = part.index.vectors
+        keys = part.index.keys
+        out: List[QueryResult] = []
+        reranked = 0
+        for qi in range(sub_queries.shape[0]):
+            rows = top[qi]
+            exact = np.asarray(vectors[rows], dtype=np.float64)
+            d2 = np.sum((exact - sub_queries[qi]) ** 2, axis=1)
+            reranked += rows.shape[0]
+            order = np.argsort(d2, kind="stable")[:k]
+            out.append([(keys[int(rows[j])], float(np.sqrt(d2[j]))) for j in order])
+        return out, reranked
+
+    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]:
+        """Top-``k`` ``(key, distance)`` pairs per query row, scanning only
+        each query's ``n_probe`` nearest inverted lists once trained."""
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        queries = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if queries.shape[1] != self.dim:
+            raise ValidationError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        state = self._state
+        if state is None:
+            flat = self._flat
+            if flat is None:  # training published between the two reads
+                state = self._state
+                assert state is not None
+            else:
+                results = flat.query_batch(queries, k=k)
+                b = queries.shape[0]
+                self._record_scan(b, partitions=b, candidates=b * len(flat), flat=b)
+                return results
+        if sum(len(p.index) for p in state.partitions) == 0:
+            raise StorageError("ivf vector index is empty")
+        n_probe = self._n_probe  # one snapshot: the live-knob read point
+
+        center_d2 = pairwise_squared_distances(queries, state.centers)
+        probe_lists = self._probe_sets(
+            state, np.argsort(center_d2, axis=1, kind="stable"), k, n_probe
+        )
+
+        by_partition: Dict[int, List[int]] = {}
+        for qi, chosen in enumerate(probe_lists):
+            for pid in chosen:
+                by_partition.setdefault(pid, []).append(qi)
+
+        scanned = reranked = 0
+        partition_hits: Dict[int, Dict[int, QueryResult]] = {}
+        for pid, q_indices in by_partition.items():
+            part = state.partitions[pid]
+            sub_queries = queries[q_indices]
+            if state.pq is None:
+                results = self._scan_exact(part, sub_queries, k)
+            else:
+                results, n_reranked = self._scan_pq(state, pid, part, sub_queries, k)
+                reranked += n_reranked
+            scanned += len(part.index) * len(q_indices)
+            partition_hits[pid] = dict(zip(q_indices, results))
+
+        out: List[QueryResult] = []
+        for qi, chosen in enumerate(probe_lists):
+            candidates: QueryResult = []
+            for pid in chosen:
+                candidates.extend(partition_hits[pid][qi])
+            candidates.sort(key=lambda kv: kv[1])
+            out.append(candidates[:k])
+        self._record_scan(
+            queries.shape[0],
+            partitions=sum(len(chosen) for chosen in probe_lists),
+            candidates=scanned,
+            reranked=reranked,
+        )
+        return out
+
+    def query(self, vector: np.ndarray, k: int = 1) -> QueryResult:
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        return self.query_batch(vector, k=k)[0]

@@ -70,6 +70,11 @@ class VectorIndex:
         view.flags.writeable = False
         return view
 
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        """The stored keys, row-aligned with :attr:`vectors`."""
+        return tuple(self._keys[: self._size])
+
     # -- writes ----------------------------------------------------------------
     def _ensure_capacity(self, extra: int) -> None:
         needed = self._size + extra

@@ -1,0 +1,432 @@
+"""Tests for the IVF ANN index, the PQ residual codec, capability probing,
+and the benchmark-side recall/ground-truth helpers."""
+
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.registry import available_components, create_component, register_component
+from repro.core.fairds import FairDS
+from repro.embedding import PCAEmbedder
+from repro.storage import (
+    ClusteredVectorIndex,
+    IVFVectorIndex,
+    IndexCapabilities,
+    ProductQuantizer,
+    VectorIndex,
+    probe_index_capabilities,
+)
+from repro.utils.errors import (
+    ConfigurationError,
+    NotFittedError,
+    StorageError,
+    ValidationError,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+from common import exact_nearest_neighbors, recall_at_k  # noqa: E402
+
+
+def _blobs(rng, n, dim=8, n_blobs=16, scale=10.0):
+    centers = rng.normal(scale=scale, size=(n_blobs, dim))
+    vectors = centers[rng.integers(0, n_blobs, size=n)] + rng.normal(size=(n, dim))
+    return vectors, centers
+
+
+# -- flat fallback and the training transition ----------------------------------
+def test_ivf_is_exact_below_train_threshold(rng):
+    index = IVFVectorIndex(dim=4, train_threshold=100)
+    flat = VectorIndex(dim=4)
+    vectors = rng.normal(size=(50, 4))
+    keys = [f"k{i}" for i in range(50)]
+    index.add(keys, vectors)
+    flat.add(keys, vectors)
+    assert not index.is_trained
+    assert len(index) == 50
+    queries = rng.normal(size=(8, 4))
+    for got, want in zip(index.query_batch(queries, k=5), flat.query_batch(queries, k=5)):
+        assert [k for k, _ in got] == [k for k, _ in want]
+        np.testing.assert_allclose([d for _, d in got], [d for _, d in want])
+    assert index.scan_stats()["flat_queries"] == 8
+
+
+def test_ivf_trains_on_the_add_that_crosses_threshold(rng):
+    vectors, _ = _blobs(rng, 300)
+    index = IVFVectorIndex(dim=8, n_partitions=8, train_threshold=200)
+    index.add([f"a{i}" for i in range(150)], vectors[:150])
+    assert not index.is_trained
+    index.add([f"b{i}" for i in range(150)], vectors[150:])
+    assert index.is_trained
+    assert len(index) == 300
+    stats = index.scan_stats()
+    assert stats["n_partitions"] == 8 and stats["trained"] == 1
+
+
+def test_ivf_explicit_train_and_incremental_adds_route(rng):
+    vectors, _ = _blobs(rng, 200)
+    index = IVFVectorIndex(dim=8, n_partitions=4, train_threshold=10_000)
+    index.add([f"k{i}" for i in range(200)], vectors)
+    assert not index.is_trained
+    assert index.train() is True
+    assert index.train() is False  # idempotent
+    assert index.is_trained
+    # Post-training adds go straight into partitions and remain findable.
+    extra = vectors[:5] + 1e-4
+    index.add([f"x{i}" for i in range(5)], extra)
+    assert len(index) == 205
+    hits = index.query_batch(extra, k=1)
+    assert [h[0][0] for h in hits] == [f"x{i}" for i in range(5)]
+
+
+def test_ivf_train_refuses_tiny_store():
+    index = IVFVectorIndex(dim=3, train_threshold=50)
+    assert index.train() is False
+    index.add(["only"], np.zeros((1, 3)))
+    assert index.train() is False
+
+
+# -- exactness and recall --------------------------------------------------------
+def test_ivf_full_probe_matches_flat_exactly(rng):
+    vectors, centers = _blobs(rng, 400)
+    keys = [f"k{i}" for i in range(400)]
+    index = IVFVectorIndex(dim=8, n_partitions=10, n_probe=10, train_threshold=2)
+    index.add(keys, vectors)
+    assert index.is_trained
+    flat = VectorIndex(dim=8)
+    flat.add(keys, vectors)
+    queries = centers[rng.integers(0, centers.shape[0], size=32)] + rng.normal(size=(32, 8))
+    for got, want in zip(index.query_batch(queries, k=5), flat.query_batch(queries, k=5)):
+        assert [k for k, _ in got] == [k for k, _ in want]
+        np.testing.assert_allclose(
+            [d for _, d in got], [d for _, d in want], rtol=1e-6, atol=1e-6
+        )
+
+
+def test_ivf_partial_probe_has_high_recall_on_clustered_data(rng):
+    vectors, centers = _blobs(rng, 2000, n_blobs=32)
+    keys = [f"k{i}" for i in range(2000)]
+    index = IVFVectorIndex(dim=8, n_partitions=32, n_probe=4, train_threshold=2)
+    index.add(keys, vectors)
+    queries = centers[rng.integers(0, 32, size=64)] + rng.normal(size=(64, 8))
+    truth = [[keys[i] for i in row] for row in exact_nearest_neighbors(vectors, queries, 10)]
+    retrieved = [[k for k, _ in hits] for hits in index.query_batch(queries, k=10)]
+    assert recall_at_k(retrieved, truth, 10) >= 0.95
+
+
+def test_ivf_k_larger_than_store(rng):
+    index = IVFVectorIndex(dim=3, n_partitions=2, train_threshold=2)
+    index.add(["a", "b", "c"], rng.normal(size=(3, 3)))
+    assert index.is_trained
+    for row in index.query_batch(rng.normal(size=(4, 3)), k=10):
+        assert sorted(k for k, _ in row) == ["a", "b", "c"]
+        distances = [d for _, d in row]
+        assert distances == sorted(distances)
+
+
+def test_ivf_skips_empty_partitions(rng):
+    # 2 tight blobs, 8 partitions: several partitions end up empty; probing
+    # must skip them and still deliver k candidates.
+    centers = np.array([[0.0] * 4, [50.0] * 4])
+    vectors = np.vstack([centers[0] + rng.normal(size=(20, 4)) * 0.1,
+                         centers[1] + rng.normal(size=(20, 4)) * 0.1])
+    index = IVFVectorIndex(dim=4, n_partitions=8, n_probe=1, train_threshold=2)
+    index.add([f"k{i}" for i in range(40)], vectors)
+    hits = index.query(centers[1], k=5)
+    assert len(hits) == 5
+    assert all(int(k[1:]) >= 20 for k, _ in hits)
+
+
+def test_ivf_probes_extra_partitions_until_k_candidates(rng):
+    # n_probe=1 but k exceeds every single partition's size: the probe set
+    # widens past n_probe until k candidates are reachable.
+    vectors, _ = _blobs(rng, 60, dim=4, n_blobs=12)
+    index = IVFVectorIndex(dim=4, n_partitions=12, n_probe=1, train_threshold=2)
+    index.add([f"k{i}" for i in range(60)], vectors)
+    hits = index.query(vectors[0], k=30)
+    assert len(hits) == 30
+
+
+def test_ivf_empty_index_and_validation(rng):
+    with pytest.raises(ValidationError):
+        IVFVectorIndex(dim=0)
+    with pytest.raises(ValidationError):
+        IVFVectorIndex(dim=3, n_probe=0)
+    with pytest.raises(ConfigurationError):
+        IVFVectorIndex(dim=3, n_partitions=0)
+    with pytest.raises(ConfigurationError):
+        IVFVectorIndex(dim=3, n_partitions="many")
+    with pytest.raises(ConfigurationError):
+        IVFVectorIndex(dim=3, train_threshold=1)
+    with pytest.raises(ConfigurationError):
+        IVFVectorIndex(dim=3, pq=42)
+    with pytest.raises(ConfigurationError):
+        IVFVectorIndex(dim=3, clustering_algorithm="no-such-algorithm")
+    index = IVFVectorIndex(dim=3)
+    with pytest.raises(StorageError):
+        index.query(np.zeros(3))
+    with pytest.raises(ValidationError):
+        index.add(["a"], np.zeros((1, 4)))
+    with pytest.raises(ValidationError):
+        index.add(["a", "b"], np.zeros((1, 3)))
+    index.add(["a"], np.zeros((1, 3)))
+    with pytest.raises(ValidationError):
+        index.query(np.zeros(3), k=0)
+    with pytest.raises(ValidationError):
+        index.query(np.zeros(4))
+
+
+# -- the live n_probe knob -------------------------------------------------------
+def test_set_n_probe_is_live_and_validated(rng):
+    vectors, _ = _blobs(rng, 500, n_blobs=10)
+    index = IVFVectorIndex(dim=8, n_partitions=10, n_probe=1, train_threshold=2)
+    index.add([f"k{i}" for i in range(500)], vectors)
+    assert index.n_probe == 1
+    assert index.set_n_probe(10) == 10
+    assert index.n_probe == 10
+    index.n_probe = 3  # property setter goes through the same validation
+    assert index.scan_stats()["n_probe"] == 3
+    for bad in (0, -1, 1.5, True, "4"):
+        with pytest.raises(ValidationError):
+            index.set_n_probe(bad)
+    # A higher n_probe really scans more: compare per-batch probe counts.
+    index.set_n_probe(1)
+    before = index.scan_stats()["partitions_probed"]
+    index.query_batch(vectors[:8], k=1)
+    low = index.scan_stats()["partitions_probed"] - before
+    index.set_n_probe(8)
+    before = index.scan_stats()["partitions_probed"]
+    index.query_batch(vectors[:8], k=1)
+    high = index.scan_stats()["partitions_probed"] - before
+    assert high > low
+
+
+def test_scan_stats_counters(rng):
+    vectors, _ = _blobs(rng, 300, n_blobs=6)
+    index = IVFVectorIndex(dim=8, n_partitions=6, n_probe=2, train_threshold=2)
+    index.add([f"k{i}" for i in range(300)], vectors)
+    stats0 = index.scan_stats()
+    index.query_batch(vectors[:10], k=3)
+    stats1 = index.scan_stats()
+    assert stats1["queries"] - stats0["queries"] == 10
+    assert stats1["batches"] - stats0["batches"] == 1
+    assert stats1["partitions_probed"] >= stats0["partitions_probed"] + 10
+    assert stats1["candidates_scanned"] > stats0["candidates_scanned"]
+    assert stats1["size"] == 300
+    assert all(isinstance(v, int) for v in stats1.values())
+
+
+# -- product quantizer -----------------------------------------------------------
+def test_pq_roundtrip_reduces_error_vs_zero(rng):
+    pq = ProductQuantizer(dim=16, m=4, bits=6)
+    vectors = rng.normal(size=(600, 16))
+    pq.fit(vectors)
+    codes = pq.encode(vectors)
+    assert codes.shape == (600, 4) and codes.dtype == np.uint8
+    recon = pq.decode(codes)
+    err = float(np.mean(np.sum((vectors - recon) ** 2, axis=1)))
+    baseline = float(np.mean(np.sum(vectors**2, axis=1)))
+    assert err < 0.5 * baseline
+
+
+def test_pq_adc_approximates_true_distances(rng):
+    pq = ProductQuantizer(dim=8, m=4, bits=8)
+    vectors = rng.normal(size=(400, 8))
+    pq.fit(vectors)
+    codes = pq.encode(vectors)
+    queries = rng.normal(size=(5, 8))
+    adc = pq.adc(pq.distance_tables(queries), codes)
+    assert adc.shape == (5, 400)
+    true_d2 = ((queries[:, None, :] - pq.decode(codes)[None, :, :]) ** 2).sum(axis=2)
+    np.testing.assert_allclose(adc, true_d2, rtol=1e-6, atol=1e-6)
+
+
+def test_pq_validation_and_not_fitted():
+    with pytest.raises(ConfigurationError):
+        ProductQuantizer(dim=10, m=3)  # m must divide dim
+    with pytest.raises(ConfigurationError):
+        ProductQuantizer(dim=8, m=4, bits=0)
+    with pytest.raises(ConfigurationError):
+        ProductQuantizer(dim=8, m=4, bits=9)
+    pq = ProductQuantizer(dim=8, m=4)
+    with pytest.raises(NotFittedError):
+        pq.encode(np.zeros((1, 8)))
+    with pytest.raises(NotFittedError):
+        pq.distance_tables(np.zeros((1, 8)))
+    pq.fit(np.random.default_rng(0).normal(size=(300, 8)))
+    with pytest.raises(ValidationError):
+        pq.encode(np.zeros((1, 7)))
+
+
+def test_ivf_pq_path_reranks_to_high_recall(rng):
+    vectors, centers = _blobs(rng, 1500, n_blobs=12)
+    keys = [f"k{i}" for i in range(1500)]
+    index = IVFVectorIndex(
+        dim=8, n_partitions=12, n_probe=4, train_threshold=2,
+        pq={"m": 4, "bits": 8}, rerank=64,
+    )
+    index.add(keys, vectors)
+    assert index.is_trained
+    queries = centers[rng.integers(0, 12, size=48)] + rng.normal(size=(48, 8))
+    truth = [[keys[i] for i in row] for row in exact_nearest_neighbors(vectors, queries, 10)]
+    retrieved = [[k for k, _ in hits] for hits in index.query_batch(queries, k=10)]
+    assert recall_at_k(retrieved, truth, 10) >= 0.9
+    assert index.scan_stats()["reranked"] > 0
+    # Distances of the re-ranked hits are exact, not ADC approximations.
+    hit = index.query(vectors[7], k=1)[0]
+    assert hit[0] == "k7"
+    assert hit[1] == pytest.approx(0.0, abs=1e-5)
+
+
+# -- capability probing and composability ----------------------------------------
+def test_probe_index_capabilities_builtins():
+    flat = VectorIndex(dim=3)
+    assert probe_index_capabilities(flat) == IndexCapabilities(
+        takes_cluster_ids=False, supports_query_batch=True,
+        supports_n_probe=False, supports_scan_stats=False,
+    )
+    clustered = ClusteredVectorIndex(np.zeros((2, 3)))
+    caps = probe_index_capabilities(clustered)
+    assert caps.takes_cluster_ids and caps.supports_query_batch
+    assert not caps.supports_n_probe and not caps.supports_scan_stats
+    ivf = IVFVectorIndex(dim=3)
+    assert probe_index_capabilities(ivf) == IndexCapabilities(
+        takes_cluster_ids=False, supports_query_batch=True,
+        supports_n_probe=True, supports_scan_stats=True,
+    )
+
+
+class _MinimalIndex:
+    """The smallest legal backend: add(keys, vectors) + query only."""
+
+    def __init__(self, dim):
+        self.inner = VectorIndex(dim=dim)
+
+    def add(self, keys, vectors):
+        self.inner.add(keys, vectors)
+
+    def query(self, vector, k=1):
+        return self.inner.query(vector, k=k)
+
+    def __len__(self):
+        return len(self.inner)
+
+
+def test_fairds_composes_with_minimal_custom_backend(rng):
+    caps = probe_index_capabilities(_MinimalIndex(4))
+    assert caps == IndexCapabilities(
+        takes_cluster_ids=False, supports_query_batch=False,
+        supports_n_probe=False, supports_scan_stats=False,
+    )
+    register_component("index", "minimal-test", _MinimalIndex, overwrite=True)
+    images = rng.normal(size=(120, 6, 6))
+    labels = rng.integers(0, 4, size=120)
+    fairds = FairDS(PCAEmbedder(embedding_dim=4), n_clusters=3, seed=0,
+                    index_backend="minimal-test")
+    fairds.fit(images, labels)
+    assert fairds.index_capabilities == caps
+    assert fairds.index_n_probe is None
+    assert fairds.index_stats() == {}
+    with pytest.raises(ConfigurationError):
+        fairds.set_index_n_probe(4)
+    # nearest_labeled works through the per-row query() fallback.
+    hits = fairds.nearest_labeled(images[:3], threshold=None)
+    assert len(hits) == 3 and all(label is not None for label, _ in hits)
+
+
+def test_fairds_with_ivf_backend_exposes_knob(rng):
+    images = rng.normal(size=(150, 6, 6))
+    labels = rng.integers(0, 4, size=150)
+    fairds = FairDS(PCAEmbedder(embedding_dim=4), n_clusters=3, seed=0,
+                    index_backend="ivf",
+                    index_params={"n_partitions": 4, "train_threshold": 8, "n_probe": 2})
+    with pytest.raises(NotFittedError):
+        fairds.set_index_n_probe(3)
+    fairds.fit(images, labels)
+    assert fairds.index_capabilities.supports_n_probe
+    assert fairds.index_n_probe == 2
+    assert fairds.set_index_n_probe(4) == 4
+    assert fairds.index_n_probe == 4
+    stats = fairds.index_stats()
+    assert stats["n_partitions"] == 4 and stats["trained"] == 1
+    hits = fairds.nearest_labeled(images[:5], threshold=None)
+    assert len(hits) == 5
+
+
+def test_ivf_registered_in_component_registry():
+    assert "ivf" in available_components("index")
+    index = create_component("index", "ivf", dim=5, n_partitions=2, train_threshold=2)
+    index.add(["a", "b", "c"], np.eye(3, 5))
+    assert index.query(np.eye(3, 5)[1], k=1)[0][0] == "b"
+
+
+# -- concurrent reads across a live retune ---------------------------------------
+def test_concurrent_queries_during_set_n_probe_and_adds(rng):
+    vectors, centers = _blobs(rng, 800, n_blobs=8)
+    index = IVFVectorIndex(dim=8, n_partitions=8, n_probe=2, train_threshold=2)
+    index.add([f"k{i}" for i in range(800)], vectors)
+    queries = centers[rng.integers(0, 8, size=16)] + rng.normal(size=(16, 8))
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            try:
+                rows = index.query_batch(queries, k=3)
+                assert len(rows) == 16 and all(len(r) == 3 for r in rows)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for i, n_probe in enumerate([1, 4, 8, 2, 6] * 4):
+        index.set_n_probe(n_probe)
+        index.add([f"w{i}_{j}" for j in range(5)], rng.normal(size=(5, 8)))
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+# -- benchmark helpers (ground truth + recall) ------------------------------------
+def test_exact_nearest_neighbors_matches_flat_index(rng):
+    base = rng.normal(size=(200, 6))
+    queries = rng.normal(size=(20, 6))
+    idx = exact_nearest_neighbors(base, queries, 5)
+    assert idx.shape == (20, 5)
+    flat = VectorIndex(dim=6, dtype=np.float64)
+    flat.add([str(i) for i in range(200)], base)
+    for row, hits in zip(idx, flat.query_batch(queries, k=5)):
+        assert [str(i) for i in row] == [k for k, _ in hits]
+
+
+def test_exact_nearest_neighbors_chunking_and_degenerate_k(rng):
+    base = rng.normal(size=(50, 4))
+    queries = rng.normal(size=(30, 4))
+    chunked = exact_nearest_neighbors(base, queries, 3, chunk_queries=7)
+    unchunked = exact_nearest_neighbors(base, queries, 3, chunk_queries=1000)
+    np.testing.assert_array_equal(chunked, unchunked)
+    # k >= n clamps to n, rows are full permutations sorted nearest-first.
+    full = exact_nearest_neighbors(base, queries, 99)
+    assert full.shape == (30, 50)
+    assert all(sorted(row) == list(range(50)) for row in full)
+    assert exact_nearest_neighbors(base, np.empty((0, 4)), 3).shape == (0, 3)
+    assert exact_nearest_neighbors(np.empty((0, 4)), queries, 3).shape == (30, 0)
+
+
+def test_recall_at_k_semantics():
+    assert recall_at_k([["a", "b"]], [["a", "b"]], 2) == 1.0
+    assert recall_at_k([["a", "c"]], [["a", "b"]], 2) == 0.5
+    # Order within the top-k does not matter.
+    assert recall_at_k([["b", "a"]], [["a", "b"]], 2) == 1.0
+    # Entries beyond k are ignored on both sides.
+    assert recall_at_k([["x", "a"]], [["a", "y"]], 1) == 0.0
+    # Degenerate: empty ground truth counts as perfect; empty inputs too.
+    assert recall_at_k([["a"]], [[]], 3) == 1.0
+    assert recall_at_k([], [], 5) == 1.0
+    with pytest.raises(ValueError):
+        recall_at_k([["a"]], [["a"], ["b"]], 1)

@@ -12,7 +12,7 @@ from repro.api.spec import preset
 def specs_dir(tmp_path):
     directory = tmp_path / "specs"
     directory.mkdir()
-    for name in ("minimal", "serving", "continual"):
+    for name in ("minimal", "serving", "continual", "ann"):
         preset(name).save(directory / f"{name}.json")
     return directory
 
@@ -21,7 +21,7 @@ def test_presets_lists_all_and_writes_files(tmp_path, capsys):
     out_dir = tmp_path / "out"
     assert main(["presets", "--write", str(out_dir)]) == 0
     out = capsys.readouterr().out
-    for name in ("minimal", "serving", "continual"):
+    for name in ("minimal", "serving", "continual", "ann"):
         assert name in out
         written = out_dir / f"{name}.json"
         assert written.exists()
@@ -29,10 +29,10 @@ def test_presets_lists_all_and_writes_files(tmp_path, capsys):
 
 
 def test_validate_accepts_good_specs_and_prints_digests(specs_dir, capsys):
-    paths = [str(specs_dir / f"{n}.json") for n in ("minimal", "serving", "continual")]
+    paths = [str(specs_dir / f"{n}.json") for n in ("minimal", "serving", "continual", "ann")]
     assert main(["validate", *paths]) == 0
     out = capsys.readouterr().out
-    assert out.count("ok ") == 3
+    assert out.count("ok ") == 4
     assert preset("serving").digest() in out
 
 
@@ -75,6 +75,20 @@ def test_run_continual_spec_closes_the_loop(specs_dir, capsys):
     snapshot = json.loads(out[out.index("{"):])
     assert snapshot["continual"]["times_fired"] >= 1
     assert snapshot["zoo"]["promoted_version"] != "v0"
+
+
+def test_run_ann_spec_exercises_the_ivf_data_plane(specs_dir, capsys):
+    assert main(["run", str(specs_dir / "ann.json"), "--scans", "5", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "data plane only" in out and "lookup returned" in out
+
+
+def test_serve_ann_spec_serves_with_ivf_index(specs_dir, capsys):
+    assert main(["serve", str(specs_dir / "ann.json"),
+                 "--requests", "8", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "'predict'" not in out
+    assert "served 8 requests" in out
 
 
 def test_run_and_serve_report_missing_spec_without_traceback(capsys):

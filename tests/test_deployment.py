@@ -134,7 +134,9 @@ def test_minimal_deployment_serves_the_data_plane(experiment):
 
         # serve() still works: data-plane handlers straight off fairDS.
         with dep.serve() as runtime:
-            assert runtime.operations == ["certainty", "lookup_labeled_data", "query_distribution"]
+            assert runtime.operations == [
+                "certainty", "lookup_labeled_data", "nearest_labeled", "query_distribution"
+            ]
             dist = runtime.call("query_distribution", probe, timeout=30.0)
             assert dist["pdf"] == dep.distribution(probe).as_dict()["pdf"]
             payload = runtime.call("lookup_labeled_data", (probe, 5), timeout=30.0)
@@ -332,3 +334,86 @@ def test_persist_spec_round_trips_through_the_deployment_db():
 def test_deployment_requires_a_system_spec():
     with pytest.raises(ConfigurationError, match="SystemSpec"):
         Deployment({"name": "not-a-spec"})
+
+
+# ---------------------------------------------------------------------------------
+# ANN deployments: the live n_probe knob and index telemetry
+# ---------------------------------------------------------------------------------
+def test_ann_deployment_serves_nearest_labeled(experiment):
+    hist_x, hist_y = experiment.stacked(range(3))
+    probe = experiment.scan(3).images[:4]
+    with Deployment.from_preset("ann") as dep:
+        dep.fit(hist_x, hist_y)
+        assert dep.fairds.index_capabilities.supports_n_probe
+        assert dep.fairds.index_n_probe == dep.spec.index.n_probe  # spec value threaded
+        with dep.serve() as runtime:
+            assert "nearest_labeled" in runtime.operations
+            hit = runtime.call("nearest_labeled", hist_x[0], timeout=30.0)
+            assert hit["within"] and hit["distance"] == pytest.approx(0.0, abs=1e-5)
+            np.testing.assert_array_equal(hit["label"], hist_y[0])
+            # A per-request threshold of ~0 withholds the label.
+            gated = runtime.call("nearest_labeled", (probe[0] + 50.0, 1e-12), timeout=30.0)
+            assert gated["label"] is None and not gated["within"]
+            snap = runtime.telemetry_snapshot()
+            assert snap["knobs"]["n_probe"]["value"] == dep.spec.index.n_probe
+            assert snap["index_scan"]["queries"] >= 2
+
+
+def test_live_n_probe_change_drops_no_requests(experiment):
+    """The acceptance criterion: retuning n_probe on a live runtime takes
+    effect without a restart, and no in-flight or subsequent request is
+    dropped or errored across the change."""
+    import threading
+
+    hist_x, hist_y = experiment.stacked(range(3))
+    queries = experiment.scan(3).images[:32]
+    with Deployment.from_preset("ann") as dep:
+        dep.fit(hist_x, hist_y)
+        runtime = dep.serve()
+        assert runtime.knobs == ["n_probe"]
+
+        results, errors = [], []
+        barrier = threading.Barrier(5)
+
+        def client(cid):
+            barrier.wait()
+            for j in range(20):
+                try:
+                    results.append(runtime.call(
+                        "nearest_labeled", queries[(cid * 20 + j) % len(queries)],
+                        timeout=30.0,
+                    ))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(cid,)) for cid in range(4)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        # Retune mid-traffic, repeatedly, without stopping the runtime.
+        for n_probe in (1, 8, 2, 16, 4):
+            assert runtime.set_knob("n_probe", n_probe) == n_probe
+            assert dep.fairds.index_n_probe == n_probe
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert len(results) == 80
+        assert all(r["within"] and r["label"] is not None for r in results)
+        snap = runtime.telemetry_snapshot()
+        assert snap["failed"] == 0 and snap["rejected"] == 0
+        assert snap["completed"] >= 80
+        assert snap["knobs"]["n_probe"] == {"value": 4, "changes": 5}
+        assert snap["index_scan"]["n_probe"] == 4
+        # The service-less data plane still surfaces one summary source.
+        assert dep.snapshot()["serving"]["knobs"]["n_probe"]["value"] == 4
+
+
+def test_knob_on_non_probing_backend_is_absent(experiment):
+    with Deployment.from_preset("minimal") as dep:
+        dep.fit(*experiment.stacked(range(2)))
+        runtime = dep.serve()
+        assert runtime.knobs == []
+        with pytest.raises(ConfigurationError, match="no live n_probe"):
+            dep.fairds.set_index_n_probe(4)
+        assert runtime.telemetry_snapshot()["index_scan"] == {}

@@ -86,6 +86,12 @@ def test_negative_batch_size_fails_at_spec_time():
         (lambda: StorageSpec(collection=""), "collection"),
         (lambda: SystemSpec(policy={"distance_threshold": 5.0}), "distance_threshold"),
         (lambda: SystemSpec(seed="zero"), "seed"),
+        (lambda: IndexSpec("ivf", n_probe=0), "n_probe"),
+        (lambda: IndexSpec("ivf", n_probe=True), "n_probe"),
+        (lambda: IndexSpec("ivf", n_probe=2.5), "n_probe"),
+        (lambda: IndexSpec("ivf", n_probe=4, params={"n_probe": 2}),
+         "must not contain 'n_probe'"),
+        (lambda: IndexSpec("flat", n_probe=4), "does not accept"),
     ],
     ids=lambda val: getattr(val, "__name__", str(val)),
 )
@@ -229,7 +235,7 @@ def test_persist_and_load_by_digest_survive_save_load(tmp_path):
 # Presets and shipped spec files
 # ---------------------------------------------------------------------------------
 def test_preset_names_and_unknown_preset():
-    assert preset_names() == ["continual", "minimal", "serving"]
+    assert preset_names() == ["ann", "continual", "minimal", "serving"]
     with pytest.raises(ConfigurationError, match="unknown preset"):
         preset("turbo")
 
@@ -244,8 +250,21 @@ def test_presets_compose_incrementally():
     assert {p.split(".")[0] for p in serving.diff(continual)} == {"name", "continual"}
 
 
-@pytest.mark.parametrize("name", ["minimal", "serving", "continual"])
+@pytest.mark.parametrize("name", ["minimal", "serving", "continual", "ann"])
 def test_shipped_spec_files_match_presets(name):
     """examples/specs/*.json are the presets, verbatim (same content digest)."""
     shipped = SystemSpec.load(REPO_ROOT / "examples" / "specs" / f"{name}.json")
     assert shipped.digest() == preset(name).digest()
+
+
+def test_ann_preset_configures_ivf_with_live_knob():
+    spec = preset("ann")
+    assert spec.index.backend == "ivf"
+    assert spec.index.n_probe is not None and spec.index.n_probe >= 1
+    assert spec.model is None and spec.serving is not None
+    # n_probe rides the digest: retuning the knob is a config change.
+    retuned = dataclasses.replace(
+        spec, index=dataclasses.replace(spec.index, n_probe=spec.index.n_probe + 1)
+    )
+    assert retuned.digest() != spec.digest()
+    assert "index.n_probe" in spec.diff(retuned)
