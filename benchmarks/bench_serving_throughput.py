@@ -16,7 +16,9 @@ Acceptance bar (asserted): the micro-batched runtime clears **>= 5x** the
 per-request throughput at 64 concurrent clients on a 10k-vector store, with
 every response identical to unbatched execution.  A short open-loop section
 (fixed arrival rate, admission control active) exercises the backpressure
-path and reports the tail-latency telemetry.
+path and reports the tail-latency telemetry.  A final section compares a
+traced runtime (default 10 % trace sampling) against a tracer-less one and
+asserts (full mode) the observability overhead stays under 5 %.
 
 Results land in ``BENCH_serving_throughput.json`` (see ``common.write_bench_json``).
 
@@ -32,6 +34,7 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.observability.tracing import Tracer
 from repro.serving import BatchingPolicy, ServingRuntime, ServingTelemetry
 from repro.storage.registry import create_index_backend
 from repro.utils.errors import ServiceOverloadedError
@@ -111,6 +114,43 @@ def _open_loop(runtime: ServingRuntime, queries: np.ndarray, rate_rps: float, du
     return len(futures), rejected, time.perf_counter() - start
 
 
+def _observability_overhead(cfg, index, queries, policy) -> List[float]:
+    """Closed-loop throughput of a traced runtime (default 10 % sampling)
+    vs an identical tracer-less one, as interleaved best-of pairs.
+
+    Returns the per-pair throughput ratios (traced / untraced): each pair
+    runs back to back under the same instantaneous machine load, so the best
+    ratio isolates the tracing cost from background-load drift — the same
+    methodology as the dispatch-vs-batched comparison above.
+    """
+    clients, per_client = cfg["clients"], cfg["per_client"]
+
+    def handlers():
+        return {"lookup": lambda qs: index.query_batch(np.stack(qs), k=1)}
+
+    plain = ServingRuntime(handlers(), policy=policy, num_workers=2)
+    traced = ServingRuntime(handlers(), policy=policy, num_workers=2,
+                            tracer=Tracer(sample_rate=0.1, max_spans=4096))
+    ratios = []
+    with plain, traced:
+        # Warm both runtimes (worker threads, scheduler, caches) before the
+        # measured pairs — cold-start otherwise lands entirely on one side.
+        for runtime in (plain, traced):
+            _closed_loop(
+                lambda q: runtime.call("lookup", q, timeout=120),
+                clients, min(5, per_client), queries,
+            )
+        for _ in range(cfg["repeats"]):
+            off_s, _ = _closed_loop(
+                lambda q: plain.call("lookup", q, timeout=120), clients, per_client, queries
+            )
+            on_s, _ = _closed_loop(
+                lambda q: traced.call("lookup", q, timeout=120), clients, per_client, queries
+            )
+            ratios.append(off_s / on_s)
+    return ratios
+
+
 def _assert_identical(batched_responses, direct_expected, clients: int, per_client: int) -> None:
     """Every served response must equal the unbatched single-call result."""
     for cid in range(clients):
@@ -176,6 +216,10 @@ def run(smoke: bool = False, report_sink=None) -> Dict[str, float]:
     snap = telemetry.snapshot()
     lat = snap["latency_ms"]
 
+    # -- observability overhead: tracing at default sampling vs disabled ------
+    obs_ratios = _observability_overhead(cfg, index, queries, policy)
+    obs_ratio = max(obs_ratios)
+
     print_table(
         f"Serving throughput — {clients} closed-loop clients, "
         f"{cfg['store_size']} stored vectors [requests/s]",
@@ -195,6 +239,9 @@ def run(smoke: bool = False, report_sink=None) -> Dict[str, float]:
         f"    open loop: {ol_accepted} accepted, {ol_rejected} rejected "
         f"in {ol_elapsed:.2f}s at {cfg['open_loop_rps']} req/s offered"
     )
+    print(f"    observability: traced/untraced throughput ratios "
+          f"{[round(r, 3) for r in obs_ratios]} (best {obs_ratio:.3f}, "
+          f"10% sampling; asserting best >= 0.95 in full mode)")
 
     metrics = {
         "direct_rps": direct_rps,
@@ -211,6 +258,8 @@ def run(smoke: bool = False, report_sink=None) -> Dict[str, float]:
         "open_loop_accepted": ol_accepted,
         "open_loop_rejected": ol_rejected,
         "responses_identical": True,
+        "observability_overhead_ratio": round(obs_ratio, 4),
+        "observability_overhead_ratios": [round(r, 4) for r in obs_ratios],
     }
     write_bench_json(
         "serving_throughput",
@@ -237,6 +286,13 @@ def run(smoke: bool = False, report_sink=None) -> Dict[str, float]:
         )
     else:
         assert speedup > 0.5, f"smoke sanity: speedup collapsed to {speedup:.2f}x"
+    # Observability acceptance bar: tracing at its default sampling rate must
+    # cost < 5% throughput vs a tracer-less runtime (best interleaved pair).
+    if cfg["assert_speedup"]:
+        assert obs_ratio >= 0.95, (
+            f"tracing at default sampling cost {100 * (1 - obs_ratio):.1f}% "
+            f"throughput (ratios {obs_ratios}); bar is < 5%"
+        )
     return metrics
 
 

@@ -60,6 +60,26 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="requests to serve before exiting (default 64)")
     p_serve.add_argument("--peaks", type=int, default=60,
                          help="Bragg peaks per bootstrap scan (default 60)")
+
+    p_observe = sub.add_parser(
+        "observe",
+        help="serve a burst with the observability plane on; dump metrics and traces",
+    )
+    p_observe.add_argument("spec", metavar="SPEC", help="spec JSON file")
+    p_observe.add_argument("--requests", type=int, default=64,
+                           help="requests to serve (default 64)")
+    p_observe.add_argument("--peaks", type=int, default=60,
+                           help="Bragg peaks per bootstrap scan (default 60)")
+    p_observe.add_argument("--metrics-out", metavar="FILE", default=None,
+                           help="write the Prometheus text exposition to FILE "
+                                "(default: print it)")
+    p_observe.add_argument("--traces-out", metavar="FILE", default=None,
+                           help="append sampled trace spans to FILE as JSON lines")
+    p_observe.add_argument("--http", action="store_true",
+                           help="also stand up the /metrics+/traces HTTP endpoint "
+                                "and print its URL (serves until interrupted)")
+    p_observe.add_argument("--port", type=int, default=0,
+                           help="port for --http (default: an ephemeral port)")
     return parser
 
 
@@ -206,11 +226,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_observe(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.api.deployment import Deployment
+    from repro.api.spec import ObservabilitySpec
+
+    spec = _load_spec(args.spec)
+    if spec.observability is None or not spec.observability.enabled:
+        # Observing an unobserved spec is an explicit ask for instrumentation:
+        # switch the plane on (full sampling: a smoke burst is tiny) rather
+        # than silently producing an empty trace buffer.
+        spec = dataclasses.replace(
+            spec, observability=ObservabilitySpec(enabled=True, sample_rate=1.0)
+        )
+    experiment, _ = _experiment(10, None, args.peaks, spec.seed)
+    with Deployment.from_spec(spec) as dep:
+        hist_x, hist_y = experiment.stacked(range(3))
+        dep.fit(hist_x, hist_y)
+        runtime = dep.serve()
+        ops = runtime.operations
+        print(f"[{spec.name}] observed serving started: ops={ops} "
+              f"sample_rate={dep.tracer.sample_rate}")
+        probes = experiment.scan(4).images
+        futures = []
+        for i in range(args.requests):
+            # First half of the burst goes to the index-scanning lookup op
+            # (nearest_labeled drives the repro_index_* series and the
+            # index.scan trace span), the rest to whatever else the spec
+            # serves, so one burst lights up the whole metric scheme.  Blocks,
+            # not alternation: interleaving aliases against the deterministic
+            # trace sampler and can starve one op of sampled traces entirely.
+            if "nearest_labeled" in ops and i < max(1, args.requests // 2):
+                futures.append(runtime.submit("nearest_labeled", probes[i % len(probes)]))
+            elif "predict" in ops:
+                futures.append(runtime.submit("predict", probes[i % len(probes)]))
+            elif "lookup_labeled_data" in ops:
+                futures.append(runtime.submit("lookup_labeled_data", probes[: 8 + i % 8]))
+            else:
+                futures.append(runtime.submit("certainty", probes[: 8 + i % 8]))
+        for future in futures:
+            future.result(timeout=60.0)
+        runtime.drain(timeout=60.0)
+
+        snap = runtime.telemetry_snapshot()
+        stats = dep.tracer.stats
+        print(f"[{spec.name}] served {snap['completed']} requests: "
+              f"p95 latency {snap['latency_ms']['p95_ms']:.2f} ms, "
+              f"{stats['roots_sampled']}/{stats['roots_started']} traces sampled "
+              f"({stats['spans_buffered']} spans buffered)")
+        if args.traces_out:
+            count = dep.export_traces(args.traces_out)
+            print(f"[{spec.name}] wrote {count} spans to {args.traces_out}")
+        metrics_text = dep.metrics_text()
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(metrics_text)
+            print(f"[{spec.name}] wrote metrics exposition to {args.metrics_out}")
+        else:
+            print(metrics_text, end="")
+        if args.http:
+            from repro.observability.exporters import ObservabilityHTTPServer
+
+            with ObservabilityHTTPServer(
+                dep.registry, dep.tracer, port=args.port
+            ) as server:
+                print(f"[{spec.name}] scrape {server.url} (Ctrl-C to stop)")
+                try:
+                    import threading
+
+                    threading.Event().wait()
+                except KeyboardInterrupt:
+                    print(f"[{spec.name}] stopping")
+    return 0
+
+
 _COMMANDS = {
     "presets": _cmd_presets,
     "validate": _cmd_validate,
     "run": _cmd_run,
     "serve": _cmd_serve,
+    "observe": _cmd_observe,
 }
 
 

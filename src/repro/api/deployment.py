@@ -45,6 +45,8 @@ from repro.core.planes import (
     split_nearest_payloads,
 )
 from repro.nn.trainer import TrainingConfig
+from repro.observability.metrics import MetricsRegistry, default_registry
+from repro.observability.tracing import Span, Tracer
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.hot_swap import ModelHandle, versioned_handler
 from repro.serving.runtime import ServingRuntime
@@ -108,6 +110,17 @@ class Deployment:
         self._handle: Optional[ModelHandle] = None
         self._continual: Optional[ContinualLearningPipeline] = None
         self._closed = False
+        # The observability plane: the metrics registry is always the
+        # process-global default (every component already emits into it); a
+        # tracer exists only when the spec asks for one, so un-observed
+        # deployments keep the zero-overhead disabled path.
+        self.registry: MetricsRegistry = default_registry()
+        self.tracer: Optional[Tracer] = None
+        obs = spec.observability
+        if obs is not None and obs.enabled:
+            self.tracer = Tracer(
+                sample_rate=obs.sample_rate, max_spans=obs.trace_buffer
+            )
 
     # -- constructors ------------------------------------------------------------
     @classmethod
@@ -346,6 +359,7 @@ class Deployment:
             handlers,
             policy=policy,
             num_workers=serving.num_workers if serving is not None else 2,
+            tracer=self.tracer,
         )
         self._wire_index_controls(runtime)
         if self._service is not None:
@@ -395,6 +409,7 @@ class Deployment:
                 absolute_gate=cs.absolute_gate,
                 step_retries=cs.step_retries,
                 step_timeout_s=cs.step_timeout_s,
+                tracer=self.tracer,
             )
         return self._continual
 
@@ -405,6 +420,22 @@ class Deployment:
         return self.continual().process_scan(scan, run_id=run_id, raise_on_error=raise_on_error)
 
     # -- observability & teardown ------------------------------------------------
+    def metrics_text(self) -> str:
+        """The metrics registry's Prometheus text exposition — what a scrape
+        of this process would return."""
+        return self.registry.expose_text()
+
+    def trace_spans(self) -> List[Span]:
+        """Finished spans buffered by the deployment's tracer (empty when the
+        spec has no enabled observability section)."""
+        return self.tracer.finished_spans() if self.tracer is not None else []
+
+    def export_traces(self, path_or_file: Any) -> int:
+        """Append buffered spans as JSON lines; returns the count written."""
+        if self.tracer is None:
+            return 0
+        return self.tracer.export_jsonl(path_or_file)
+
     def persist_spec(self) -> str:
         """Store the spec in the deployment's own DB; returns its digest."""
         self._require_open()
@@ -442,6 +473,13 @@ class Deployment:
             }
         if self._runtime is not None:
             snap["serving"] = self._runtime.telemetry_snapshot()
+        if self.tracer is not None:
+            obs = self.spec.observability
+            snap["observability"] = {
+                "sample_rate": self.tracer.sample_rate,
+                "exporters": list(obs.exporters) if obs is not None else [],
+                **self.tracer.stats,
+            }
         if self._continual is not None:
             trigger = self._continual.trigger
             snap["continual"] = {

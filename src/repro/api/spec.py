@@ -59,6 +59,7 @@ __all__ = [
     "ModelSpec",
     "ServingSpec",
     "ContinualSpec",
+    "ObservabilitySpec",
     "SystemSpec",
     "preset",
     "preset_names",
@@ -371,6 +372,61 @@ class ContinualSpec:
         return _from_dict(cls, data)
 
 
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Metrics/tracing plane of a deployment (see :mod:`repro.observability`).
+
+    ``enabled=False`` keeps the deployment completely uninstrumented beyond
+    the always-on telemetry snapshots — no tracer is wired, so the serving
+    hot path takes its zero-overhead branch.
+    """
+
+    enabled: bool = True
+    #: Fraction of request/pipeline roots that get a full trace, in [0, 1].
+    sample_rate: float = 0.1
+    #: Ring-buffer bound on finished spans kept in memory.
+    trace_buffer: int = 4096
+    #: Export surfaces the ``repro observe`` CLI and CI smoke use; the
+    #: deployment itself always exposes ``metrics_text()``/``trace_spans()``.
+    exporters: Tuple[str, ...] = ("prometheus", "jsonl")
+
+    _KNOWN_EXPORTERS = ("prometheus", "jsonl")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigurationError("ObservabilitySpec.enabled must be a boolean")
+        if isinstance(self.sample_rate, bool) \
+                or not isinstance(self.sample_rate, (int, float)) \
+                or not 0.0 <= float(self.sample_rate) <= 1.0:
+            raise ConfigurationError("ObservabilitySpec.sample_rate must be a number in [0, 1]")
+        if not isinstance(self.trace_buffer, int) or isinstance(self.trace_buffer, bool) \
+                or self.trace_buffer < 1:
+            raise ConfigurationError("ObservabilitySpec.trace_buffer must be an integer >= 1")
+        if isinstance(self.exporters, str) or not isinstance(self.exporters, (list, tuple)):
+            raise ConfigurationError("ObservabilitySpec.exporters must be a list of names")
+        unknown = sorted(set(self.exporters) - set(self._KNOWN_EXPORTERS))
+        if unknown:
+            raise ConfigurationError(
+                f"ObservabilitySpec.exporters: unknown exporter(s) {unknown}; "
+                f"available: {list(self._KNOWN_EXPORTERS)}"
+            )
+        if len(set(self.exporters)) != len(tuple(self.exporters)):
+            raise ConfigurationError("ObservabilitySpec.exporters must not repeat names")
+        object.__setattr__(self, "exporters", tuple(self.exporters))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "sample_rate": float(self.sample_rate),
+            "trace_buffer": self.trace_buffer,
+            "exporters": list(self.exporters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ObservabilitySpec":
+        return _from_dict(cls, data)
+
+
 # -- the composed system spec ------------------------------------------------------
 @dataclass(frozen=True)
 class SystemSpec:
@@ -398,6 +454,7 @@ class SystemSpec:
     model: Optional[ModelSpec] = None
     serving: Optional[ServingSpec] = None
     continual: Optional[ContinualSpec] = None
+    observability: Optional[ObservabilitySpec] = None
     #: :class:`repro.core.fairdms.UpdatePolicy` keyword arguments.
     policy: Mapping[str, Any] = field(default_factory=dict)
 
@@ -415,7 +472,8 @@ class SystemSpec:
             if not isinstance(getattr(self, attr), cls):
                 raise ConfigurationError(f"SystemSpec.{attr} must be a {cls.__name__}")
         for attr, cls in (
-            ("model", ModelSpec), ("serving", ServingSpec), ("continual", ContinualSpec)
+            ("model", ModelSpec), ("serving", ServingSpec),
+            ("continual", ContinualSpec), ("observability", ObservabilitySpec),
         ):
             value = getattr(self, attr)
             if value is not None and not isinstance(value, cls):
@@ -450,6 +508,9 @@ class SystemSpec:
             "model": self.model.to_dict() if self.model is not None else None,
             "serving": self.serving.to_dict() if self.serving is not None else None,
             "continual": self.continual.to_dict() if self.continual is not None else None,
+            "observability": (
+                self.observability.to_dict() if self.observability is not None else None
+            ),
             "policy": dict(self.policy),
         }
 
@@ -467,6 +528,7 @@ class SystemSpec:
                 "model": ModelSpec.from_dict,
                 "serving": ServingSpec.from_dict,
                 "continual": ContinualSpec.from_dict,
+                "observability": ObservabilitySpec.from_dict,
             },
         )
 
@@ -615,11 +677,27 @@ def _preset_ann() -> SystemSpec:
     )
 
 
+def _preset_observed() -> SystemSpec:
+    # The ann preset (IVF index: its scan counters populate the
+    # repro_index_* series) with the observability plane switched on at a
+    # sampling rate high enough that smoke bursts always record traces.
+    ann = _preset_ann()
+    return dataclasses.replace(
+        ann,
+        name="observed",
+        observability=ObservabilitySpec(
+            enabled=True, sample_rate=0.25, trace_buffer=4096,
+            exporters=("prometheus", "jsonl"),
+        ),
+    )
+
+
 _PRESETS = {
     "minimal": _preset_minimal,
     "serving": _preset_serving,
     "continual": _preset_continual,
     "ann": _preset_ann,
+    "observed": _preset_observed,
 }
 
 
@@ -636,6 +714,8 @@ def preset(name: str) -> SystemSpec:
     * ``"continual"`` — adds the drift-triggered retrain/promote/hot-swap loop.
     * ``"ann"`` — the data plane with the IVF approximate index and the
       serving runtime, exposing ``n_probe`` as a live knob.
+    * ``"observed"`` — the ``"ann"`` system with the observability plane on
+      (metrics registry + request tracing at a 25% sampling rate).
     """
     try:
         factory = _PRESETS[name]

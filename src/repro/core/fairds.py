@@ -32,6 +32,7 @@ from repro.clustering.kmeans import KMeans
 from repro.core.distribution import DatasetDistribution
 from repro.dataio.sampler import WeightedClusterSampler
 from repro.embedding.base import Embedder
+from repro.observability.tracing import trace_span
 from repro.storage.documentdb import Collection, DocumentDB
 from repro.storage.registry import IndexCapabilities, probe_index_capabilities
 from repro.utils.cache import LRUCache, row_digests
@@ -339,9 +340,11 @@ class FairDS:
         """Batched lookup against any backend: one ``query_batch`` call when
         the backend has it, a per-row ``query`` loop otherwise."""
         assert self._index is not None and self._index_caps is not None
-        if self._index_caps.supports_query_batch:
-            return self._index.query_batch(vectors, k=k)
-        return [self._index.query(row, k=k) for row in np.atleast_2d(vectors)]
+        queries = int(np.atleast_2d(vectors).shape[0])
+        with trace_span("index.scan", backend=self.index_backend, queries=queries, k=k):
+            if self._index_caps.supports_query_batch:
+                return self._index.query_batch(vectors, k=k)
+            return [self._index.query(row, k=k) for row in np.atleast_2d(vectors)]
 
     # -- live index knobs --------------------------------------------------------
     def set_index_n_probe(self, n_probe: int) -> int:

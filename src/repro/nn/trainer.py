@@ -10,6 +10,7 @@ criterion for every strategy so the comparison is fair.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
@@ -20,8 +21,12 @@ from repro.nn.dtype import cast
 from repro.nn.losses import Loss, MSELoss
 from repro.nn.network import Sequential
 from repro.nn.optimizers import Adam, Optimizer
+from repro.observability.metrics import default_registry
 from repro.utils.errors import ConfigurationError, ValidationError
+from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, default_rng
+
+logger = get_logger("repro.nn.trainer")
 
 ArrayPair = Tuple[np.ndarray, np.ndarray]
 BatchIterable = Iterable[ArrayPair]
@@ -235,11 +240,24 @@ class Trainer:
             history.val_loss.append(val_loss)
             history.epoch_time.append(time.perf_counter() - epoch_start)
 
-            if config.verbose:  # pragma: no cover - logging only
-                print(
-                    f"epoch {epoch + 1:3d}/{config.epochs}: "
-                    f"train={history.train_loss[-1]:.5f} val={val_loss:.5f}"
-                )
+            # Same fields reach the metrics registry and (at verbose) the
+            # log stream, so dashboards and console output never disagree.
+            registry = default_registry()
+            registry.counter("repro_train_epochs_total", "Training epochs completed").inc()
+            registry.histogram(
+                "repro_train_epoch_seconds", "Wall-clock duration of one training epoch"
+            ).observe(history.epoch_time[-1])
+            loss_gauge = registry.gauge(
+                "repro_train_loss", "Latest per-epoch training/validation loss", ("split",)
+            )
+            loss_gauge.labels(split="train").set(history.train_loss[-1])
+            loss_gauge.labels(split="val").set(val_loss)
+            logger.log(
+                logging.INFO if config.verbose else logging.DEBUG,
+                "epoch %d/%d: train=%.5f val=%.5f epoch_s=%.3f io_s=%.3f",
+                epoch + 1, config.epochs, history.train_loss[-1], val_loss,
+                history.epoch_time[-1], io_time,
+            )
 
             # Convergence / early-stopping bookkeeping.
             if config.target_loss is not None and val_loss <= config.target_loss:

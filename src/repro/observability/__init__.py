@@ -1,0 +1,78 @@
+"""Unified observability plane: metrics registry, request tracing, exporters.
+
+PRs 2–6 each grew a telemetry island — serving snapshots, trainer histories,
+IVF scan counters, workflow step timings — with no shared vocabulary and no
+way to follow one request across layers.  This package is the substrate they
+all emit into:
+
+* :mod:`repro.observability.metrics` — a thread-safe
+  :class:`~repro.observability.metrics.MetricsRegistry` of ``Counter`` /
+  ``Gauge`` / ``Histogram`` families with label sets; a process-global
+  default (:func:`~repro.observability.metrics.default_registry`) plus
+  injectable instances; Prometheus text exposition via
+  :meth:`~repro.observability.metrics.MetricsRegistry.expose_text`.
+* :mod:`repro.observability.tracing` — :class:`~repro.observability.tracing.Tracer`
+  / :class:`~repro.observability.tracing.Span` with contextvar propagation,
+  deterministic per-trace sampling, a bounded in-memory buffer, and the
+  :func:`~repro.observability.tracing.trace_span` instrumentation point that
+  is a no-op outside a sampled trace.
+* :mod:`repro.observability.exporters` — the strict exposition parser used
+  by the round-trip tests, JSON-lines dumps, and a stdlib HTTP endpoint
+  (``repro observe --http``).
+
+Metric naming scheme (all series the library emits):
+
+====================================  =========  ======================================
+series                                kind       emitted by
+====================================  =========  ======================================
+``repro_requests_total``              counter    serving telemetry (op, status labels)
+``repro_request_latency_seconds``     histogram  serving telemetry (op)
+``repro_batch_size``                  histogram  serving telemetry (op)
+``repro_batch_wait_seconds``          histogram  serving telemetry (op)
+``repro_queue_depth``                 gauge      serving telemetry (op)
+``repro_serving_knob``                gauge      serving telemetry (knob)
+``repro_index_scans_total``           counter    IVF index (queries answered)
+``repro_index_partitions_probed_total``  counter IVF index
+``repro_index_candidates_scanned_total`` counter IVF index
+``repro_train_epochs_total``          counter    nn trainer
+``repro_train_epoch_seconds``         histogram  nn trainer
+``repro_train_loss``                  gauge      nn trainer (split label)
+``repro_pipeline_steps_total``        counter    workflow pipeline (pipeline, status)
+``repro_pipeline_step_seconds``       histogram  workflow pipeline (pipeline, step)
+====================================  =========  ======================================
+"""
+
+from repro.observability.exporters import (
+    ObservabilityHTTPServer,
+    parse_prometheus_text,
+    write_metrics_jsonl,
+    write_metrics_text,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.observability.tracing import Span, Tracer, current_span, trace_span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityHTTPServer",
+    "Span",
+    "Tracer",
+    "current_span",
+    "default_registry",
+    "parse_prometheus_text",
+    "set_default_registry",
+    "trace_span",
+    "write_metrics_jsonl",
+    "write_metrics_text",
+]

@@ -1,0 +1,227 @@
+"""Export surfaces for the observability plane.
+
+Three ways the numbers leave the process:
+
+* **Prometheus text exposition** — :meth:`MetricsRegistry.expose_text`
+  produces it; :func:`parse_prometheus_text` is the matching strict parser
+  (used by the round-trip tests and the CI smoke step, and handy for
+  asserting on scraped output in benchmarks);
+* **JSON lines** — :func:`write_metrics_jsonl` (one metric sample per line)
+  and :meth:`~repro.observability.tracing.Tracer.export_jsonl` (one span per
+  line) for offline analysis;
+* **HTTP** — :class:`ObservabilityHTTPServer`, a stdlib-only exposition
+  endpoint serving ``/metrics`` (Prometheus text) and ``/traces`` (span
+  JSON lines) so a running deployment can be scraped; this is what
+  ``repro observe --http`` stands up.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
+from repro.utils.errors import ValidationError
+from repro.utils.logging import get_logger
+
+logger = get_logger("repro.observability.exporters")
+
+__all__ = [
+    "parse_prometheus_text",
+    "write_metrics_jsonl",
+    "write_metrics_text",
+    "ObservabilityHTTPServer",
+]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace(r"\"", '"').replace(r"\n", "\n").replace(r"\\", "\\")
+
+
+def _parse_value(raw: str, line: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValidationError(f"unparseable sample value {raw!r} in line {line!r}") from None
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs, so the result is
+    directly comparable/hashable.  Histogram families appear as their
+    constituent ``_bucket`` / ``_sum`` / ``_count`` series, exactly as
+    exposed.  Raises :class:`~repro.utils.errors.ValidationError` on any
+    malformed line — this parser is the round-trip check on
+    :meth:`~repro.observability.metrics.MetricsRegistry.expose_text`, so it
+    is strict on purpose.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValidationError(f"unparseable exposition line {line!r}")
+        label_text = match.group("labels")
+        labels: Dict[str, str] = {}
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(label_text):
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+                consumed += pair.end() - pair.start()
+            leftovers = re.sub(r"[,\s]", "", _LABEL_PAIR_RE.sub("", label_text))
+            if leftovers:
+                raise ValidationError(f"unparseable label text {label_text!r} in {line!r}")
+        key = (match.group("name"), tuple(sorted(labels.items())))
+        samples[key] = _parse_value(match.group("value"), line)
+    return samples
+
+
+def series_names(samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]) -> set:
+    """The distinct metric names in a parsed exposition."""
+    return {name for name, _ in samples}
+
+
+def write_metrics_text(registry: MetricsRegistry, path_or_file: Any) -> str:
+    """Dump the registry's Prometheus exposition to a path or open file;
+    returns the text written."""
+    text = registry.expose_text()
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(text)
+    return text
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path_or_file: Any) -> int:
+    """One JSON object per metric series (counters/gauges: value; histograms:
+    buckets/sum/count); returns the number of lines written."""
+    lines = []
+    for name, family in registry.as_dict().items():
+        for label_suffix, value in family["series"].items():
+            lines.append(json.dumps({
+                "metric": name,
+                "kind": family["kind"],
+                "labels": label_suffix,
+                "value": value,
+            }, default=str))
+    payload = "".join(line + "\n" for line in lines)
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(payload)
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(payload)
+    return len(lines)
+
+
+class ObservabilityHTTPServer:
+    """A stdlib HTTP endpoint exposing live metrics and recent traces.
+
+    ``GET /metrics`` returns the registry's Prometheus text exposition;
+    ``GET /traces`` the tracer's buffered spans as JSON lines (empty when no
+    tracer was given).  Start/stop explicitly or use as a context manager::
+
+        with ObservabilityHTTPServer(registry, tracer) as server:
+            print(server.url)          # http://127.0.0.1:<port>/metrics
+            ...
+
+    Binding port 0 (the default) picks a free ephemeral port — read it back
+    from :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Optional[Tracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.tracer = tracer
+        self._host = host
+        self._requested_port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "ObservabilityHTTPServer":
+        registry, tracer = self.registry, self.tracer
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path in ("", "/metrics"):
+                    body = registry.expose_text().encode()
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/traces":
+                    spans = tracer.finished_spans() if tracer is not None else []
+                    body = "".join(
+                        json.dumps(s.to_dict(), default=str) + "\n" for s in spans
+                    ).encode()
+                    content_type = "application/jsonl; charset=utf-8"
+                else:
+                    self.send_error(404, "unknown path; try /metrics or /traces")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: Any) -> None:  # pragma: no cover
+                logger.debug("observability http: " + fmt, *args)
+
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="observability-http", daemon=True
+        )
+        self._thread.start()
+        logger.info("observability endpoint listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}/metrics"
+
+    def __enter__(self) -> "ObservabilityHTTPServer":
+        if self._httpd is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -73,6 +73,9 @@ class Request:
     future: Future = field(default_factory=Future)
     seq: int = -1  # per-op admission sequence, assigned by the batcher
     admitted_at: float = 0.0  # time.monotonic() at admission
+    #: Root span of this request's trace when it was sampled (a
+    #: :class:`~repro.observability.tracing.Span`), else ``None``.
+    trace: Optional[Any] = None
 
 
 class MicroBatcher:

@@ -25,6 +25,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, List, Sequence
 
+from repro.observability.tracing import trace_span
 from repro.utils.logging import get_logger
 
 logger = get_logger("repro.serving.hot_swap")
@@ -119,7 +120,8 @@ def versioned_handler(
 
     def handler(payloads: List[Any]) -> List[VersionedResult]:
         snapshot = handle.get()
-        values = batch_fn(snapshot.model, list(payloads))
+        with trace_span("model.predict", version=snapshot.version, batch=len(payloads)):
+            values = batch_fn(snapshot.model, list(payloads))
         return [VersionedResult(snapshot.version, value) for value in values]
 
     return handler

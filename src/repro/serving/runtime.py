@@ -36,6 +36,7 @@ from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.monitoring.triggers import ArrivalOrderFeed
+from repro.observability.tracing import Span, Tracer
 from repro.serving.batcher import BatchingPolicy, MicroBatcher, Request
 from repro.serving.telemetry import ServingTelemetry
 from repro.utils.errors import ConfigurationError, ServiceClosedError, ServingError
@@ -75,6 +76,17 @@ class ServingRuntime:
         arrival order (consecutive runs, each list non-empty) — e.g. a
         certainty trigger's ``observe_many``.  Results of failed requests are
         skipped without stalling the stream.
+    tracer:
+        A :class:`~repro.observability.tracing.Tracer` to sample request
+        traces into.  ``None`` (the default) disables tracing entirely — the
+        hot path takes zero extra branches beyond one ``is None`` check per
+        submit, which is what keeps the disabled-path overhead negligible.
+        When set, each sampled request's trace carries the spans
+        ``serving.admission`` (admission → flush), ``serving.flush`` (flush
+        → execution start), ``serving.batch`` (handler execution, with the
+        handler's own ``trace_span`` instrumentation — index scans, model
+        predicts — grafted underneath), and ``serving.completion``
+        (execution end → futures resolved).
     """
 
     def __init__(
@@ -84,6 +96,7 @@ class ServingRuntime:
         num_workers: int = 2,
         telemetry: Optional[ServingTelemetry] = None,
         observers: Optional[Dict[str, Callable[[List[Any]], Any]]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not handlers:
             raise ConfigurationError("at least one operation handler is required")
@@ -94,6 +107,7 @@ class ServingRuntime:
             raise ConfigurationError(f"observers for unknown operations: {sorted(unknown)}")
         self.policy = policy or BatchingPolicy()
         self.telemetry = telemetry or ServingTelemetry()
+        self.tracer = tracer
         self._handlers = dict(handlers)
         self._ops = sorted(self._handlers)
         self._batchers = {op: MicroBatcher(self.policy) for op in self._ops}
@@ -190,13 +204,22 @@ class ServingRuntime:
         if not self._started or self._closed:
             raise ServiceClosedError("serving runtime is not accepting requests")
         request = Request(op=op, payload=payload)
+        if self.tracer is not None:
+            # None when this root lost the sampling draw — the request then
+            # travels with no tracing state at all.
+            request.trace = self.tracer.start_trace("serving.request", op=op)
         try:
             depth = self._batchers[op].submit(request)
         except ServingError as exc:
             if not isinstance(exc, ServiceClosedError):
                 self.telemetry.record_rejection(op)
+            if request.trace is not None:
+                request.trace.set_attribute("rejected", True)
+                self.tracer.end(request.trace, status="error")
             raise
         self.telemetry.record_admission(op, depth)
+        if request.trace is not None:
+            request.trace.set_attribute("queue_depth", depth)
         return request.future
 
     def call(self, op: str, payload: Any, timeout: Optional[float] = None) -> Any:
@@ -339,22 +362,34 @@ class ServingRuntime:
             batch = batcher.next_batch()
             if batch is None:
                 return
-            self.telemetry.record_batch(
-                op, len(batch), time.monotonic() - batch[0].admitted_at
-            )
-            self._batch_queue.put((op, batch))
+            flushed_at = time.monotonic()
+            self.telemetry.record_batch(op, len(batch), flushed_at - batch[0].admitted_at)
+            self._batch_queue.put((op, batch, flushed_at))
 
     def _work_loop(self, worker_id: int) -> None:
-        for op, batch in self._batch_queue:
-            self._execute(op, batch)
+        for op, batch, flushed_at in self._batch_queue:
+            self._execute(op, batch, flushed_at)
 
-    def _execute(self, op: str, batch: List[Request]) -> None:
+    def _execute(self, op: str, batch: List[Request], flushed_at: float) -> None:
         feed = self._feeds.get(op)
         # Snapshot the handler once: a concurrent swap_handler() can never
         # split one batch across two handlers.
         handler = self._handlers[op]
+        # A batch mixes sampled and unsampled requests; the handler runs once,
+        # under a capture root, and the captured span tree (index scans, model
+        # predicts) is grafted into every sampled request's trace afterwards.
+        traced = (
+            [request for request in batch if request.trace is not None]
+            if self.tracer is not None else []
+        )
+        captured = None
+        exec_start = time.monotonic()
         try:
-            results = handler([request.payload for request in batch])
+            if traced:
+                with self.tracer.capture(f"batch.{op}") as captured:
+                    results = handler([request.payload for request in batch])
+            else:
+                results = handler([request.payload for request in batch])
             if results is None or len(results) != len(batch):
                 got = "None" if results is None else str(len(results))
                 raise ServingError(
@@ -372,6 +407,9 @@ class ServingRuntime:
             now = time.monotonic()
             self.telemetry.record_completions(
                 op, [now - request.admitted_at for request in batch], failed=True
+            )
+            self._finish_traces(
+                traced, len(batch), flushed_at, exec_start, captured, failed=True
             )
             self._note_completed(len(batch))
             return
@@ -391,7 +429,45 @@ class ServingRuntime:
         self.telemetry.record_completions(
             op, [now - request.admitted_at for request in batch]
         )
+        self._finish_traces(traced, len(batch), flushed_at, exec_start, captured)
         self._note_completed(len(batch))
+
+    def _finish_traces(
+        self,
+        traced: List[Request],
+        batch_size: int,
+        flushed_at: float,
+        exec_start: float,
+        captured: Optional[Any],
+        failed: bool = False,
+    ) -> None:
+        """Materialise each sampled request's span tree from the batch's
+        lifecycle timestamps: admission wait, flush-to-pickup wait, handler
+        execution (with the captured handler-internal spans grafted under
+        it), and future resolution."""
+        if not traced:
+            return
+        tracer = self.tracer
+        resolved_at = time.monotonic()
+        status = "error" if failed else "ok"
+        for request in traced:
+            root: Span = request.trace
+            tracer.record_span(
+                "serving.admission", root, request.admitted_at, flushed_at
+            )
+            tracer.record_span(
+                "serving.flush", root, flushed_at, exec_start, batch_size=batch_size
+            )
+            batch_span = tracer.record_span(
+                "serving.batch", root, exec_start, resolved_at,
+                status=status, batch_size=batch_size,
+            )
+            if captured is not None:
+                tracer.graft(captured, batch_span)
+            tracer.record_span(
+                "serving.completion", root, resolved_at, time.monotonic()
+            )
+            tracer.end(root, status=status)
 
     def _note_completed(self, n: int) -> None:
         with self._quiesce:

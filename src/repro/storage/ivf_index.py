@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.observability.metrics import default_registry
 from repro.storage.codecs import ProductQuantizer
 from repro.storage.vector_index import QueryResult, VectorIndex
 from repro.utils.errors import ConfigurationError, StorageError, ValidationError
@@ -213,6 +214,21 @@ class IVFVectorIndex:
             "reranked": 0,
             "flat_queries": 0,
         }
+        # Cumulative scan effort also lands in the process-global metrics
+        # registry (get-or-create: every IVF instance shares the series), so
+        # a Prometheus scrape sees index load next to serving load.
+        registry = default_registry()
+        self._m_scans = registry.counter(
+            "repro_index_scans_total", "ANN index queries answered"
+        )
+        self._m_partitions = registry.counter(
+            "repro_index_partitions_probed_total",
+            "Inverted lists scanned across all ANN queries",
+        )
+        self._m_candidates = registry.counter(
+            "repro_index_candidates_scanned_total",
+            "Candidate vectors distance-checked across all ANN queries",
+        )
 
     # -- introspection -----------------------------------------------------------
     def __len__(self) -> int:
@@ -275,6 +291,9 @@ class IVFVectorIndex:
             self._stats["candidates_scanned"] += candidates
             self._stats["reranked"] += reranked
             self._stats["flat_queries"] += flat
+        self._m_scans.inc(queries)
+        self._m_partitions.inc(partitions)
+        self._m_candidates.inc(candidates)
 
     # -- writes ------------------------------------------------------------------
     def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.fairdms import FairDMS
 from repro.monitoring.triggers import ThresholdTrigger
+from repro.observability.tracing import Tracer
 from repro.serving.batcher import BatchingPolicy
 from repro.serving.hot_swap import ModelHandle, versioned_handler
 from repro.serving.runtime import ServingRuntime
@@ -126,6 +127,7 @@ class ContinualLearningPipeline:
         max_workers: int = 2,
         step_retries: int = 0,
         step_timeout_s: Optional[float] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if gate_factor <= 0:
             raise ConfigurationError("gate_factor must be positive")
@@ -143,6 +145,9 @@ class ContinualLearningPipeline:
         self.max_workers = int(max_workers)
         self.step_retries = int(step_retries)
         self.step_timeout_s = step_timeout_s
+        #: Forwarded into every cycle's :class:`Pipeline`, so each retraining
+        #: cycle becomes one sampled ``pipeline.run`` trace with per-step spans.
+        self.tracer = tracer
 
     # -- bootstrap helpers --------------------------------------------------------
     @staticmethod
@@ -202,7 +207,8 @@ class ContinualLearningPipeline:
         """
         scan = np.asarray(scan)
         pipeline = Pipeline(
-            PIPELINE_NAME, max_workers=self.max_workers, checkpoints=self.checkpoints
+            PIPELINE_NAME, max_workers=self.max_workers,
+            checkpoints=self.checkpoints, tracer=self.tracer,
         )
         common = dict(retries=self.step_retries, timeout_s=self.step_timeout_s)
         # monitor mutates the stateful trigger, so like refresh/promote below

@@ -43,6 +43,8 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.observability.metrics import default_registry
+from repro.observability.tracing import Span, Tracer
 from repro.storage.documentdb import Collection, DocumentDB
 from repro.utils.errors import ConfigurationError, StepTimeoutError
 from repro.utils.logging import get_logger
@@ -199,6 +201,7 @@ class Pipeline:
         steps: Optional[Sequence[PipelineStep]] = None,
         max_workers: int = 4,
         checkpoints: Optional[CheckpointStore] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not name:
             raise ConfigurationError("pipeline must have a name")
@@ -208,6 +211,10 @@ class Pipeline:
         self.steps: List[PipelineStep] = list(steps or [])
         self.max_workers = int(max_workers)
         self.checkpoints = checkpoints
+        #: Optional tracer: each (sampled) run gets a ``pipeline.run`` root
+        #: span with one ``pipeline.step.<name>`` child per executed step;
+        #: steps' own ``trace_span`` instrumentation nests underneath.
+        self.tracer = tracer
 
     # -- construction ------------------------------------------------------------
     def add_step(
@@ -374,12 +381,35 @@ class Pipeline:
             logger.info("pipeline %r run %r: resumed %d/%d steps from checkpoints",
                         self.name, run_id, len(resumed), len(order))
 
+        trace_root: Optional[Span] = None
+        if self.tracer is not None:
+            trace_root = self.tracer.start_trace(
+                "pipeline.run", pipeline=self.name,
+                run_id=run_id if run_id is not None else "",
+                steps=len(order), resumed=len(resumed),
+            )
+        registry = default_registry()
+        m_steps = registry.counter(
+            "repro_pipeline_steps_total",
+            "Workflow pipeline steps by terminal status",
+            ("pipeline", "status"),
+        )
+        m_step_seconds = registry.histogram(
+            "repro_pipeline_step_seconds",
+            "Wall-clock duration of executed workflow pipeline steps",
+            ("pipeline", "step"),
+        )
+
         def handle_completion(name: str, outcome: Tuple) -> List[str]:
             """Record one step's outcome; returns newly ready step names."""
             step = by_name[name]
             value, attempts, elapsed, error = outcome
             result.step_attempts[name] = attempts
             result.step_times[name] = elapsed
+            m_steps.labels(
+                pipeline=self.name, status=FAILED if error is not None else COMPLETED
+            ).inc()
+            m_step_seconds.labels(pipeline=self.name, step=name).observe(elapsed)
             if error is not None:
                 result.statuses[name] = FAILED
                 result.errors[name] = error
@@ -391,6 +421,7 @@ class Pipeline:
                     child = stack.pop()
                     if result.statuses[child] == PENDING:
                         result.statuses[child] = SKIPPED
+                        m_steps.labels(pipeline=self.name, status=SKIPPED).inc()
                         stack.extend(dependents[child])
                 return []
             result.statuses[name] = COMPLETED
@@ -422,37 +453,49 @@ class Pipeline:
 
         initial_ready = [name for name in order
                          if name not in resumed and not deps_left[name]]
-        if self.max_workers == 1:
-            # Serial pipelines (incl. every legacy Flow) execute on the
-            # calling thread: no pool hand-off, and Ctrl-C lands directly in
-            # the running step instead of blocking on a pool shutdown.
-            queue: List[str] = list(initial_ready)
-            while queue:
-                name = queue.pop(0)
-                result.statuses[name] = RUNNING
-                queue.extend(handle_completion(name, self._run_step(by_name[name], context)))
-        else:
-            futures: Dict[Future, str] = {}
-            pool = ThreadPoolExecutor(
-                max_workers=self.max_workers, thread_name_prefix=f"pipeline-{self.name}"
-            )
-            try:
-                for name in initial_ready:
+        try:
+            if self.max_workers == 1:
+                # Serial pipelines (incl. every legacy Flow) execute on the
+                # calling thread: no pool hand-off, and Ctrl-C lands directly in
+                # the running step instead of blocking on a pool shutdown.
+                queue: List[str] = list(initial_ready)
+                while queue:
+                    name = queue.pop(0)
                     result.statuses[name] = RUNNING
-                    futures[pool.submit(self._run_step, by_name[name], context)] = name
-                while futures:
-                    done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        name = futures.pop(fut)
-                        for child in handle_completion(name, fut.result()):
-                            result.statuses[child] = RUNNING
-                            futures[pool.submit(self._run_step, by_name[child], context)] = child
-                pool.shutdown(wait=True)
-            except BaseException:
-                # Best effort on interrupt: stop feeding work and don't block
-                # on steps already running (they cannot be killed).
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+                    queue.extend(handle_completion(
+                        name, self._run_step(by_name[name], context, trace_root)
+                    ))
+            else:
+                futures: Dict[Future, str] = {}
+                pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers, thread_name_prefix=f"pipeline-{self.name}"
+                )
+                try:
+                    for name in initial_ready:
+                        result.statuses[name] = RUNNING
+                        futures[pool.submit(
+                            self._run_step, by_name[name], context, trace_root
+                        )] = name
+                    while futures:
+                        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                        for fut in done:
+                            name = futures.pop(fut)
+                            for child in handle_completion(name, fut.result()):
+                                result.statuses[child] = RUNNING
+                                futures[pool.submit(
+                                    self._run_step, by_name[child], context, trace_root
+                                )] = child
+                    pool.shutdown(wait=True)
+                except BaseException:
+                    # Best effort on interrupt: stop feeding work and don't block
+                    # on steps already running (they cannot be killed).
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        finally:
+            if trace_root is not None:
+                self.tracer.end(
+                    trace_root, status="ok" if result.succeeded else "error"
+                )
 
         if raise_on_error and result.failed_steps:
             raise result.errors[result.failed_steps[0]]
@@ -460,22 +503,42 @@ class Pipeline:
 
     # -- one step ----------------------------------------------------------------
     def _run_step(
-        self, step: PipelineStep, context: Dict[str, Any]
+        self, step: PipelineStep, context: Dict[str, Any],
+        trace_root: Optional[Span] = None,
     ) -> Tuple[Any, int, float, Optional[BaseException]]:
         """Run one step with retries; never raises for ordinary exceptions.
 
         ``KeyboardInterrupt``/``SystemExit`` are *not* absorbed — they
         propagate through the future into the orchestrating thread.
+
+        With a sampled ``trace_root``, the whole step (all attempts) runs
+        under a ``pipeline.step.<name>`` span activated on this worker
+        thread, so the step body's own ``trace_span`` calls nest under it.
         """
+        span = None
+        if trace_root is not None:
+            span = self.tracer.start_span(
+                f"pipeline.step.{step.name}", trace_root, step=step.name
+            )
         start = time.perf_counter()
         attempts = 0
         while True:
             attempts += 1
             try:
-                value = self._attempt(step, context)
+                if span is not None:
+                    with self.tracer.activate(span):
+                        value = self._attempt(step, context)
+                else:
+                    value = self._attempt(step, context)
+                if span is not None:
+                    span.set_attribute("attempts", attempts)
+                    self.tracer.end(span)
                 return value, attempts, time.perf_counter() - start, None
             except Exception as exc:
                 if attempts > step.retries:
+                    if span is not None:
+                        span.set_attribute("attempts", attempts)
+                        self.tracer.end(span, status="error")
                     return None, attempts, time.perf_counter() - start, exc
                 if step.retry_delay_s > 0:
                     time.sleep(step.retry_delay_s)

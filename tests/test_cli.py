@@ -121,3 +121,38 @@ def test_serve_minimal_spec_serves_certainty(specs_dir, capsys):
     out = capsys.readouterr().out
     assert "'predict'" not in out
     assert "served 8 requests" in out
+
+
+def test_observe_writes_parseable_metrics_and_traces(tmp_path, capsys):
+    from repro.observability.exporters import parse_prometheus_text, series_names
+
+    spec_path = preset("observed").save(tmp_path / "observed.json")
+    metrics_out = tmp_path / "metrics.txt"
+    traces_out = tmp_path / "traces.jsonl"
+    assert main(["observe", str(spec_path), "--requests", "16", "--peaks", "40",
+                 "--metrics-out", str(metrics_out),
+                 "--traces-out", str(traces_out)]) == 0
+    out = capsys.readouterr().out
+    assert "traces sampled" in out and "served 16 requests" in out
+
+    # The CI smoke assertion: the scrape is parseable and the core series
+    # of the naming scheme are all present.
+    names = series_names(parse_prometheus_text(metrics_out.read_text()))
+    assert "repro_requests_total" in names
+    assert "repro_batch_size_count" in names
+    assert "repro_index_scans_total" in names
+
+    spans = [json.loads(line) for line in traces_out.read_text().splitlines()]
+    assert spans, "no spans exported"
+    by_name = {s["name"] for s in spans}
+    assert {"serving.request", "serving.admission", "serving.flush",
+            "serving.batch", "serving.completion", "index.scan"} <= by_name
+
+
+def test_observe_auto_enables_instrumentation_on_unobserved_specs(tmp_path, capsys):
+    spec_path = preset("ann").save(tmp_path / "ann.json")
+    assert main(["observe", str(spec_path), "--requests", "8", "--peaks", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "sample_rate=1.0" in out       # full sampling switched on
+    assert "8/8 traces sampled" in out    # ...and every root really sampled
+    assert "repro_requests_total" in out  # exposition printed to stdout

@@ -490,3 +490,80 @@ def test_telemetry_snapshot_convenience_and_activity_serving_stats():
         assert summary["system:certainty_batch"] >= 1
         # ...and the serving fold-in can be switched off.
         assert "serving:certainty" not in service.activity_summary(include_serving=False)
+
+
+# -- telemetry: per-op attribution, percentiles, restart window ----------------
+def _telemetry():
+    from repro.observability.metrics import MetricsRegistry
+    from repro.serving.telemetry import ServingTelemetry
+
+    return ServingTelemetry(registry=MetricsRegistry())
+
+
+def test_record_batch_attributes_to_its_operation():
+    """Regression: record_batch used to ignore its ``op`` argument and blend
+    every operation's batch-size distribution into one histogram."""
+    tel = _telemetry()
+    tel.record_batch("a", 4, 0.010)
+    tel.record_batch("a", 2, 0.002)
+    tel.record_batch("b", 8, 0.004)
+    snap = tel.snapshot()
+    assert snap["per_op"]["a"]["batch_size"]["batches"] == 2
+    assert snap["per_op"]["a"]["batch_size"]["mean"] == 3.0
+    assert snap["per_op"]["a"]["batch_size"]["max"] == 4
+    assert snap["per_op"]["a"]["batch_size"]["histogram"] == {2: 1, 4: 1}
+    assert snap["per_op"]["b"]["batch_size"]["max"] == 8
+    assert snap["per_op"]["b"]["batch_size"]["max_wait_ms"] == pytest.approx(4.0)
+    # The top-level section still aggregates across operations.
+    assert snap["batch_size"]["batches"] == 3 and snap["batch_size"]["max"] == 8
+    # And the shared registry got one histogram series per op.
+    hist = tel.registry.get("repro_batch_size")
+    assert hist.labels(op="a").value["count"] == 2
+    assert hist.labels(op="b").value["count"] == 1
+
+
+def test_per_op_latency_percentiles_in_snapshot():
+    tel = _telemetry()
+    tel.record_completions("fast", [0.001] * 40)
+    tel.record_completions("slow", [0.100] * 40)
+    snap = tel.snapshot()
+    fast, slow = snap["per_op"]["fast"]["latency_ms"], snap["per_op"]["slow"]["latency_ms"]
+    assert fast["count"] == slow["count"] == 40
+    for q in ("p50_ms", "p95_ms", "p99_ms"):
+        assert fast[q] == pytest.approx(1.0, rel=0.2)
+        assert slow[q] == pytest.approx(100.0, rel=0.2)
+    # The blended global summary sits between the two ops.
+    assert fast["p95_ms"] < snap["latency_ms"]["p95_ms"] <= slow["p95_ms"]
+
+
+def test_mark_started_after_restart_resets_the_window():
+    """Regression: re-using one telemetry object across a runtime restart kept
+    the stale counters, so throughput_rps divided old completions by the new
+    uptime.  mark_started() now restarts a zeroed window."""
+    tel = _telemetry()
+    tel.mark_started()
+    tel.record_admission("op", depth=1)
+    tel.record_completion("op", 0.01)
+    tel.record_batch("op", 1, 0.0)
+    tel.mark_stopped()
+    assert tel.snapshot()["completed"] == 1
+
+    tel.mark_started()  # the restart
+    snap = tel.snapshot()
+    assert snap["accepted"] == snap["completed"] == 0
+    assert snap["per_op"] == {} and snap["batch_size"]["batches"] == 0
+    assert snap["latency_ms"]["count"] == 0
+    assert snap["throughput_rps"] == 0.0
+    # The shared registry is cumulative by contract: restart does not zero it.
+    req = tel.registry.get("repro_requests_total")
+    assert req.labels(op="op", status="completed").value == 1.0
+
+
+def test_reset_zeroes_the_window_explicitly():
+    tel = _telemetry()
+    tel.mark_started()
+    tel.record_rejection("op")
+    tel.record_knob("n_probe", 4)
+    tel.reset()
+    snap = tel.snapshot()
+    assert snap["rejected"] == 0 and snap["knobs"] == {} and snap["uptime_s"] == 0.0

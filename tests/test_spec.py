@@ -235,7 +235,7 @@ def test_persist_and_load_by_digest_survive_save_load(tmp_path):
 # Presets and shipped spec files
 # ---------------------------------------------------------------------------------
 def test_preset_names_and_unknown_preset():
-    assert preset_names() == ["ann", "continual", "minimal", "serving"]
+    assert preset_names() == ["ann", "continual", "minimal", "observed", "serving"]
     with pytest.raises(ConfigurationError, match="unknown preset"):
         preset("turbo")
 
@@ -250,7 +250,7 @@ def test_presets_compose_incrementally():
     assert {p.split(".")[0] for p in serving.diff(continual)} == {"name", "continual"}
 
 
-@pytest.mark.parametrize("name", ["minimal", "serving", "continual", "ann"])
+@pytest.mark.parametrize("name", ["minimal", "serving", "continual", "ann", "observed"])
 def test_shipped_spec_files_match_presets(name):
     """examples/specs/*.json are the presets, verbatim (same content digest)."""
     shipped = SystemSpec.load(REPO_ROOT / "examples" / "specs" / f"{name}.json")
