@@ -57,7 +57,9 @@ def write_bench_json(
     friends); ``params`` the knobs that produced them (store size, client
     count, policy).  Files land in ``$BENCH_RESULTS_DIR`` when set, else the
     current working directory, and are overwritten per run — CI uploads them
-    as workflow artifacts.
+    as workflow artifacts.  Every result is also mirrored to the repository
+    root, so the perf trajectory lives in one canonical place regardless of
+    where a bench was launched from.
     """
     directory_path = Path(directory or os.environ.get("BENCH_RESULTS_DIR", "."))
     directory_path.mkdir(parents=True, exist_ok=True)
@@ -68,8 +70,14 @@ def write_bench_json(
         "metrics": dict(metrics),
         "params": dict(params or {}),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n")
+    text = json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
+    path.write_text(text)
     print(f"[bench] wrote {path}")
+    repo_root = Path(__file__).resolve().parent.parent
+    mirror = repo_root / path.name
+    if mirror.resolve() != path.resolve():
+        mirror.write_text(text)
+        print(f"[bench] mirrored {mirror}")
     return path
 
 

@@ -80,6 +80,10 @@ class Deployment:
                 "(no .collection()); the system store must provide collections"
             )
         embedder = create_component("embedder", spec.embedder.name, **spec.embedder.params)
+        # The compute plane: one executor instance shared by training, MC
+        # probes, and batched embedding.  Lazy (workers spawn on first use),
+        # so a spec without parallel work costs nothing.
+        self.executor = spec.executor.build() if spec.executor is not None else None
         index_params = dict(spec.index.params)
         if spec.index.n_probe is not None:
             index_params["n_probe"] = spec.index.n_probe
@@ -95,6 +99,7 @@ class Deployment:
             clustering_params=dict(spec.clustering.params),
             index_backend=spec.index.backend,
             index_params=index_params,
+            executor=self.executor,
         )
         self.dms: Optional[FairDMS] = None
         if spec.model is not None:
@@ -104,6 +109,7 @@ class Deployment:
                 training_config=TrainingConfig(**{"seed": spec.seed, **spec.model.training}),
                 policy=UpdatePolicy(**spec.policy),
                 seed=spec.seed,
+                executor=self.executor,
             )
         self._service: Optional[FairDMSService] = None
         self._runtime: Optional[ServingRuntime] = None
@@ -473,6 +479,8 @@ class Deployment:
             }
         if self._runtime is not None:
             snap["serving"] = self._runtime.telemetry_snapshot()
+        if self.executor is not None:
+            snap["executor"] = self.executor.stats
         if self.tracer is not None:
             obs = self.spec.observability
             snap["observability"] = {
@@ -500,6 +508,8 @@ class Deployment:
             self._runtime.shutdown()
         if self._service is not None:
             self._service.shutdown()
+        if self.executor is not None:
+            self.executor.close()
 
     def __enter__(self) -> "Deployment":
         self._require_open()

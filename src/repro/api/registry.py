@@ -13,10 +13,11 @@ embedder   ``pca``, ``autoencoder``, ``contrastive``,     :mod:`repro.embedding`
            ``byol``
 clustering ``kmeans``                                     :mod:`repro.clustering`
 storage    ``documentdb``, ``file``                       :mod:`repro.storage`
-index      ``flat``, ``clustered``, ``ivf``               :mod:`repro.storage`
+index      ``flat``, ``clustered``, ``ivf``, ``mmap``     :mod:`repro.storage`
 model      ``braggnn``, ``cookienetae``, ``tomogan``      :mod:`repro.models`
 trigger    ``threshold``, ``certainty``                   :mod:`repro.monitoring`
 policy     ``batching``, ``update``                       serving / core
+executor   ``inline``, ``thread``, ``process``            :mod:`repro.compute`
 ========== ============================================== =======================
 
     >>> from repro.api.registry import create_component
@@ -55,6 +56,7 @@ COMPONENT_KINDS: Tuple[str, ...] = (
     "model",
     "trigger",
     "policy",
+    "executor",
 )
 
 #: Guards mutations of the component table only — never held across imports.
@@ -145,7 +147,7 @@ def _load_builtins() -> None:
     from repro.storage.documentdb import DocumentDB, NetworkModel
     from repro.storage.file_store import FileStore
     from repro.storage.ivf_index import IVFVectorIndex
-    from repro.storage.vector_index import ClusteredVectorIndex, VectorIndex
+    from repro.storage.vector_index import ClusteredVectorIndex, VectorIndex, open_mmap
 
     def _make_documentdb(codec=None, network=None, **kwargs: Any) -> DocumentDB:
         """DocumentDB factory accepting codec names and network-model dicts."""
@@ -160,6 +162,7 @@ def _load_builtins() -> None:
     _builtin("index", "flat", VectorIndex)
     _builtin("index", "clustered", ClusteredVectorIndex)
     _builtin("index", "ivf", IVFVectorIndex)
+    _builtin("index", "mmap", open_mmap)
 
     from repro.models import build_braggnn, build_cookienetae, build_tomogan_denoiser
 
@@ -177,6 +180,13 @@ def _load_builtins() -> None:
 
     _builtin("policy", "batching", BatchingPolicy)
     _builtin("policy", "update", UpdatePolicy)
+
+    from repro.compute.executor import InlineExecutor, ThreadExecutor
+    from repro.compute.process import ProcessExecutor
+
+    _builtin("executor", "inline", InlineExecutor)
+    _builtin("executor", "thread", ThreadExecutor)
+    _builtin("executor", "process", ProcessExecutor)
 
 
 def _register_direct(kind: str, name: str, factory: Callable[..., Any]) -> None:

@@ -29,7 +29,8 @@ Named presets (:func:`preset`) describe the canonical configurations —
 ``"minimal"`` (data plane only), ``"serving"`` (adds a model and the
 micro-batching runtime), ``"continual"`` (adds the drift-triggered retraining
 loop), ``"ann"`` (the data plane with the IVF approximate index and a live
-``n_probe`` serving knob) — and are shipped verbatim as
+``n_probe`` serving knob), ``"parallel"`` (the continual loop on the
+process compute plane) — and are shipped verbatim as
 ``examples/specs/*.json``.
 """
 
@@ -60,6 +61,7 @@ __all__ = [
     "ServingSpec",
     "ContinualSpec",
     "ObservabilitySpec",
+    "ExecutorSpec",
     "SystemSpec",
     "preset",
     "preset_names",
@@ -427,6 +429,55 @@ class ObservabilitySpec:
         return _from_dict(cls, data)
 
 
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Compute-plane backend for data-parallel training, MC-dropout probes,
+    and peak fitting (see :mod:`repro.compute`).
+
+    ``kind`` is a registry name — ``"inline"`` (serial, the behaviour of a
+    spec without an executor section), ``"thread"``, or ``"process"`` (the
+    GIL-escaping backend with shared-memory array handoff).  Construction is
+    lazy: validating a spec never spawns worker processes.
+    """
+
+    kind: str = "inline"
+    workers: int = 1
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _frozen_params(self)
+        _check_registered("executor", self.kind, "ExecutorSpec")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                or self.workers < 1:
+            raise ConfigurationError("ExecutorSpec.workers must be an integer >= 1")
+        if "max_workers" in self.params:
+            raise ConfigurationError(
+                "ExecutorSpec.params must not contain 'max_workers'; use the workers field"
+            )
+        trial = _trial_construct(
+            "ExecutorSpec", create_component, "executor", self.kind,
+            max_workers=self.workers, **self.params,
+        )
+        # Executors start lazily, so the trial spawned nothing — but close it
+        # anyway in case a custom registered backend allocates eagerly.
+        close = getattr(trial, "close", None)
+        if callable(close):
+            close()
+
+    def build(self):
+        """Construct the configured executor (workers spawn on first use)."""
+        return create_component(
+            "executor", self.kind, max_workers=self.workers, **self.params
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutorSpec":
+        return _from_dict(cls, data)
+
+
 # -- the composed system spec ------------------------------------------------------
 @dataclass(frozen=True)
 class SystemSpec:
@@ -455,6 +506,8 @@ class SystemSpec:
     serving: Optional[ServingSpec] = None
     continual: Optional[ContinualSpec] = None
     observability: Optional[ObservabilitySpec] = None
+    #: Compute-plane backend; ``None`` behaves exactly like ``kind="inline"``.
+    executor: Optional[ExecutorSpec] = None
     #: :class:`repro.core.fairdms.UpdatePolicy` keyword arguments.
     policy: Mapping[str, Any] = field(default_factory=dict)
 
@@ -474,6 +527,7 @@ class SystemSpec:
         for attr, cls in (
             ("model", ModelSpec), ("serving", ServingSpec),
             ("continual", ContinualSpec), ("observability", ObservabilitySpec),
+            ("executor", ExecutorSpec),
         ):
             value = getattr(self, attr)
             if value is not None and not isinstance(value, cls):
@@ -511,6 +565,7 @@ class SystemSpec:
             "observability": (
                 self.observability.to_dict() if self.observability is not None else None
             ),
+            "executor": self.executor.to_dict() if self.executor is not None else None,
             "policy": dict(self.policy),
         }
 
@@ -529,6 +584,7 @@ class SystemSpec:
                 "serving": ServingSpec.from_dict,
                 "continual": ContinualSpec.from_dict,
                 "observability": ObservabilitySpec.from_dict,
+                "executor": ExecutorSpec.from_dict,
             },
         )
 
@@ -692,12 +748,25 @@ def _preset_observed() -> SystemSpec:
     )
 
 
+def _preset_parallel() -> SystemSpec:
+    # The continual system with the GIL-escaping compute plane switched on:
+    # training, MC-dropout probes, and peak fitting fan out across two
+    # worker processes with shared-memory array handoff.
+    continual = _preset_continual()
+    return dataclasses.replace(
+        continual,
+        name="parallel",
+        executor=ExecutorSpec("process", workers=2),
+    )
+
+
 _PRESETS = {
     "minimal": _preset_minimal,
     "serving": _preset_serving,
     "continual": _preset_continual,
     "ann": _preset_ann,
     "observed": _preset_observed,
+    "parallel": _preset_parallel,
 }
 
 
@@ -716,6 +785,9 @@ def preset(name: str) -> SystemSpec:
       serving runtime, exposing ``n_probe`` as a live knob.
     * ``"observed"`` — the ``"ann"`` system with the observability plane on
       (metrics registry + request tracing at a 25% sampling rate).
+    * ``"parallel"`` — the ``"continual"`` system with the process compute
+      plane (two workers, shared-memory handoff) under training, MC probes,
+      and peak fitting.
     """
     try:
         factory = _PRESETS[name]

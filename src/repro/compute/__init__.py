@@ -1,0 +1,41 @@
+"""The parallel compute plane: executors, shared-memory handoff, DP drivers.
+
+Pick a backend by registry name (``create_component("executor", "process",
+max_workers=4)``) or declaratively via ``ExecutorSpec`` on ``SystemSpec``;
+every hot plane (``Trainer.fit``, ``mc_dropout_predict``, ``label_patches``,
+fairDS batched embedding) accepts an ``Executor`` and falls back to its
+serial path when given none.
+"""
+
+from repro.compute.dp import (
+    fit_data_parallel,
+    mc_dropout_predict_parallel,
+    supports_data_parallel,
+)
+from repro.compute.executor import (
+    Executor,
+    InlineExecutor,
+    Session,
+    ThreadExecutor,
+    WorkerContext,
+    chunk_items,
+)
+from repro.compute.process import ProcessExecutor
+from repro.compute.shm import ArraySpec, ShmArena, arena_from_arrays, attach_array
+
+__all__ = [
+    "ArraySpec",
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "Session",
+    "ShmArena",
+    "ThreadExecutor",
+    "WorkerContext",
+    "arena_from_arrays",
+    "attach_array",
+    "chunk_items",
+    "fit_data_parallel",
+    "mc_dropout_predict_parallel",
+    "supports_data_parallel",
+]

@@ -1,0 +1,208 @@
+"""Data-parallel drivers: training and MC-dropout probes over an Executor.
+
+Both drivers follow the same replica discipline:
+
+* The parent serialises the model once per session (``Sequential.to_bytes``);
+  each worker rebuilds a private replica and reseeds its Dropout layers with
+  a ``derive_seed(seed, ..., worker_id)`` stream, so stochastic draws are
+  independent across workers yet reproducible run-to-run.
+* Bulk arrays (the training set, probe batch, flat parameter vector, per-shard
+  gradient slab) live in session shared arrays — zero-copy views for the
+  process backend, plain references for inline/thread.
+* Only the parent updates authoritative state.  Training workers write
+  per-shard gradients into their slot of a ``(workers, n_params)`` slab; the
+  parent reduces them with a single size-weighted ``dot`` into the PR-3 flat
+  gradient buffer and runs the ordinary ``optimizer.step()``.  The update
+  sequence is therefore identical to serial training — with dropout disabled
+  the only deviation is float reassociation in the shard average, which is
+  what keeps final-loss parity within fractions of a percent.
+
+Semantic deltas vs the serial paths (documented, asserted by tests):
+
+* Dropout masks differ from serial runs (per-worker streams instead of the
+  model's own RNG), so losses match statistically, not bitwise.
+* The parallel MC probe leaves the live model's Dropout RNG state untouched
+  (replicas draw instead), where the serial path advances it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compute.executor import Executor
+from repro.nn.dtype import cast
+from repro.nn.layers import Dropout
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Optimizer, _ParamPack
+from repro.utils.errors import ValidationError
+from repro.utils.rng import default_rng, derive_seed
+
+#: Salt namespaces for worker RNG derivation (distinct per plane so a trainer
+#: and an MC probe sharing a seed do not correlate).
+_TRAIN_SALT = 7001
+_MC_SALT = 7101
+
+
+def reseed_dropout_layers(model: Sequential, seed: Any, worker_id: int, salt: int) -> None:
+    for position, layer in enumerate(model.layers):
+        if isinstance(layer, Dropout):
+            layer.reseed(derive_seed(seed if seed is not None else 0, salt, position, worker_id))
+
+
+def _single_pack(model: Sequential) -> _ParamPack:
+    packs = Optimizer._build_packs(list(model.parameters()))
+    if len(packs) != 1:
+        raise ValidationError("data-parallel replicas require a single-dtype parameter pack")
+    return packs[0]
+
+
+def supports_data_parallel(model: Sequential, optimizer: Optimizer, executor: Optional[Executor]) -> bool:
+    """Whether the DP fit path applies: a genuinely parallel executor, a
+    single attached parameter pack (PR-3 fused layout), and no BatchNorm
+    (replica running stats would not sync back)."""
+    if executor is None or executor.closed or executor.max_workers <= 1:
+        return False
+    if model.has_batchnorm():
+        return False
+    packs = optimizer._packs
+    return len(packs) == 1 and packs[0].attached()
+
+
+# -- worker-side functions (module-level: pickled by reference) ----------------
+def _dp_setup(ctx, model_blob: bytes, loss: Any, seed: Any) -> Dict[str, Any]:
+    model = Sequential.from_bytes(model_blob)
+    reseed_dropout_layers(model, seed, ctx.worker_id, _TRAIN_SALT)
+    return {"model": model, "loss": loss, "pack": _single_pack(model)}
+
+
+def _dp_grad_shard(ctx, item: Tuple[int, np.ndarray]) -> Tuple[float, int]:
+    """Compute one shard's mean gradient into ``grads[slot]``; return
+    ``(shard mean loss, shard rows)`` for the parent's weighted reduce."""
+    slot, idx = item
+    state = ctx.state
+    pack: _ParamPack = state["pack"]
+    np.copyto(pack.data, ctx.arrays["params"])
+    xb = ctx.arrays["x"][idx]
+    yb = ctx.arrays["y"][idx]
+    model, loss = state["model"], state["loss"]
+    pred = model.forward(xb, training=True)
+    shard_loss = loss.forward(pred, yb)
+    grad = loss.backward(pred, yb)
+    pack.grad.fill(0.0)
+    model.backward(grad, need_input_grad=False)
+    ctx.arrays["grads"][slot, :] = pack.grad
+    return float(shard_loss), int(idx.shape[0])
+
+
+def _mc_setup(ctx, model_blob: bytes, seed: Any, max_rows: int) -> Dict[str, Any]:
+    model = Sequential.from_bytes(model_blob)
+    reseed_dropout_layers(model, seed, ctx.worker_id, _MC_SALT)
+    return {"model": model, "max_rows": max_rows}
+
+
+def _mc_moment_chunk(ctx, n_draws: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``n_draws`` stochastic passes folded worker-side; only the first two
+    moments (float64 sum / sum of squares) cross back to the parent."""
+    from repro.nn.mc_dropout import _folded_draws, _looped_draws
+
+    state = ctx.state
+    model, max_rows = state["model"], state["max_rows"]
+    x = ctx.arrays["x"]
+    if max_rows:
+        draws = _folded_draws(model, x, n_draws, max_rows)
+    else:
+        draws = _looped_draws(model, x, n_draws)
+    d = np.asarray(draws, dtype=np.float64)
+    return d.sum(axis=0), np.square(d).sum(axis=0)
+
+
+# -- parent-side drivers -------------------------------------------------------
+def _shard_batch(batch_idx: np.ndarray, workers: int) -> List[np.ndarray]:
+    return [s for s in np.array_split(batch_idx, workers) if s.size]
+
+
+def fit_data_parallel(trainer, x_train, y_train, val, config, optimizer, history) -> None:
+    """The epoch loop of ``Trainer.fit`` with per-batch shard fan-out.
+
+    Mirrors the serial loop's bookkeeping exactly (history, metrics, early
+    stopping live in ``Trainer._finish_epoch``); only the gradient computation
+    is distributed.  ``optimizer`` is the trainer's freshly built optimizer
+    whose single pack holds the authoritative flat parameters.
+    """
+    executor = trainer.executor
+    rng = default_rng(config.seed)
+    pack = optimizer._packs[0]
+    workers = executor.max_workers
+    n = x_train.shape[0]
+
+    session = executor.open_session(
+        setup=_dp_setup,
+        setup_args=(trainer.model.to_bytes(), trainer.loss, config.seed),
+        shared={
+            "x": x_train,
+            "y": y_train,
+            "params": np.zeros_like(pack.data),
+            "grads": np.zeros((workers, pack.data.size), dtype=pack.data.dtype),
+        },
+    )
+    try:
+        params_arr = session.arrays["params"]
+        grads_arr = session.arrays["grads"]
+        for epoch in range(config.epochs):
+            epoch_start = perf_counter()
+            epoch_loss, n_batches = 0.0, 0
+            indices = rng.permutation(n) if config.shuffle else np.arange(n)
+            for start in range(0, n, config.batch_size):
+                batch_idx = indices[start : start + config.batch_size]
+                shards = _shard_batch(batch_idx, workers)
+                params_arr[...] = pack.data
+                results = session.map(_dp_grad_shard, list(enumerate(shards)))
+                counts = np.array([rows for _loss, rows in results], dtype=pack.data.dtype)
+                weights = counts / counts.sum()
+                # The fused allreduce-average: one dot over the gradient slab
+                # lands the size-weighted mean straight in the flat buffer.
+                np.dot(weights, grads_arr[: len(shards)], out=pack.grad)
+                optimizer.step()
+                epoch_loss += float(np.dot(weights, [value for value, _rows in results]))
+                n_batches += 1
+            if n_batches == 0:
+                raise ValidationError("training iterable produced no batches")
+            if trainer._finish_epoch(
+                history, config, epoch, epoch_loss / n_batches, 0.0, epoch_start, val
+            ):
+                break
+    finally:
+        session.close()
+
+
+def mc_dropout_predict_parallel(
+    model: Sequential,
+    x: np.ndarray,
+    n_samples: int,
+    max_rows: int,
+    executor: Executor,
+    seed: Any = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distributed ``(mean, std)`` over ``n_samples`` stochastic passes.
+
+    Draw counts are split near-evenly across workers; workers return float64
+    moment sums, the parent combines them — ``std`` uses the same biased
+    (population) convention as ``np.ndarray.std``.
+    """
+    x = cast(np.asarray(x), model.dtype)
+    counts = [c.size for c in np.array_split(np.arange(n_samples), executor.max_workers) if c.size]
+    session = executor.open_session(
+        setup=_mc_setup, setup_args=(model.to_bytes(), seed, max_rows), shared={"x": x}
+    )
+    try:
+        parts = session.map(_mc_moment_chunk, counts)
+    finally:
+        session.close()
+    total = float(n_samples)
+    moment1 = sum(part[0] for part in parts) / total
+    moment2 = sum(part[1] for part in parts) / total
+    variance = np.maximum(moment2 - np.square(moment1), 0.0)
+    return moment1.astype(model.dtype), np.sqrt(variance).astype(model.dtype)

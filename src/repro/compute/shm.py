@@ -1,0 +1,148 @@
+"""Shared-memory ndarray handoff for the process executor.
+
+The parent process owns every segment: it creates them through a
+:class:`ShmArena`, hands workers only an :class:`ArraySpec` (segment name +
+shape + dtype — a few dozen bytes of picklable metadata), and unlinks the
+segments when the arena closes.  Workers attach read/write views with
+:func:`attach_array`; the payload itself never crosses a pipe.
+
+Ownership discipline (this is what the leak tests pin down):
+
+* ``create`` → parent maps the segment and registers an ``atexit`` fallback,
+  so even an exception path that skips ``close()`` cannot leak ``/dev/shm``
+  entries past interpreter exit.
+* workers only ever *attach*; on Python < 3.13 attaching would register the
+  segment with the resource tracker a second time, which would make the
+  tracker unlink it behind the parent's back (and, with several workers
+  sharing one forked tracker, leave its bookkeeping unbalanced) —
+  :func:`attach_array` suppresses that duplicate registration.
+* ``close`` is idempotent and unlinks unconditionally, so a SIGKILLed worker
+  (which cannot run its own cleanup) still cannot leak: the parent holds the
+  only unlink responsibility.
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+from multiprocessing import shared_memory
+from typing import Dict, Iterator, Mapping, NamedTuple, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ComputeError
+
+
+class ArraySpec(NamedTuple):
+    """Picklable descriptor of one shared ndarray (what crosses the pipe)."""
+
+    name: str  # OS-level segment name (``/dev/shm/<name>`` on Linux)
+    shape: Tuple[int, ...]
+    dtype: str  # numpy dtype string, e.g. ``"<f4"``
+
+
+def attach_array(spec: ArraySpec) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Worker-side: map an existing segment and view it as an ndarray.
+
+    Returns the ``SharedMemory`` handle (keep it alive as long as the array
+    is used, then ``close()`` it — never ``unlink()``) and the view.
+    """
+    try:
+        if sys.version_info >= (3, 13):
+            shm = shared_memory.SharedMemory(name=spec.name, track=False)
+        else:
+            # Python < 3.13 has no ``track=False``: attaching registers the
+            # segment with the resource tracker as if this process owned it.
+            # Sending a matching UNREGISTER is racy when several forked
+            # workers share the parent's tracker (its per-name bookkeeping is
+            # a set, so interleaved attach/detach pairs leave it unbalanced
+            # and the tracker logs KeyErrors), so suppress the registration
+            # itself for the duration of the attach instead.  Worker attach
+            # is single-threaded, making the swap safe.
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+            try:
+                shm = shared_memory.SharedMemory(name=spec.name)
+            finally:
+                resource_tracker.register = original_register  # type: ignore[assignment]
+    except FileNotFoundError as exc:
+        raise ComputeError(f"shared-memory segment {spec.name!r} is gone") from exc
+    array = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return shm, array
+
+
+class ShmArena:
+    """Parent-side owner of a set of named shared-memory ndarrays."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray, ArraySpec]] = {}
+        self._closed = False
+        atexit.register(self.close)
+
+    def create(self, name: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Allocate a zero-filled shared ndarray under logical ``name``."""
+        if self._closed:
+            raise ComputeError("arena is closed")
+        if name in self._entries:
+            raise ComputeError(f"arena already holds an array named {name!r}")
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        array = np.ndarray(tuple(shape), dtype=dt, buffer=shm.buf)
+        array.fill(0)
+        self._entries[name] = (shm, array, ArraySpec(shm.name, tuple(shape), dt.str))
+        return array
+
+    def array(self, name: str) -> np.ndarray:
+        return self._entries[name][1]
+
+    def specs(self) -> Dict[str, ArraySpec]:
+        """The picklable metadata handed to workers."""
+        return {name: entry[2] for name, entry in self._entries.items()}
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return {name: entry[1] for name, entry in self._entries.items()}
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unmap and unlink every segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        entries, self._entries = self._entries, {}
+        for shm, _array, _spec in entries.values():
+            try:
+                shm.close()
+            finally:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def arena_from_arrays(arrays: Mapping[str, np.ndarray]) -> ShmArena:
+    """Copy ``arrays`` into a fresh arena (one segment per entry)."""
+    arena = ShmArena()
+    try:
+        for name, value in arrays.items():
+            value = np.ascontiguousarray(value)
+            arena.create(name, value.shape, value.dtype)[...] = value
+    except BaseException:
+        arena.close()
+        raise
+    return arena

@@ -20,8 +20,9 @@ Responsibilities (paper Section II-A):
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +39,18 @@ from repro.storage.registry import IndexCapabilities, probe_index_capabilities
 from repro.utils.cache import LRUCache, row_digests
 from repro.utils.errors import ConfigurationError, NotFittedError, ValidationError
 from repro.utils.rng import SeedLike, default_rng, derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compute.executor import Executor
+
+
+# -- process-executor worker functions (module-level: pickled by reference) ----
+def _embedder_session_setup(ctx, embedder_blob: bytes):
+    return pickle.loads(embedder_blob)
+
+
+def _embedder_transform_task(ctx, images: np.ndarray) -> np.ndarray:
+    return np.asarray(ctx.state.transform(np.asarray(images, dtype=np.float64)), dtype=np.float64)
 
 
 @dataclass
@@ -112,6 +125,7 @@ class FairDS:
         clustering_params: Optional[Dict[str, Any]] = None,
         index_backend: str = "clustered",
         index_params: Optional[Dict[str, Any]] = None,
+        executor: Optional["Executor"] = None,
     ):
         if isinstance(n_clusters, str):
             if n_clusters != "auto":
@@ -148,6 +162,12 @@ class FairDS:
         self._embed_cache = LRUCache(embedding_cache_size)
         self._embed_generation = 0
         self.index_dtype = np.dtype(index_dtype)
+        #: Optional parallel compute plane for multi-dataset embedding fans
+        #: (certainty/distribution batches).  ``None`` keeps every serial
+        #: code path — and the embedding LRU cache — exactly as before.
+        self.executor = executor
+        self._executor_session = None
+        self._executor_session_generation = -1
 
     # -- helpers -----------------------------------------------------------------
     @property
@@ -213,6 +233,47 @@ class FairDS:
     def embedding_cache_info(self) -> Dict[str, float]:
         """Hit/miss counters of the embedding LRU cache."""
         return self._embed_cache.info()
+
+    def _embed_batches(self, batches: List[np.ndarray]) -> List[np.ndarray]:
+        """Embed several datasets; fans out across :attr:`executor` when one
+        is configured.  The parallel path pushes whole datasets through the
+        pure ``embedder.transform`` (identical results, no LRU round-trip) —
+        a win exactly when several genuinely new datasets arrive together,
+        which is the monitoring/batched-certainty shape."""
+        executor = self.executor
+        if (
+            executor is None
+            or executor.closed
+            or executor.max_workers <= 1
+            or len(batches) <= 1
+        ):
+            return [self._embed(images) for images in batches]
+        if executor.kind == "process":
+            return self._embed_batches_process(batches)
+        return executor.map(self._transform64, batches)
+
+    def _transform64(self, images: np.ndarray) -> np.ndarray:
+        return np.asarray(self.embedder.transform(images), dtype=np.float64)
+
+    def _embed_batches_process(self, batches: List[np.ndarray]) -> List[np.ndarray]:
+        """Process fan-out over a persistent worker session holding the
+        (pickled-once) embedder; the session is rebuilt whenever a (re)fit
+        advances the embedding generation."""
+        session = self._executor_session
+        if (
+            session is None
+            or session.closed
+            or self._executor_session_generation != self._embed_generation
+        ):
+            if session is not None:
+                session.close()
+            session = self.executor.open_session(
+                setup=_embedder_session_setup,
+                setup_args=(pickle.dumps(self.embedder),),
+            )
+            self._executor_session = session
+            self._executor_session_generation = self._embed_generation
+        return session.map(_embedder_transform_task, batches)
 
     # -- indexing -----------------------------------------------------------------------
     def fit(
@@ -422,12 +483,13 @@ class FairDS:
             raise ValidationError("labels must match the number of batches")
         if not len(batches):
             return []
-        embeddings = []
+        validated = []
         for images in batches:
             images = np.asarray(images, dtype=np.float64)
             if images.shape[0] == 0:
                 raise ValidationError("images must be non-empty")
-            embeddings.append(self._embed(images))
+            validated.append(images)
+        embeddings = self._embed_batches(validated)
         cluster_ids = self._kmeans.predict(np.vstack(embeddings))
         out: List[DatasetDistribution] = []
         start = 0
@@ -591,7 +653,9 @@ class FairDS:
         """
         if not self.is_fitted:
             raise NotFittedError("fairDS.certainty_batch() requires fit() first")
-        embeddings = [self._embed(np.asarray(images, dtype=np.float64)) for images in batches]
+        embeddings = self._embed_batches(
+            [np.asarray(images, dtype=np.float64) for images in batches]
+        )
         return assignment_certainty_batch(
             embeddings, self._kmeans.cluster_centers_, m=fuzzifier, confidence=confidence
         )

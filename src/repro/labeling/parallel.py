@@ -16,13 +16,16 @@ have either machine, so the engine
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.labeling.peak_fitting import fit_peak_center, label_patches
 from repro.utils.errors import ConfigurationError, ValidationError
 from repro.utils.timing import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compute.executor import Executor
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,11 @@ class LabelingEngine:
         ``sample_fraction >= 1``), otherwise the unfitted patches reuse the
         measured cost estimate but are labelled with the cheap centroid so the
         returned label array is complete.
+    executor:
+        Optional :class:`repro.compute.Executor` that the real fits fan out
+        across (the patch stack is shipped once through session shared
+        memory).  A process executor sidesteps the GIL that limits
+        ``local_workers`` threads; when unset the thread path is used.
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class LabelingEngine:
         cost_model: Optional[CostModel] = None,
         local_workers: int = 1,
         sample_fraction: float = 1.0,
+        executor: Optional["Executor"] = None,
     ):
         if not 0.0 < sample_fraction <= 1.0:
             raise ConfigurationError("sample_fraction must be in (0, 1]")
@@ -121,6 +130,7 @@ class LabelingEngine:
         self.cost_model = cost_model or CostModel()
         self.local_workers = int(local_workers)
         self.sample_fraction = float(sample_fraction)
+        self.executor = executor
 
     def label(self, patches: np.ndarray) -> LabelingReport:
         """Label ``patches`` and report measured + simulated costs."""
@@ -133,7 +143,9 @@ class LabelingEngine:
         n_fit = max(1, int(round(n * self.sample_fraction)))
 
         with Timer() as t:
-            fitted = label_patches(patches[:n_fit], max_workers=self.local_workers)
+            fitted = label_patches(
+                patches[:n_fit], max_workers=self.local_workers, executor=self.executor
+            )
         per_patch = t.elapsed / n_fit
 
         if n_fit < n:
@@ -145,7 +157,13 @@ class LabelingEngine:
         else:
             labels = fitted
 
-        serial_total = per_patch * n * max(1, self.local_workers)
+        # per_patch already amortises whatever local parallelism did the fits,
+        # so scale it back up to a one-core figure before extrapolating.
+        if self.executor is not None and not self.executor.closed and self.executor.max_workers > 1:
+            effective_workers = self.executor.max_workers
+        else:
+            effective_workers = self.local_workers
+        serial_total = per_patch * n * max(1, effective_workers)
         simulated = self.cost_model.wall_clock(serial_total)
         return LabelingReport(
             labels=labels,

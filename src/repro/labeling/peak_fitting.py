@@ -10,7 +10,7 @@ labeling-time comparison against fairDS pseudo-labeling is meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import least_squares
@@ -18,6 +18,9 @@ from scipy.optimize import least_squares
 from repro.labeling.pseudo_voigt import PeakParameters, pseudo_voigt_2d
 from repro.utils.errors import ValidationError
 from repro.utils.parallel import thread_map
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compute.executor import Executor
 
 
 @dataclass
@@ -109,21 +112,49 @@ def fit_peak_center(
     )
 
 
+def _fit_range_task(ctx, item: Tuple[int, int, int]) -> np.ndarray:
+    """Session task: fit patches ``[lo, hi)`` from the shared stack; returns
+    an ``(hi - lo, 2)`` block of centres."""
+    lo, hi, max_nfev = item
+    patches = ctx.arrays["patches"]
+    return np.array(
+        [fit_peak_center(patches[i], max_nfev=max_nfev).center for i in range(lo, hi)],
+        dtype=np.float64,
+    ).reshape(-1, 2)
+
+
 def label_patches(
     patches: np.ndarray,
     max_workers: int = 1,
     max_nfev: int = 200,
+    executor: Optional["Executor"] = None,
 ) -> np.ndarray:
     """Label a stack of patches; returns an ``(n, 2)`` array of peak centres.
 
-    Fits run across ``max_workers`` threads (SciPy releases the GIL inside the
-    underlying least-squares kernels for the heavy lifting).
+    With an ``executor``, the fits fan out across its workers — the patch
+    stack travels once through session shared memory and each worker fits a
+    contiguous range.  The pseudo-Voigt inner loop is pure-Python-heavy
+    (parameter packing around many small ``least_squares`` solves), so the
+    process backend parallelises it where threads mostly serialise on the
+    GIL.  Without an executor, fits run across ``max_workers`` threads as
+    before.
     """
     patches = np.asarray(patches, dtype=np.float64)
     if patches.ndim == 4 and patches.shape[1] == 1:
         patches = patches[:, 0]
     if patches.ndim != 3:
         raise ValidationError(f"expected (n, H, W) patches, got shape {patches.shape}")
+    n = patches.shape[0]
+    if executor is not None and not executor.closed and executor.max_workers > 1 and n > 1:
+        bounds = np.linspace(0, n, min(executor.max_workers, n) + 1, dtype=int)
+        ranges = [
+            (int(lo), int(hi), max_nfev)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        with executor.open_session(shared={"patches": patches}) as session:
+            blocks = session.map(_fit_range_task, ranges)
+        return np.vstack(blocks)
     results = thread_map(
         lambda p: fit_peak_center(p, max_nfev=max_nfev), list(patches), max_workers=max_workers
     )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.observability.metrics import default_registry
 from repro.utils.errors import ConfigurationError, ValidationError
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, default_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compute.executor import Executor
 
 logger = get_logger("repro.nn.trainer")
 
@@ -128,6 +131,15 @@ class Trainer:
         applications all optimise MSE-style objectives).
     optimizer_factory:
         Callable ``(params, lr) -> Optimizer``; defaults to Adam.
+    executor:
+        Optional :class:`repro.compute.Executor`.  When it offers real
+        parallelism (``max_workers > 1``) and the model qualifies (array
+        training data, single-dtype parameter pack, no BatchNorm),
+        :meth:`fit` runs data-parallel: workers compute per-shard gradients
+        into a shared flat slab and the parent performs one fused
+        weighted-average + ``optimizer.step()`` per macro-batch — the same
+        update sequence as serial training.  Otherwise training falls back
+        to the serial loop unchanged.
     """
 
     def __init__(
@@ -135,10 +147,14 @@ class Trainer:
         model: Sequential,
         loss: Optional[Loss] = None,
         optimizer_factory: Optional[Callable[[Sequence, float], Optimizer]] = None,
+        executor: Optional["Executor"] = None,
     ):
         self.model = model
         self.loss = loss or MSELoss()
         self._optimizer_factory = optimizer_factory or (lambda params, lr: Adam(params, lr=lr))
+        self.executor = executor
+        self._best_val = float("inf")
+        self._epochs_since_improvement = 0
 
     # -- evaluation -----------------------------------------------------------
     def evaluate(
@@ -196,9 +212,29 @@ class Trainer:
             if x_train.shape[0] == 0:
                 raise ValidationError("cannot train on an empty dataset")
 
-        best_val = float("inf")
-        epochs_since_improvement = 0
+        self._best_val = float("inf")
+        self._epochs_since_improvement = 0
 
+        if x_train is not None and self._use_data_parallel(optimizer):
+            from repro.compute.dp import fit_data_parallel
+
+            fit_data_parallel(self, x_train, y_train, val, config, optimizer, history)
+        else:
+            self._fit_serial(train, x_train, y_train, val, config, optimizer, rng, history)
+
+        if history.converged_epoch is None and config.target_loss is not None:
+            history.converged_epoch = history.epochs_to_converge(config.target_loss)
+        return history
+
+    def _use_data_parallel(self, optimizer: Optimizer) -> bool:
+        if self.executor is None:
+            return False
+        from repro.compute.dp import supports_data_parallel
+
+        return supports_data_parallel(self.model, optimizer, self.executor)
+
+    def _fit_serial(self, train, x_train, y_train, val, config, optimizer, rng, history) -> None:
+        dtype = self.model.dtype
         for epoch in range(config.epochs):
             epoch_start = time.perf_counter()
             io_time = 0.0
@@ -230,52 +266,66 @@ class Trainer:
 
             if n_batches == 0:
                 raise ValidationError("training iterable produced no batches")
-
-            history.train_loss.append(epoch_loss / n_batches)
-            history.io_time.append(io_time)
-            if val is not None:
-                val_loss = self.evaluate(val[0], val[1], batch_size=config.batch_size)
-            else:
-                val_loss = history.train_loss[-1]
-            history.val_loss.append(val_loss)
-            history.epoch_time.append(time.perf_counter() - epoch_start)
-
-            # Same fields reach the metrics registry and (at verbose) the
-            # log stream, so dashboards and console output never disagree.
-            registry = default_registry()
-            registry.counter("repro_train_epochs_total", "Training epochs completed").inc()
-            registry.histogram(
-                "repro_train_epoch_seconds", "Wall-clock duration of one training epoch"
-            ).observe(history.epoch_time[-1])
-            loss_gauge = registry.gauge(
-                "repro_train_loss", "Latest per-epoch training/validation loss", ("split",)
-            )
-            loss_gauge.labels(split="train").set(history.train_loss[-1])
-            loss_gauge.labels(split="val").set(val_loss)
-            logger.log(
-                logging.INFO if config.verbose else logging.DEBUG,
-                "epoch %d/%d: train=%.5f val=%.5f epoch_s=%.3f io_s=%.3f",
-                epoch + 1, config.epochs, history.train_loss[-1], val_loss,
-                history.epoch_time[-1], io_time,
-            )
-
-            # Convergence / early-stopping bookkeeping.
-            if config.target_loss is not None and val_loss <= config.target_loss:
-                history.converged_epoch = epoch + 1
-                history.stopped_early = True
-                break
-            if val_loss < best_val - config.min_delta:
-                best_val = val_loss
-                epochs_since_improvement = 0
-            else:
-                epochs_since_improvement += 1
-            if config.patience is not None and epochs_since_improvement >= config.patience:
-                history.stopped_early = True
+            if self._finish_epoch(
+                history, config, epoch, epoch_loss / n_batches, io_time, epoch_start, val
+            ):
                 break
 
-        if history.converged_epoch is None and config.target_loss is not None:
-            history.converged_epoch = history.epochs_to_converge(config.target_loss)
-        return history
+    def _finish_epoch(
+        self,
+        history: TrainingHistory,
+        config: TrainingConfig,
+        epoch: int,
+        train_loss: float,
+        io_time: float,
+        epoch_start: float,
+        val: Optional[ArrayPair],
+    ) -> bool:
+        """Per-epoch bookkeeping shared by the serial and data-parallel
+        loops: history, validation, metrics/logging, early stopping.
+        Returns True when training should stop."""
+        history.train_loss.append(train_loss)
+        history.io_time.append(io_time)
+        if val is not None:
+            val_loss = self.evaluate(val[0], val[1], batch_size=config.batch_size)
+        else:
+            val_loss = history.train_loss[-1]
+        history.val_loss.append(val_loss)
+        history.epoch_time.append(time.perf_counter() - epoch_start)
+
+        # Same fields reach the metrics registry and (at verbose) the
+        # log stream, so dashboards and console output never disagree.
+        registry = default_registry()
+        registry.counter("repro_train_epochs_total", "Training epochs completed").inc()
+        registry.histogram(
+            "repro_train_epoch_seconds", "Wall-clock duration of one training epoch"
+        ).observe(history.epoch_time[-1])
+        loss_gauge = registry.gauge(
+            "repro_train_loss", "Latest per-epoch training/validation loss", ("split",)
+        )
+        loss_gauge.labels(split="train").set(history.train_loss[-1])
+        loss_gauge.labels(split="val").set(val_loss)
+        logger.log(
+            logging.INFO if config.verbose else logging.DEBUG,
+            "epoch %d/%d: train=%.5f val=%.5f epoch_s=%.3f io_s=%.3f",
+            epoch + 1, config.epochs, history.train_loss[-1], val_loss,
+            history.epoch_time[-1], io_time,
+        )
+
+        # Convergence / early-stopping bookkeeping.
+        if config.target_loss is not None and val_loss <= config.target_loss:
+            history.converged_epoch = epoch + 1
+            history.stopped_early = True
+            return True
+        if val_loss < self._best_val - config.min_delta:
+            self._best_val = val_loss
+            self._epochs_since_improvement = 0
+        else:
+            self._epochs_since_improvement += 1
+        if config.patience is not None and self._epochs_since_improvement >= config.patience:
+            history.stopped_early = True
+            return True
+        return False
 
     # -- fine-tuning ------------------------------------------------------------
     def fine_tune(

@@ -17,7 +17,10 @@ Blosc) and compares training-time I/O against reading files directly from NFS
   an ``.npy`` file on the local filesystem.
 * :mod:`repro.storage.vector_index` — exact and cluster-partitioned
   nearest-neighbour lookup over embedding vectors, stored contiguously and
-  queried a whole batch at a time.
+  queried a whole batch at a time, plus an mmap codec
+  (:func:`~repro.storage.vector_index.save_mmap` /
+  :func:`~repro.storage.vector_index.open_mmap`) so multiple processes share
+  one on-disk store through the page cache.
 * :mod:`repro.storage.ivf_index` — the self-training IVF approximate index:
   coarse-quantized inverted lists with a live ``n_probe`` knob and an
   optional product-quantized compressed scan path.
@@ -53,7 +56,13 @@ from repro.storage.registry import (
     unregister_backend,
 )
 from repro.storage.ivf_index import IVFVectorIndex
-from repro.storage.vector_index import VectorIndex, ClusteredVectorIndex
+from repro.storage.vector_index import (
+    VectorIndex,
+    ClusteredVectorIndex,
+    MmapVectorIndex,
+    open_mmap,
+    save_mmap,
+)
 
 __all__ = [
     "IndexBackend",
@@ -82,5 +91,8 @@ __all__ = [
     "ProductQuantizer",
     "VectorIndex",
     "ClusteredVectorIndex",
+    "MmapVectorIndex",
+    "open_mmap",
+    "save_mmap",
     "IVFVectorIndex",
 ]

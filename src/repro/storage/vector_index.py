@@ -17,7 +17,9 @@ nearest-neighbour ordering stays numerically stable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -153,6 +155,103 @@ class VectorIndex:
         """Return the ``k`` nearest ``(key, distance)`` pairs for ``vector``."""
         vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
         return self.query_batch(vector, k=k)[0]
+
+
+# -- mmap persistence -------------------------------------------------------
+_MMAP_META = "meta.json"
+_MMAP_VECTORS = "vectors.npy"
+_MMAP_KEYS = "keys.json"
+_MMAP_FORMAT = "repro-mmap-index"
+
+
+def save_mmap(index: VectorIndex, directory: Union[str, Path]) -> Path:
+    """Persist a flat :class:`VectorIndex` as an mmap-openable directory.
+
+    Writes ``meta.json`` (format tag, dim, dtype, size), ``vectors.npy`` (the
+    contiguous vector matrix, loadable with ``np.load(mmap_mode="r")``) and
+    ``keys.json``.  Several processes can then :func:`open_mmap` the same
+    directory and share the vector pages through the OS page cache instead of
+    each holding a private copy — the multiprocess-serving companion of the
+    compute plane's shared-memory handoff.
+    """
+    if not isinstance(index, VectorIndex):
+        raise StorageError(
+            f"save_mmap requires a flat VectorIndex, got {type(index).__name__}"
+        )
+    if len(index) == 0:
+        raise StorageError("refusing to save an empty vector index")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    vectors = np.ascontiguousarray(index.vectors)
+    np.save(directory / _MMAP_VECTORS, vectors)
+    (directory / _MMAP_KEYS).write_text(json.dumps(list(index.keys)))
+    meta = {
+        "format": _MMAP_FORMAT,
+        "version": 1,
+        "dim": index.dim,
+        "dtype": vectors.dtype.name,
+        "size": int(vectors.shape[0]),
+    }
+    (directory / _MMAP_META).write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+class MmapVectorIndex(VectorIndex):
+    """Read-only :class:`VectorIndex` over a :func:`save_mmap` directory.
+
+    The vector matrix is memory-mapped (``np.load(mmap_mode="r")``), so
+    opening is O(1) regardless of index size and concurrent processes opening
+    the same directory share pages rather than duplicating the store.  The
+    float64 query mirror is deliberately **not** cached: keeping it would
+    re-materialise the whole store in private memory, defeating the mmap.
+
+    The index is immutable — :meth:`add` raises :class:`StorageError`; to
+    change the store, rebuild a regular index and :func:`save_mmap` it to a
+    fresh directory.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        path = Path(path)
+        meta_path = path / _MMAP_META
+        if not meta_path.is_file():
+            raise StorageError(f"not an mmap index directory (no {_MMAP_META}): {path}")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"unreadable mmap index metadata at {meta_path}: {exc}") from exc
+        if meta.get("format") != _MMAP_FORMAT:
+            raise StorageError(
+                f"unrecognised mmap index format {meta.get('format')!r} at {path}"
+            )
+        super().__init__(
+            int(meta["dim"]), dtype=np.dtype(meta["dtype"]), cache_query_matrix=False
+        )
+        try:
+            vectors = np.load(path / _MMAP_VECTORS, mmap_mode="r")
+            keys = json.loads((path / _MMAP_KEYS).read_text())
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise StorageError(f"corrupt mmap index at {path}: {exc}") from exc
+        size = int(meta["size"])
+        if vectors.ndim != 2 or vectors.shape != (size, self.dim) or len(keys) != size:
+            raise StorageError(
+                f"mmap index at {path} is inconsistent: meta says {(size, self.dim)}, "
+                f"vectors are {vectors.shape} with {len(keys)} keys"
+            )
+        self.path = path
+        self._data = vectors
+        self._size = size
+        self._keys = [str(k) for k in keys]
+
+    def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
+        raise StorageError(
+            "mmap-backed vector index is read-only; rebuild a VectorIndex and "
+            "save_mmap() it to a new directory to change the store"
+        )
+
+
+def open_mmap(path: Union[str, Path]) -> MmapVectorIndex:
+    """Open a :func:`save_mmap` directory read-only (registry name ``mmap``)."""
+    return MmapVectorIndex(path)
 
 
 class ClusteredVectorIndex:

@@ -1,41 +1,28 @@
-"""Thread-pool helpers.
+"""Thread-pool helpers, now routed through the compute-plane Executor seam.
 
 The storage and labeling substrates need bounded parallelism: concurrent
 readers fetching training mini-batches from the document store, and the
-pseudo-Voigt labeler fanning peak fits across workers.  NumPy releases the GIL
-for most heavy kernels, so thread-based parallelism is an adequate stand-in
-for the multi-process/multi-node execution used in the paper.
+pseudo-Voigt labeler fanning peak fits across workers.  :func:`thread_map`
+keeps its historical signature and semantics but delegates to a
+:class:`repro.compute.ThreadExecutor` fan-out, so pooled work shows up in
+the ``repro_executor_*`` metrics and ``executor.task`` trace spans like
+every other compute-plane consumer.
+
+:class:`WorkerPool` (continuous queue-consuming daemon threads) remains as
+internal plumbing for the serving runtime — construct it via
+:meth:`WorkerPool.internal`; direct construction is deprecated in favour of
+the Executor seam.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
-
-
-def _collect_in_order(pool: ThreadPoolExecutor, fn, inputs) -> List:
-    """Submit every input and gather results in input order.
-
-    Any ``BaseException`` from a worker — including ``KeyboardInterrupt``,
-    which ``concurrent.futures`` captures into the future rather than the
-    main thread — is re-raised here after cancelling the not-yet-started
-    remainder, so an interrupt in a worker cannot be silently dropped.
-    """
-    futures = [pool.submit(fn, item) for item in inputs]
-    results: List = []
-    try:
-        for fut in futures:
-            results.append(fut.result())
-    except BaseException:
-        for fut in futures:
-            fut.cancel()
-        raise
-    return results
 
 
 def thread_map(
@@ -62,6 +49,10 @@ def thread_map(
 
     An exception (``KeyboardInterrupt`` included) raised by ``fn`` in any
     worker propagates to the caller; pending items are cancelled.
+
+    Implemented as a one-shot fan-out on a
+    :class:`repro.compute.ThreadExecutor` (same ordering, chunking, and
+    cancel-and-reraise semantics as the historical thread-pool code).
     """
     items = list(items)
     if not items:
@@ -70,15 +61,10 @@ def thread_map(
         if chunk:
             return [fn(items)]  # type: ignore[list-item]
         return [fn(it) for it in items]
-    if chunk:
-        # Ceil division: floor could leave a tail of up to max_workers - 1
-        # extra chunks (9 items / 4 workers -> 5 chunks of [2,2,2,2,1]).
-        n = -(-len(items) // max_workers)
-        inputs: List = [items[i : i + n] for i in range(0, len(items), n)]
-    else:
-        inputs = items
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return _collect_in_order(pool, fn, inputs)
+    from repro.compute.executor import ThreadExecutor  # lazy: avoids an import cycle
+
+    with ThreadExecutor(max_workers=max_workers) as executor:
+        return executor.map(fn, items, chunk=chunk)
 
 
 class WorkerPool:
@@ -89,9 +75,27 @@ class WorkerPool:
     an input queue, fetch the corresponding samples, and push the results onto
     an output queue so the training loop overlaps I/O with computation
     (prefetching).
+
+    .. deprecated::
+        Direct construction is deprecated: one-shot fan-out belongs on the
+        :class:`repro.compute.Executor` seam (``thread_map`` already routes
+        there).  The serving runtime's continuous consumer loops still need
+        this daemon-thread pool (a ``ThreadPoolExecutor``'s non-daemon
+        threads would hang interpreter shutdown while a runtime is live) and
+        construct it via :meth:`internal`.
     """
 
-    def __init__(self, num_workers: int, target: Callable[..., None]) -> None:
+    def __init__(
+        self, num_workers: int, target: Callable[..., None], *, _internal: bool = False
+    ) -> None:
+        if not _internal:
+            warnings.warn(
+                "constructing WorkerPool directly is deprecated; use the "
+                "repro.compute Executor seam (e.g. thread_map or "
+                "ThreadExecutor.map) for fan-out work",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         self.num_workers = num_workers
@@ -100,6 +104,13 @@ class WorkerPool:
         self._started = False
         self._errors: List[BaseException] = []
         self._errors_lock = threading.Lock()
+
+    @classmethod
+    def internal(cls, num_workers: int, target: Callable[..., None]) -> "WorkerPool":
+        """Construct without the deprecation warning — for the runtime's own
+        continuous consumer loops, which the one-shot Executor seam does not
+        model."""
+        return cls(num_workers, target, _internal=True)
 
     def _run(self, worker_id: int, *args, **kwargs) -> None:
         try:

@@ -1,0 +1,178 @@
+"""End-to-end parity tests for the data-parallel compute plane.
+
+The contract under test: selecting an executor changes *where* the compute
+runs, never *what* it computes — serial vs data-parallel training agrees at
+dropout=0 (the shard-mean reduce is the only float reassociation), the
+thread and process backends agree bitwise with each other, the parallel MC
+probe is reproducible, and the certainty / labeling planes return the same
+answers through the seam.  The final test drives the full drift → retrain →
+hot-swap cycle from the "parallel" preset, i.e. with a process executor
+chosen purely by spec.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.deployment import Deployment
+from repro.compute import ProcessExecutor, ThreadExecutor
+from repro.core import FairDS
+from repro.datasets import BraggPeakDataset, make_two_phase_schedule
+from repro.embedding import PCAEmbedder
+from repro.labeling.peak_fitting import label_patches
+from repro.models import build_braggnn
+from repro.nn import Trainer, TrainingConfig, mc_dropout_predict
+from repro.utils.rng import default_rng
+
+_has_dev_shm = Path("/dev/shm").is_dir()
+
+
+def _shm_count() -> int:
+    return len(list(Path("/dev/shm").iterdir()))
+
+
+def _blob_data(n: int, seed: int = 0):
+    rng = default_rng(seed)
+    centers = rng.uniform(4.0, 10.0, size=(n, 2))
+    yy, xx = np.mgrid[0:15, 0:15]
+    blobs = np.exp(
+        -((yy[None] - centers[:, 0, None, None]) ** 2
+          + (xx[None] - centers[:, 1, None, None]) ** 2) / 4.0
+    )
+    x = (blobs + 0.05 * rng.normal(size=(n, 15, 15)))[:, None, :, :]
+    return x.astype(np.float64), centers / 15.0
+
+
+def _fit(data, executor=None, dropout=0.0):
+    model = build_braggnn(width=2, dropout=dropout, seed=11)
+    config = TrainingConfig(epochs=2, batch_size=32, lr=2e-3, seed=0)
+    history = Trainer(model, executor=executor).fit(data, config=config)
+    return model, history
+
+
+# ---------------------------------------------------------------------------------
+# data-parallel training parity
+# ---------------------------------------------------------------------------------
+def test_data_parallel_fit_matches_serial_at_zero_dropout():
+    data = _blob_data(96, seed=4)
+    serial_model, serial_hist = _fit(data)
+    with ProcessExecutor(max_workers=2) as ex:
+        dp_model, dp_hist = _fit(data, executor=ex)
+        assert ex.stats["tasks_completed"] > 0  # the DP path actually engaged
+    np.testing.assert_allclose(
+        dp_hist.train_loss, serial_hist.train_loss, rtol=1e-5
+    )
+    np.testing.assert_allclose(
+        dp_model.predict(data[0][:16]), serial_model.predict(data[0][:16]),
+        rtol=1e-4, atol=1e-6,
+    )
+
+
+def test_thread_and_process_backends_agree_bitwise():
+    # Same shard split, same reduce order, no dropout draws: the two parallel
+    # backends run identical float programs and must agree exactly.
+    data = _blob_data(96, seed=4)
+    with ThreadExecutor(max_workers=2) as tex:
+        t_model, t_hist = _fit(data, executor=tex)
+    with ProcessExecutor(max_workers=2) as pex:
+        p_model, p_hist = _fit(data, executor=pex)
+    assert t_hist.train_loss == p_hist.train_loss
+    np.testing.assert_array_equal(
+        t_model.predict(data[0][:16]), p_model.predict(data[0][:16])
+    )
+
+
+def test_single_worker_executor_falls_back_to_serial_path():
+    data = _blob_data(64, seed=2)
+    serial_model, serial_hist = _fit(data)
+    with ProcessExecutor(max_workers=1) as ex:
+        one_model, one_hist = _fit(data, executor=ex)
+        assert ex.stats["tasks_completed"] == 0  # never dispatched
+    assert one_hist.train_loss == serial_hist.train_loss
+    np.testing.assert_array_equal(
+        one_model.predict(data[0][:8]), serial_model.predict(data[0][:8])
+    )
+
+
+# ---------------------------------------------------------------------------------
+# parallel MC-dropout probe
+# ---------------------------------------------------------------------------------
+def test_parallel_mc_probe_is_reproducible_and_statistically_consistent():
+    model = build_braggnn(width=2, seed=3)
+    x = _blob_data(32, seed=6)[0]
+    mean_serial, std_serial = mc_dropout_predict(model, x, n_samples=96)
+    with ProcessExecutor(max_workers=2) as ex:
+        mean_a, std_a = mc_dropout_predict(model, x, n_samples=96, executor=ex, seed=5)
+        mean_b, std_b = mc_dropout_predict(model, x, n_samples=96, executor=ex, seed=5)
+    # Fixed seed + worker count -> identical draws run-to-run (and the second
+    # call proves the probe left the live model's RNG out of it).
+    np.testing.assert_array_equal(mean_a, mean_b)
+    np.testing.assert_array_equal(std_a, std_b)
+    # Different dropout streams than the serial path: statistically equal.
+    assert float(np.max(np.abs(mean_a - mean_serial))) < 0.1
+    assert float(np.mean(std_a)) == pytest.approx(float(np.mean(std_serial)), rel=0.5)
+
+
+# ---------------------------------------------------------------------------------
+# certainty and labeling planes through the seam
+# ---------------------------------------------------------------------------------
+def test_fairds_certainty_batch_parity_with_process_executor():
+    images, labels = _blob_data(60, seed=8)
+    batches = [_blob_data(12, seed=s)[0] for s in (20, 21, 22)]
+
+    def build(executor=None):
+        fairds = FairDS(PCAEmbedder(embedding_dim=4), n_clusters=3, seed=0,
+                        executor=executor)
+        fairds.fit(images, labels)
+        return fairds
+
+    serial = build().certainty_batch(batches)
+    with ProcessExecutor(max_workers=2) as ex:
+        parallel = build(executor=ex).certainty_batch(batches)
+    np.testing.assert_allclose(parallel, serial, rtol=1e-8, atol=1e-10)
+
+
+def test_label_patches_parity_with_process_executor():
+    patches = _blob_data(10, seed=9)[0][:, 0]
+    serial = label_patches(patches)
+    with ProcessExecutor(max_workers=2) as ex:
+        parallel = label_patches(patches, executor=ex)
+    np.testing.assert_allclose(parallel, serial, rtol=1e-10, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------------
+# the whole loop from the "parallel" preset: executor chosen purely by spec
+# ---------------------------------------------------------------------------------
+def test_parallel_preset_runs_drift_retrain_hot_swap_cycle():
+    experiment = BraggPeakDataset(
+        make_two_phase_schedule(n_scans=14, change_at=8, seed=0),
+        peaks_per_scan=60, seed=0,
+    )
+    hist_x, hist_y = experiment.stacked(range(3))
+    benign = experiment.scan(5).images
+    drifted = experiment.scan(9).images
+
+    shm_before = _shm_count() if _has_dev_shm else None
+    with Deployment.from_preset("parallel") as dep:
+        assert dep.executor is not None and dep.executor.kind == "process"
+        dep.fit(hist_x, hist_y)
+        assert dep.zoo.promoted_version() == "v0"
+        # Bootstrap training already rode the compute plane.
+        assert dep.executor.stats["tasks_completed"] > 0
+
+        report = dep.process_scan(benign, run_id="benign")
+        assert not report.triggered
+
+        report = dep.process_scan(drifted, run_id="drifted")
+        assert report.triggered and report.swapped
+        assert report.promoted_version == "v1"
+
+        snap = dep.snapshot()
+        assert snap["executor"]["kind"] == "process"
+        assert snap["executor"]["tasks_completed"] > 0
+    assert dep.executor.closed
+    if shm_before is not None:
+        assert _shm_count() == shm_before

@@ -111,14 +111,16 @@ def test_unified_registry_covers_every_component_kind():
 
     assert component_kinds() == [
         "embedder", "clustering", "storage", "index", "model", "trigger", "policy",
+        "executor",
     ]
     assert {"pca", "autoencoder", "contrastive", "byol"} <= set(available_components("embedder"))
     assert "kmeans" in available_components("clustering")
     assert {"file", "documentdb"} <= set(available_components("storage"))
-    assert {"flat", "clustered"} <= set(available_components("index"))
+    assert {"flat", "clustered", "mmap"} <= set(available_components("index"))
     assert {"braggnn", "cookienetae", "tomogan"} <= set(available_components("model"))
     assert {"threshold", "certainty"} <= set(available_components("trigger"))
     assert {"batching", "update"} <= set(available_components("policy"))
+    assert set(available_components("executor")) == {"inline", "thread", "process"}
 
 
 def test_unified_registry_unknown_kind_and_name():

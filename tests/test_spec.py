@@ -16,6 +16,7 @@ from repro.api.spec import (
     ClusteringSpec,
     ContinualSpec,
     EmbedderSpec,
+    ExecutorSpec,
     IndexSpec,
     ModelSpec,
     ServingSpec,
@@ -235,7 +236,7 @@ def test_persist_and_load_by_digest_survive_save_load(tmp_path):
 # Presets and shipped spec files
 # ---------------------------------------------------------------------------------
 def test_preset_names_and_unknown_preset():
-    assert preset_names() == ["ann", "continual", "minimal", "observed", "serving"]
+    assert preset_names() == ["ann", "continual", "minimal", "observed", "parallel", "serving"]
     with pytest.raises(ConfigurationError, match="unknown preset"):
         preset("turbo")
 
@@ -250,11 +251,35 @@ def test_presets_compose_incrementally():
     assert {p.split(".")[0] for p in serving.diff(continual)} == {"name", "continual"}
 
 
-@pytest.mark.parametrize("name", ["minimal", "serving", "continual", "ann", "observed"])
+@pytest.mark.parametrize("name", ["minimal", "serving", "continual", "ann", "observed", "parallel"])
 def test_shipped_spec_files_match_presets(name):
     """examples/specs/*.json are the presets, verbatim (same content digest)."""
     shipped = SystemSpec.load(REPO_ROOT / "examples" / "specs" / f"{name}.json")
     assert shipped.digest() == preset(name).digest()
+
+
+def test_executor_spec_validation_and_round_trip():
+    with pytest.raises(ConfigurationError, match="unknown executor"):
+        ExecutorSpec("no-such-backend")
+    with pytest.raises(ConfigurationError, match="workers"):
+        ExecutorSpec("thread", workers=0)
+    with pytest.raises(ConfigurationError, match="max_workers"):
+        ExecutorSpec("thread", workers=2, params={"max_workers": 4})
+    spec = ExecutorSpec("process", workers=2)
+    assert ExecutorSpec.from_dict(spec.to_dict()) == spec
+    executor = spec.build()
+    try:
+        assert executor.kind == "process" and executor.max_workers == 2
+    finally:
+        executor.close()
+
+
+def test_parallel_preset_extends_continual_with_process_executor():
+    continual, parallel = preset("continual"), preset("parallel")
+    assert parallel.executor == ExecutorSpec("process", workers=2)
+    assert {p.split(".")[0] for p in continual.diff(parallel)} == {"name", "executor"}
+    # The executor rides the digest: retuning the compute plane is a config change.
+    assert parallel.digest() != continual.digest()
 
 
 def test_ann_preset_configures_ivf_with_live_knob():

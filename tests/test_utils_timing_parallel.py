@@ -2,6 +2,7 @@
 
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -138,14 +139,14 @@ def test_worker_pool_runs_target_per_worker():
         with lock:
             results.append(worker_id)
 
-    pool = WorkerPool(3, work)
+    pool = WorkerPool.internal(3, work)
     pool.start([1, 2, 3])
     pool.join(timeout=2)
     assert sorted(results) == [0, 1, 2]
 
 
 def test_worker_pool_double_start_raises():
-    pool = WorkerPool(1, lambda worker_id: None)
+    pool = WorkerPool.internal(1, lambda worker_id: None)
     pool.start()
     pool.join(timeout=1)
     with pytest.raises(RuntimeError):
@@ -154,7 +155,20 @@ def test_worker_pool_double_start_raises():
 
 def test_worker_pool_negative_workers():
     with pytest.raises(ValueError):
-        WorkerPool(-1, lambda worker_id: None)
+        WorkerPool.internal(-1, lambda worker_id: None)
+
+
+def test_worker_pool_direct_construction_is_deprecated():
+    with pytest.warns(DeprecationWarning, match="Executor seam"):
+        WorkerPool(1, lambda worker_id: None)
+
+
+def test_worker_pool_internal_constructor_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        pool = WorkerPool.internal(1, lambda worker_id: None)
+    pool.start()
+    pool.join(timeout=1)
 
 
 def test_closable_queue_iteration_stops_at_sentinel():
@@ -189,7 +203,7 @@ def test_worker_pool_join_reraises_worker_keyboard_interrupt():
         if worker_id == 1:
             raise KeyboardInterrupt
 
-    pool = WorkerPool(3, interrupted)
+    pool = WorkerPool.internal(3, interrupted)
     pool.start()
     with pytest.raises(KeyboardInterrupt):
         pool.join(timeout=2)
@@ -203,7 +217,7 @@ def test_worker_pool_records_but_does_not_reraise_ordinary_exceptions():
     def crash(worker_id):
         raise ValueError(f"worker {worker_id}")
 
-    pool = WorkerPool(2, crash)
+    pool = WorkerPool.internal(2, crash)
     pool.start()
     pool.join(timeout=2)  # must not raise
     assert len(pool.errors) == 2
