@@ -1,0 +1,174 @@
+"""Sharded lookup — scatter-gather over N shards vs one flat index.
+
+The sharded store exists for capacity and tenant isolation, not speed: every
+lookup fans out to all non-empty shards and merges the per-shard top-``k``
+lists, so the useful question is how much that costs over a single flat scan
+of the same rows.  Each shard's distance kernel still runs over ``n/S`` rows,
+so the arithmetic is conserved — the overhead is per-shard Python dispatch
+plus the vectorised merge, both of which amortise across the query batch.
+
+Acceptance bar (asserted): at the preset topology (**4 shards**) the
+scatter-gather batched-lookup latency stays within **1.3x** of the
+single-index latency at equal total size.  Result parity with the flat index
+(same keys, same order) is also asserted on every run, so the benchmark
+doubles as an end-to-end exactness check at scale.
+
+A shard-count sweep charts how the tax grows with fan-out, and a replicated
+column shows that the dedup merge keeps read latency flat when every row is
+stored twice.
+
+Results land in ``BENCH_sharded_lookup.json`` (see ``common.write_bench_json``).
+
+Run standalone:  python benchmarks/bench_sharded_lookup.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.storage import ShardedVectorStore, VectorIndex
+from repro.utils.rng import default_rng
+
+from common import print_table, write_bench_json
+
+DIM = 32
+K = 10
+
+FULL = dict(
+    n_vectors=200_000, n_queries=256, repeats=5,
+    shard_sweep=(1, 2, 4, 8, 16), assert_shards=4, assert_factor=1.3,
+)
+SMOKE = dict(
+    n_vectors=20_000, n_queries=128, repeats=3,
+    shard_sweep=(1, 4, 8), assert_shards=4, assert_factor=1.3,
+)
+
+
+def _make_corpus(n_vectors: int, n_queries: int, seed: int = 0):
+    rng = default_rng(seed)
+    vectors = rng.normal(size=(n_vectors, DIM)).astype(np.float32)
+    queries = rng.normal(size=(n_queries, DIM)).astype(np.float32)
+    return vectors, queries
+
+
+def _best_latency_ms(index, queries: np.ndarray, repeats: int) -> float:
+    """Best-of-``repeats`` batched-lookup wall time, in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        index.query_batch(queries, k=K)
+        best = min(best, (time.perf_counter() - start) * 1e3)
+    return best
+
+
+def _keys_only(results) -> List[List[str]]:
+    return [[key for key, _ in hits] for hits in results]
+
+
+def run(smoke: bool = False, report_sink=None) -> Dict[str, object]:
+    cfg = SMOKE if smoke else FULL
+    n, n_queries, repeats = cfg["n_vectors"], cfg["n_queries"], cfg["repeats"]
+    vectors, queries = _make_corpus(n, n_queries)
+    keys = [f"k{i:07d}" for i in range(n)]
+    print(f"[bench] corpus: {n} vectors, dim={DIM}, {n_queries} queries")
+
+    flat = VectorIndex(dim=DIM, dtype=np.float32)
+    flat.add(keys, vectors)
+    flat_ms = _best_latency_ms(flat, queries, repeats)
+    flat_keys = _keys_only(flat.query_batch(queries, k=K))
+    print(f"[bench] flat baseline: {flat_ms:.2f} ms / {n_queries}-query batch")
+
+    sweep_rows = []
+    curve = []
+    asserted_factor = None
+    for n_shards in cfg["shard_sweep"]:
+        store = ShardedVectorStore(dim=DIM, n_shards=n_shards, dtype=np.float32)
+        store.add(keys, vectors)
+        # Parity before timing: scatter-gather must return the flat result.
+        assert _keys_only(store.query_batch(queries, k=K)) == flat_keys, (
+            f"scatter-gather over {n_shards} shards diverged from the flat index"
+        )
+        ms = _best_latency_ms(store, queries, repeats)
+        factor = ms / flat_ms
+        if n_shards == cfg["assert_shards"]:
+            asserted_factor = factor
+        curve.append({"n_shards": n_shards, "latency_ms": round(ms, 3),
+                      "vs_flat": round(factor, 3)})
+        sweep_rows.append((n_shards, ms, factor))
+
+    print_table(
+        f"Sharded lookup — scatter-gather vs flat scan, {n} stored vectors "
+        f"[ms per {n_queries}-query batch]",
+        ["n_shards", "latency_ms", "vs_flat"],
+        sweep_rows,
+        sink=report_sink,
+    )
+
+    # Replication column: same rows stored twice, dedup merge on the read path.
+    replicated = ShardedVectorStore(
+        dim=DIM, n_shards=cfg["assert_shards"], replication=2, dtype=np.float32
+    )
+    replicated.add(keys, vectors)
+    assert _keys_only(replicated.query_batch(queries, k=K)) == flat_keys, (
+        "replicated scatter-gather diverged from the flat index"
+    )
+    repl_ms = _best_latency_ms(replicated, queries, repeats)
+    print_table(
+        f"Replication tax (n_shards={cfg['assert_shards']})",
+        ["replication", "latency_ms", "vs_flat"],
+        [(1, next(r[1] for r in sweep_rows if r[0] == cfg["assert_shards"]),
+          asserted_factor),
+         (2, repl_ms, repl_ms / flat_ms)],
+        sink=report_sink,
+    )
+
+    metrics = {
+        "flat_latency_ms": round(flat_ms, 3),
+        "curve": curve,
+        "asserted_factor": round(asserted_factor, 3),
+        "replicated_latency_ms": round(repl_ms, 3),
+        "replicated_vs_flat": round(repl_ms / flat_ms, 3),
+    }
+    write_bench_json(
+        "sharded_lookup",
+        metrics=metrics,
+        params={
+            "smoke": smoke,
+            "n_vectors": n,
+            "n_queries": n_queries,
+            "dim": DIM,
+            "k": K,
+            "shard_sweep": list(cfg["shard_sweep"]),
+            "assert_shards": cfg["assert_shards"],
+            "assert_factor": cfg["assert_factor"],
+            "repeats": repeats,
+        },
+    )
+
+    assert asserted_factor is not None
+    assert asserted_factor <= cfg["assert_factor"], (
+        f"scatter-gather over {cfg['assert_shards']} shards cost "
+        f"{asserted_factor:.2f}x the single-index latency "
+        f"(bar: <= {cfg['assert_factor']}x)"
+    )
+    return metrics
+
+
+def test_sharded_lookup(report_sink):
+    run(smoke=False, report_sink=report_sink)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced scale for CI smoke runs (1.3x bar still asserted)")
+    args = parser.parse_args()
+    run(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    main()

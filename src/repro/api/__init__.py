@@ -46,6 +46,7 @@ _EXPORTS = {
     "IndexSpec": "repro.api.spec",
     "ModelSpec": "repro.api.spec",
     "ServingSpec": "repro.api.spec",
+    "ShardingSpec": "repro.api.spec",
     "StorageSpec": "repro.api.spec",
     "SystemSpec": "repro.api.spec",
     "preset": "repro.api.spec",

@@ -147,6 +147,7 @@ def _load_builtins() -> None:
     from repro.storage.documentdb import DocumentDB, NetworkModel
     from repro.storage.file_store import FileStore
     from repro.storage.ivf_index import IVFVectorIndex
+    from repro.storage.sharded import ShardedVectorStore
     from repro.storage.vector_index import ClusteredVectorIndex, VectorIndex, open_mmap
 
     def _make_documentdb(codec=None, network=None, **kwargs: Any) -> DocumentDB:
@@ -163,6 +164,7 @@ def _load_builtins() -> None:
     _builtin("index", "clustered", ClusteredVectorIndex)
     _builtin("index", "ivf", IVFVectorIndex)
     _builtin("index", "mmap", open_mmap)
+    _builtin("index", "sharded", ShardedVectorStore)
 
     from repro.models import build_braggnn, build_cookienetae, build_tomogan_denoiser
 

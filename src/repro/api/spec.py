@@ -30,7 +30,8 @@ Named presets (:func:`preset`) describe the canonical configurations —
 micro-batching runtime), ``"continual"`` (adds the drift-triggered retraining
 loop), ``"ann"`` (the data plane with the IVF approximate index and a live
 ``n_probe`` serving knob), ``"parallel"`` (the continual loop on the
-process compute plane) — and are shipped verbatim as
+process compute plane), ``"sharded"`` (the data plane over the multi-tenant
+sharded store with fair round-robin serving) — and are shipped verbatim as
 ``examples/specs/*.json``.
 """
 
@@ -57,6 +58,7 @@ __all__ = [
     "ClusteringSpec",
     "StorageSpec",
     "IndexSpec",
+    "ShardingSpec",
     "ModelSpec",
     "ServingSpec",
     "ContinualSpec",
@@ -286,6 +288,82 @@ class IndexSpec:
 
 
 @dataclass(frozen=True)
+class ShardingSpec:
+    """Topology and tenancy of the ``"sharded"`` index backend.
+
+    Declares *how many* shard backends each tenant gets, how writes are
+    replicated across them, which registered index backend every shard runs,
+    and the per-tenant unique-key quotas — the Pulumi-style "cluster as
+    validated config" shape, so scaling out is a spec edit, not a wiring
+    script.  Only meaningful together with ``IndexSpec(backend="sharded")``;
+    :class:`SystemSpec` enforces that pairing.
+    """
+
+    shards: int = 4
+    replication: int = 1
+    shard_backend: str = "flat"
+    shard_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Default cap on unique keys per tenant (``None`` = unlimited).
+    default_quota: Optional[int] = None
+    #: Per-tenant overrides of ``default_quota``.
+    tenant_quotas: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _frozen_params(self, "shard_params")
+        _frozen_params(self, "tenant_quotas")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) or self.shards < 1:
+            raise ConfigurationError("ShardingSpec.shards must be an integer >= 1")
+        if not isinstance(self.replication, int) or isinstance(self.replication, bool) \
+                or not 1 <= self.replication <= self.shards:
+            raise ConfigurationError(
+                f"ShardingSpec.replication must be an integer in [1, shards={self.shards}]"
+            )
+        _check_registered("index", self.shard_backend, "ShardingSpec")
+        if self.shard_backend == "sharded":
+            raise ConfigurationError("ShardingSpec.shard_backend cannot itself be 'sharded'")
+        if self.default_quota is not None and (
+            not isinstance(self.default_quota, int)
+            or isinstance(self.default_quota, bool)
+            or self.default_quota < 1
+        ):
+            raise ConfigurationError("ShardingSpec.default_quota must be an integer >= 1 or null")
+        for tenant, quota in self.tenant_quotas.items():
+            if not isinstance(quota, int) or isinstance(quota, bool) or quota < 1:
+                raise ConfigurationError(
+                    f"ShardingSpec.tenant_quotas[{tenant!r}] must be an integer >= 1"
+                )
+        from repro.storage.sharded import ShardedVectorStore
+
+        # Eager trial construction builds the shard-backend template, so bad
+        # shard_params fail at spec time like every other section.
+        _trial_construct(
+            "ShardingSpec", ShardedVectorStore, dim=4,
+            n_shards=self.shards, replication=self.replication,
+            shard_backend=self.shard_backend, shard_params=self.shard_params,
+            tenant_quota=self.default_quota, tenant_quotas=self.tenant_quotas,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardingSpec":
+        return _from_dict(cls, data)
+
+    def store_params(self) -> Dict[str, Any]:
+        """The :class:`ShardedVectorStore` constructor kwargs this spec names
+        (merged under ``IndexSpec.params`` by the deployment wiring)."""
+        return {
+            "n_shards": self.shards,
+            "replication": self.replication,
+            "shard_backend": self.shard_backend,
+            "shard_params": dict(self.shard_params),
+            "tenant_quota": self.default_quota,
+            "tenant_quotas": dict(self.tenant_quotas),
+        }
+
+
+@dataclass(frozen=True)
 class ModelSpec:
     """Application model architecture plus its training hyper-parameters."""
 
@@ -502,6 +580,8 @@ class SystemSpec:
     clustering: ClusteringSpec = field(default_factory=ClusteringSpec)
     storage: StorageSpec = field(default_factory=StorageSpec)
     index: IndexSpec = field(default_factory=IndexSpec)
+    #: Shard topology and tenancy; requires ``index.backend == "sharded"``.
+    sharding: Optional[ShardingSpec] = None
     model: Optional[ModelSpec] = None
     serving: Optional[ServingSpec] = None
     continual: Optional[ContinualSpec] = None
@@ -525,6 +605,7 @@ class SystemSpec:
             if not isinstance(getattr(self, attr), cls):
                 raise ConfigurationError(f"SystemSpec.{attr} must be a {cls.__name__}")
         for attr, cls in (
+            ("sharding", ShardingSpec),
             ("model", ModelSpec), ("serving", ServingSpec),
             ("continual", ContinualSpec), ("observability", ObservabilitySpec),
             ("executor", ExecutorSpec),
@@ -542,6 +623,19 @@ class SystemSpec:
                 "SystemSpec: a 'continual' section requires a 'model' section "
                 "(the loop retrains the application model)"
             )
+        if self.sharding is not None:
+            if self.index.backend != "sharded":
+                raise ConfigurationError(
+                    "SystemSpec: a 'sharding' section requires "
+                    "IndexSpec(backend='sharded'); got "
+                    f"index.backend={self.index.backend!r}"
+                )
+            overlap = sorted(set(self.index.params) & set(self.sharding.store_params()))
+            if overlap:
+                raise ConfigurationError(
+                    f"SystemSpec: index.params must not duplicate sharding fields {overlap}; "
+                    "declare the topology once, in the 'sharding' section"
+                )
         if self.storage.backend == "file":
             raise ConfigurationError(
                 "SystemSpec.storage: the system store must be a document database "
@@ -559,6 +653,7 @@ class SystemSpec:
             "clustering": self.clustering.to_dict(),
             "storage": self.storage.to_dict(),
             "index": self.index.to_dict(),
+            "sharding": self.sharding.to_dict() if self.sharding is not None else None,
             "model": self.model.to_dict() if self.model is not None else None,
             "serving": self.serving.to_dict() if self.serving is not None else None,
             "continual": self.continual.to_dict() if self.continual is not None else None,
@@ -580,6 +675,7 @@ class SystemSpec:
                 "clustering": ClusteringSpec.from_dict,
                 "storage": StorageSpec.from_dict,
                 "index": IndexSpec.from_dict,
+                "sharding": ShardingSpec.from_dict,
                 "model": ModelSpec.from_dict,
                 "serving": ServingSpec.from_dict,
                 "continual": ContinualSpec.from_dict,
@@ -760,6 +856,28 @@ def _preset_parallel() -> SystemSpec:
     )
 
 
+def _preset_sharded() -> SystemSpec:
+    # The data plane over the multi-tenant sharded store: four flat shards
+    # per tenant, a default quota wide enough for smoke ingests, and the
+    # serving runtime in fair round-robin tenancy mode.
+    minimal = _preset_minimal()
+    return dataclasses.replace(
+        minimal,
+        name="sharded",
+        index=IndexSpec("sharded", dtype="float32"),
+        sharding=ShardingSpec(
+            shards=4,
+            replication=1,
+            shard_backend="flat",
+            default_quota=4096,
+        ),
+        serving=ServingSpec(
+            batching={"max_batch_size": 16, "max_wait_ms": 2.0, "fair_tenancy": True},
+            num_workers=2,
+        ),
+    )
+
+
 _PRESETS = {
     "minimal": _preset_minimal,
     "serving": _preset_serving,
@@ -767,6 +885,7 @@ _PRESETS = {
     "ann": _preset_ann,
     "observed": _preset_observed,
     "parallel": _preset_parallel,
+    "sharded": _preset_sharded,
 }
 
 
@@ -788,6 +907,9 @@ def preset(name: str) -> SystemSpec:
     * ``"parallel"`` — the ``"continual"`` system with the process compute
       plane (two workers, shared-memory handoff) under training, MC probes,
       and peak fitting.
+    * ``"sharded"`` — the data plane over the multi-tenant sharded store
+      (four flat shards per tenant, per-tenant quotas) with fair round-robin
+      tenancy in the serving runtime.
     """
     try:
         factory = _PRESETS[name]

@@ -14,6 +14,16 @@ queueing unboundedly), and one consumer thread repeatedly calls
 Under heavy traffic batches fill to ``max_batch_size`` back-to-back; under
 light traffic a lone request waits at most ``max_wait_ms`` before being
 served, which bounds the latency cost of batching.
+
+With ``fair_tenancy=True`` the single FIFO becomes per-tenant FIFOs drained
+round-robin: each batch interleaves one request per queued tenant in
+rotation, and admission caps any one tenant at its fair share of
+``max_queue_depth`` (``max_queue_depth // active tenants``) while others
+have requests queued — one hot tenant can neither fill a batch nor the
+queue when competing traffic is present.  A lone tenant still gets the
+whole queue (work-conserving), and untenanted requests form their own
+rotation class.  Flush semantics, close semantics, and the ``max_wait_ms``
+deadline (measured from the globally oldest queued request) are unchanged.
 """
 
 from __future__ import annotations
@@ -23,7 +33,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.utils.errors import (
     ConfigurationError,
@@ -49,11 +59,18 @@ class BatchingPolicy:
         fast with :class:`ServiceOverloadedError` instead of growing the
         queue, so overload surfaces as rejections rather than latency
         collapse or deadlock.
+    fair_tenancy:
+        Drain per-tenant queues round-robin instead of one global FIFO, and
+        cap each tenant's queued requests at its fair share of
+        ``max_queue_depth`` while other tenants are queued (see the module
+        docstring).  Off by default: untenanted workloads keep the exact
+        single-FIFO behaviour.
     """
 
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
     max_queue_depth: int = 1024
+    fair_tenancy: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -62,6 +79,8 @@ class BatchingPolicy:
             raise ConfigurationError("max_wait_ms must be non-negative")
         if self.max_queue_depth < 1:
             raise ConfigurationError("max_queue_depth must be >= 1")
+        if not isinstance(self.fair_tenancy, bool):
+            raise ConfigurationError("fair_tenancy must be a boolean")
 
 
 @dataclass
@@ -70,6 +89,8 @@ class Request:
 
     op: str
     payload: Any
+    #: Tenant the request belongs to; only consulted under ``fair_tenancy``.
+    tenant: Optional[str] = None
     future: Future = field(default_factory=Future)
     seq: int = -1  # per-op admission sequence, assigned by the batcher
     admitted_at: float = 0.0  # time.monotonic() at admission
@@ -94,6 +115,11 @@ class MicroBatcher:
         # max_wait_ms (see flush()); seq numbers start at 0, so 0 = no flush.
         self._flush_through = 0
         self._admitted = 0
+        # Fair-tenancy state (unused on the default single-FIFO path).
+        self._fair = self.policy.fair_tenancy
+        self._queues: Dict[str, Deque[Request]] = {}
+        self._ring: Deque[str] = deque()  # tenants with queued requests, rotation order
+        self._n_queued = 0
 
     # -- producer side ---------------------------------------------------------
     def submit(self, request: Request) -> int:
@@ -103,6 +129,8 @@ class MicroBatcher:
         atomically with the capacity check, so sequence numbers are dense
         over *accepted* requests (rejections consume none).
         """
+        if self._fair:
+            return self._submit_fair(request)
         with self._cond:
             if self._closed:
                 raise ServiceClosedError(f"operation {request.op!r} is no longer accepting requests")
@@ -124,9 +152,40 @@ class MicroBatcher:
                 self._cond.notify()
             return depth
 
+    def _submit_fair(self, request: Request) -> int:
+        tenant = request.tenant or ""
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError(f"operation {request.op!r} is no longer accepting requests")
+            queue = self._queues.setdefault(tenant, deque())
+            # Tenants with requests queued right now, counting this one: a
+            # lone tenant gets the whole queue (work-conserving); competing
+            # tenants are each capped at an equal share.
+            active = len(self._ring) + (0 if queue else 1)
+            share = max(1, self.policy.max_queue_depth // max(1, active))
+            if self._n_queued >= self.policy.max_queue_depth or len(queue) >= share:
+                raise ServiceOverloadedError(
+                    f"operation {request.op!r} queue is full for tenant {tenant!r} "
+                    f"(fair share {share} of max_queue_depth="
+                    f"{self.policy.max_queue_depth} across {active} active tenants)"
+                )
+            request.seq = self._admitted
+            self._admitted += 1
+            request.admitted_at = time.monotonic()
+            if not queue:
+                self._ring.append(tenant)
+            queue.append(request)
+            self._n_queued += 1
+            depth = self._n_queued
+            if depth == 1 or depth >= self.policy.max_batch_size:
+                self._cond.notify()
+            return depth
+
     # -- consumer side ---------------------------------------------------------
     def next_batch(self) -> Optional[List[Request]]:
         """Block until a batch is ready; ``None`` when closed and drained."""
+        if self._fair:
+            return self._next_batch_fair()
         policy = self.policy
         with self._cond:
             while not self._items:
@@ -147,6 +206,44 @@ class MicroBatcher:
             n = min(len(self._items), policy.max_batch_size)
             return [self._items.popleft() for _ in range(n)]
 
+    def _oldest_queued(self) -> Request:
+        """The globally oldest queued request (min seq over tenant heads)."""
+        return min((self._queues[t][0] for t in self._ring), key=lambda r: r.seq)
+
+    def _next_batch_fair(self) -> Optional[List[Request]]:
+        policy = self.policy
+        with self._cond:
+            while self._n_queued == 0:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            deadline = self._oldest_queued().admitted_at + policy.max_wait_ms / 1e3
+            while (
+                self._n_queued  # a second consumer may have drained the queue
+                and self._n_queued < policy.max_batch_size
+                and not self._closed
+                and self._oldest_queued().seq >= self._flush_through
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            # Compose the batch round-robin: one request per queued tenant in
+            # rotation, repeating until the batch fills or the queues drain.
+            # The rotation pointer persists across batches, so tenant A does
+            # not lead every batch just because it leads the ring.
+            batch: List[Request] = []
+            n = min(self._n_queued, policy.max_batch_size)
+            while len(batch) < n:
+                tenant = self._ring[0]
+                self._ring.rotate(-1)
+                queue = self._queues[tenant]
+                batch.append(queue.popleft())
+                if not queue:
+                    self._ring.remove(tenant)
+            self._n_queued -= len(batch)
+            return batch
+
     def flush(self) -> None:
         """Make everything already queued ready immediately.
 
@@ -159,7 +256,7 @@ class MicroBatcher:
         (e.g. draining the old model's traffic around a hot-swap).
         """
         with self._cond:
-            if self._items:
+            if self._items or self._n_queued:
                 self._flush_through = self._admitted
                 self._cond.notify_all()
 
@@ -176,7 +273,7 @@ class MicroBatcher:
 
     def depth(self) -> int:
         with self._cond:
-            return len(self._items)
+            return self._n_queued if self._fair else len(self._items)
 
     @property
     def admitted(self) -> int:

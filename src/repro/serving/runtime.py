@@ -192,18 +192,20 @@ class ServingRuntime:
         self.shutdown()
 
     # -- client API --------------------------------------------------------------
-    def submit(self, op: str, payload: Any) -> Future:
+    def submit(self, op: str, payload: Any, tenant: Optional[str] = None) -> Future:
         """Enqueue one request; returns the future of its result.
 
         Raises :class:`ServiceOverloadedError` when the operation's queue is
         at ``max_queue_depth`` and :class:`ServiceClosedError` when the
-        runtime is not accepting traffic.
+        runtime is not accepting traffic.  ``tenant`` tags the request for
+        the fair round-robin scheduler when the policy has
+        ``fair_tenancy=True`` (it is carried but ignored otherwise).
         """
         if op not in self._handlers:
             raise ConfigurationError(f"unknown operation {op!r}; have {self._ops}")
         if not self._started or self._closed:
             raise ServiceClosedError("serving runtime is not accepting requests")
-        request = Request(op=op, payload=payload)
+        request = Request(op=op, payload=payload, tenant=tenant)
         if self.tracer is not None:
             # None when this root lost the sampling draw — the request then
             # travels with no tracing state at all.
@@ -222,9 +224,12 @@ class ServingRuntime:
             request.trace.set_attribute("queue_depth", depth)
         return request.future
 
-    def call(self, op: str, payload: Any, timeout: Optional[float] = None) -> Any:
+    def call(
+        self, op: str, payload: Any, timeout: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> Any:
         """Submit and block for the result (the closed-loop client pattern)."""
-        return self.submit(op, payload).result(timeout=timeout)
+        return self.submit(op, payload, tenant=tenant).result(timeout=timeout)
 
     # -- live reconfiguration ----------------------------------------------------
     def swap_handler(self, op: str, handler: Handler, flush: bool = True) -> None:

@@ -24,6 +24,9 @@ Blosc) and compares training-time I/O against reading files directly from NFS
 * :mod:`repro.storage.ivf_index` — the self-training IVF approximate index:
   coarse-quantized inverted lists with a live ``n_probe`` knob and an
   optional product-quantized compressed scan path.
+* :mod:`repro.storage.sharded` — hash-routed multi-tenant sharding over any
+  registered index backend: scatter-gather lookup with an exact vectorised
+  merge, structural tenant isolation, per-tenant quotas, and replication.
 * :mod:`repro.storage.registry` — name-based construction of storage and
   index backends, plus one-shot capability probing
   (:func:`~repro.storage.registry.probe_index_capabilities`), so benchmarks
@@ -56,6 +59,7 @@ from repro.storage.registry import (
     unregister_backend,
 )
 from repro.storage.ivf_index import IVFVectorIndex
+from repro.storage.sharded import DEFAULT_TENANT, ShardedVectorStore, shard_of
 from repro.storage.vector_index import (
     VectorIndex,
     ClusteredVectorIndex,
@@ -95,4 +99,7 @@ __all__ = [
     "open_mmap",
     "save_mmap",
     "IVFVectorIndex",
+    "DEFAULT_TENANT",
+    "ShardedVectorStore",
+    "shard_of",
 ]

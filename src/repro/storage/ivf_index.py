@@ -80,6 +80,9 @@ class _Partition:
 
     def append(self, keys: Sequence[str], vectors: np.ndarray,
                codes: Optional[np.ndarray] = None) -> None:
+        # Callers (the IVF routing layer) have already evicted duplicate keys,
+        # so every append is a genuine extension and the code rows stay
+        # aligned with the inner index's rows.
         if self.codes is not None:
             assert codes is not None and codes.shape[0] == vectors.shape[0]
             needed = self._code_size + codes.shape[0]
@@ -94,6 +97,16 @@ class _Partition:
             self.codes[self._code_size : needed] = codes
             self._code_size = needed
         self.index.add(keys, vectors)
+
+    def remove(self, keys: Sequence[str]) -> None:
+        """Swap-remove ``keys``, replaying the same row moves on the PQ codes
+        so codes stay row-aligned with the inner index."""
+        moves = self.index.discard(keys)
+        if self.codes is not None:
+            for row, last in moves:
+                if row != last:
+                    self.codes[row] = self.codes[last]
+                self._code_size -= 1
 
 
 class _IVFState:
@@ -205,6 +218,11 @@ class IVFVectorIndex:
             self.dim, dtype=self.dtype, cache_query_matrix=self.cache_query_matrix
         )
         self._state: Optional[_IVFState] = None
+        # key -> partition id, maintained in trained mode only (the flat
+        # fallback keeps its own key->row map); drives last-write-wins
+        # upserts, including cross-partition moves when an updated vector
+        # re-routes to a different inverted list.
+        self._key_partition: Dict[str, int] = {}
         self._stats_lock = threading.Lock()
         self._stats = {
             "queries": 0,
@@ -237,6 +255,12 @@ class IVFVectorIndex:
             return sum(len(p.index) for p in state.partitions)
         flat = self._flat
         return len(flat) if flat is not None else 0
+
+    def __contains__(self, key: object) -> bool:
+        if self._state is not None:
+            return key in self._key_partition
+        flat = self._flat
+        return flat is not None and key in flat
 
     @property
     def is_trained(self) -> bool:
@@ -298,13 +322,25 @@ class IVFVectorIndex:
     # -- writes ------------------------------------------------------------------
     def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
         """Add vectors; trains the quantizer when the store crosses
-        ``train_threshold`` (the paid-once cost of the add that crosses it)."""
+        ``train_threshold`` (the paid-once cost of the add that crosses it).
+
+        Duplicate keys follow the same **last-write-wins** semantics as the
+        flat :class:`VectorIndex`: a stored key is overwritten (evicted from
+        its old inverted list and re-routed by its new vector — upserts may
+        move a key between partitions), and within one call only the final
+        occurrence of a repeated key is kept.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
         if vectors.shape[1] != self.dim:
             raise ValidationError(f"expected dim {self.dim}, got {vectors.shape[1]}")
         if len(keys) != vectors.shape[0]:
             raise ValidationError("keys and vectors must have the same length")
         keys = [str(k) for k in keys]
+        if len(set(keys)) != len(keys):
+            # In-batch last-write-wins, preserving first-seen key order.
+            source_rows = {k: i for i, k in enumerate(keys)}
+            keys = list(source_rows)
+            vectors = vectors[[source_rows[k] for k in keys]]
         with self._lock:
             if self._state is None:
                 assert self._flat is not None
@@ -312,7 +348,18 @@ class IVFVectorIndex:
                 if len(self._flat) >= self.train_threshold:
                     self._train_locked()
             else:
+                self._evict_existing(self._state, keys)
                 self._route_add(self._state, keys, vectors)
+
+    def _evict_existing(self, state: _IVFState, keys: Sequence[str]) -> None:
+        """Remove keys about to be overwritten from their old partitions."""
+        by_partition: Dict[int, List[str]] = {}
+        for key in keys:
+            pid = self._key_partition.get(key)
+            if pid is not None:
+                by_partition.setdefault(pid, []).append(key)
+        for pid, stale in by_partition.items():
+            state.partitions[pid].remove(stale)
 
     def train(self) -> bool:
         """Fit the quantizer now, regardless of ``train_threshold``.
@@ -420,6 +467,8 @@ class IVFVectorIndex:
                 vectors[rows],
                 codes[rows] if codes is not None else None,
             )
+            for i in rows:
+                self._key_partition[str(keys[i])] = pid
 
     # -- reads -------------------------------------------------------------------
     def _probe_sets(self, state: _IVFState, probe_order: np.ndarray, k: int,
@@ -477,9 +526,16 @@ class IVFVectorIndex:
             out.append([(keys[int(rows[j])], float(np.sqrt(d2[j]))) for j in order])
         return out, reranked
 
-    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]:
+    def query_batch(
+        self, vectors: np.ndarray, k: int = 1, allow_empty: bool = False
+    ) -> List[QueryResult]:
         """Top-``k`` ``(key, distance)`` pairs per query row, scanning only
-        each query's ``n_probe`` nearest inverted lists once trained."""
+        each query's ``n_probe`` nearest inverted lists once trained.
+
+        ``allow_empty`` mirrors :meth:`VectorIndex.query_batch`: an empty
+        index yields ``[]`` per query instead of raising, so a cold shard
+        composes into a scatter-gather merge.
+        """
         if k < 1:
             raise ValidationError("k must be >= 1")
         queries = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
@@ -492,11 +548,15 @@ class IVFVectorIndex:
                 state = self._state
                 assert state is not None
             else:
+                if len(flat) == 0 and allow_empty:
+                    return [[] for _ in range(queries.shape[0])]
                 results = flat.query_batch(queries, k=k)
                 b = queries.shape[0]
                 self._record_scan(b, partitions=b, candidates=b * len(flat), flat=b)
                 return results
         if sum(len(p.index) for p in state.partitions) == 0:
+            if allow_empty:
+                return [[] for _ in range(queries.shape[0])]
             raise StorageError("ivf vector index is empty")
         n_probe = self._n_probe  # one snapshot: the live-knob read point
 

@@ -60,10 +60,15 @@ class VectorIndex:
         self._data = np.empty((0, self.dim), dtype=self.dtype)
         self._size = 0
         self._keys: List[str] = []
+        self._key_rows: Dict[str, int] = {}
+        self._keys_cache: Optional[Tuple[str, ...]] = None
         self._query_matrix: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return self._size
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._key_rows
 
     @property
     def vectors(self) -> np.ndarray:
@@ -74,8 +79,20 @@ class VectorIndex:
 
     @property
     def keys(self) -> Tuple[str, ...]:
-        """The stored keys, row-aligned with :attr:`vectors`."""
-        return tuple(self._keys[: self._size])
+        """The stored keys, row-aligned with :attr:`vectors`.
+
+        The tuple is cached between adds: repeated access (shard statistics
+        polling, per-partition scans) is O(1), not an O(n) rebuild.  The cache
+        is keyed on the published size, so a reader racing an in-flight add
+        falls back to building (and caching) the view for the size it
+        observed.
+        """
+        cached = self._keys_cache
+        size = self._size
+        if cached is None or len(cached) != size:
+            cached = tuple(self._keys[:size])
+            self._keys_cache = cached
+        return cached
 
     # -- writes ----------------------------------------------------------------
     def _ensure_capacity(self, extra: int) -> None:
@@ -91,19 +108,77 @@ class VectorIndex:
         self._data = grown
 
     def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
+        """Add (or overwrite) vectors under ``keys``.
+
+        Duplicate keys follow **last-write-wins** semantics: a key that is
+        already stored has its vector overwritten in place (the row keeps its
+        position), and when the same key appears several times within one
+        call only the final occurrence is kept.  The index therefore never
+        holds two rows for one key, so ``query_batch`` can never return the
+        same key twice with different distances.
+        """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=self.dtype))
         if vectors.shape[1] != self.dim:
             raise ValidationError(f"expected dim {self.dim}, got {vectors.shape[1]}")
         if len(keys) != vectors.shape[0]:
             raise ValidationError("keys and vectors must have the same length")
-        n = vectors.shape[0]
-        self._ensure_capacity(n)
-        self._data[self._size : self._size + n] = vectors
-        self._keys.extend(str(k) for k in keys)
-        # Invalidate before publishing the new size so a concurrent query
-        # never pairs the stale mirror with the grown size.
-        self._query_matrix = None
-        self._size += n
+        # Last occurrence of each key wins within the batch; iteration below
+        # preserves first-seen order, so fresh keys append deterministically.
+        source_rows: Dict[str, int] = {str(k): i for i, k in enumerate(keys)}
+        overwrite_rows: List[int] = []
+        overwrite_src: List[int] = []
+        fresh_keys: List[str] = []
+        fresh_src: List[int] = []
+        for key, src in source_rows.items():
+            row = self._key_rows.get(key)
+            if row is None:
+                fresh_keys.append(key)
+                fresh_src.append(src)
+            else:
+                overwrite_rows.append(row)
+                overwrite_src.append(src)
+        if overwrite_rows:
+            self._data[np.asarray(overwrite_rows)] = vectors[np.asarray(overwrite_src)]
+            self._query_matrix = None
+        if fresh_keys:
+            n = len(fresh_keys)
+            self._ensure_capacity(n)
+            self._data[self._size : self._size + n] = vectors[fresh_src]
+            self._keys.extend(fresh_keys)
+            for offset, key in enumerate(fresh_keys):
+                self._key_rows[key] = self._size + offset
+            # Invalidate before publishing the new size so a concurrent query
+            # never pairs the stale mirror (or keys view) with the grown size.
+            self._keys_cache = None
+            self._query_matrix = None
+            self._size += n
+
+    def discard(self, keys: Sequence[str]) -> List[Tuple[int, int]]:
+        """Remove ``keys`` (absent keys are ignored) by swap-with-last.
+
+        Returns the list of ``(removed_row, former_last_row)`` moves applied,
+        in order, so callers maintaining row-aligned side arrays (e.g. the
+        IVF partitions' PQ code matrices) can replay the same compaction.
+        Unlike :meth:`add`, removal is not safe against concurrent readers —
+        callers synchronise externally (the IVF index holds its write lock).
+        """
+        moves: List[Tuple[int, int]] = []
+        for key in keys:
+            row = self._key_rows.pop(str(key), None)
+            if row is None:
+                continue
+            last = self._size - 1
+            if row != last:
+                self._data[row] = self._data[last]
+                moved_key = self._keys[last]
+                self._keys[row] = moved_key
+                self._key_rows[moved_key] = row
+            self._keys.pop()
+            self._keys_cache = None
+            self._query_matrix = None
+            self._size = last
+            moves.append((row, last))
+        return moves
 
     # -- reads -----------------------------------------------------------------
     def _topk(self, queries: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -131,11 +206,20 @@ class VectorIndex:
         idx = np.take_along_axis(idx, order, axis=1)
         return idx, np.sqrt(np.take_along_axis(selected, order, axis=1))
 
-    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]:
+    def query_batch(
+        self, vectors: np.ndarray, k: int = 1, allow_empty: bool = False
+    ) -> List[QueryResult]:
         """Top-``k`` ``(key, distance)`` pairs for every row of ``vectors``.
 
         The distance matrix, selection and ordering are computed for the whole
         batch at once — there is no per-sample Python loop on the numeric path.
+
+        An empty index raises :class:`StorageError` by default — on the
+        direct single-index path an empty store is almost always a wiring
+        bug.  Scatter-gather callers (the sharded store querying a cold
+        shard) pass ``allow_empty=True`` to receive an empty result list per
+        query instead: a shard with nothing stored contributes zero
+        candidates to the merge rather than aborting the whole lookup.
         """
         if k < 1:
             raise ValidationError("k must be >= 1")
@@ -143,6 +227,8 @@ class VectorIndex:
         if queries.shape[1] != self.dim:
             raise ValidationError(f"expected dim {self.dim}, got {queries.shape[1]}")
         if self._size == 0:
+            if allow_empty:
+                return [[] for _ in range(queries.shape[0])]
             raise StorageError("vector index is empty")
         indices, distances = self._topk(queries, k)
         keys = self._keys
@@ -241,6 +327,7 @@ class MmapVectorIndex(VectorIndex):
         self._data = vectors
         self._size = size
         self._keys = [str(k) for k in keys]
+        self._key_rows = {key: row for row, key in enumerate(self._keys)}
 
     def add(self, keys: Sequence[str], vectors: np.ndarray) -> None:
         raise StorageError(
@@ -319,7 +406,9 @@ class ClusteredVectorIndex:
             probe_lists.append(chosen)
         return probe_lists
 
-    def query_batch(self, vectors: np.ndarray, k: int = 1) -> List[QueryResult]:
+    def query_batch(
+        self, vectors: np.ndarray, k: int = 1, allow_empty: bool = False
+    ) -> List[QueryResult]:
         """Top-``k`` pairs for every row of ``vectors``, one search per partition."""
         if k < 1:
             raise ValidationError("k must be >= 1")
@@ -327,6 +416,8 @@ class ClusteredVectorIndex:
         if queries.shape[1] != self.dim:
             raise ValidationError(f"expected dim {self.dim}, got {queries.shape[1]}")
         if len(self) == 0:
+            if allow_empty:
+                return [[] for _ in range(queries.shape[0])]
             raise StorageError("clustered vector index is empty")
 
         center_d2 = pairwise_squared_distances(queries, self.centers)

@@ -236,7 +236,9 @@ def test_persist_and_load_by_digest_survive_save_load(tmp_path):
 # Presets and shipped spec files
 # ---------------------------------------------------------------------------------
 def test_preset_names_and_unknown_preset():
-    assert preset_names() == ["ann", "continual", "minimal", "observed", "parallel", "serving"]
+    assert preset_names() == [
+        "ann", "continual", "minimal", "observed", "parallel", "serving", "sharded",
+    ]
     with pytest.raises(ConfigurationError, match="unknown preset"):
         preset("turbo")
 
@@ -251,7 +253,9 @@ def test_presets_compose_incrementally():
     assert {p.split(".")[0] for p in serving.diff(continual)} == {"name", "continual"}
 
 
-@pytest.mark.parametrize("name", ["minimal", "serving", "continual", "ann", "observed", "parallel"])
+@pytest.mark.parametrize(
+    "name", ["minimal", "serving", "continual", "ann", "observed", "parallel", "sharded"]
+)
 def test_shipped_spec_files_match_presets(name):
     """examples/specs/*.json are the presets, verbatim (same content digest)."""
     shipped = SystemSpec.load(REPO_ROOT / "examples" / "specs" / f"{name}.json")
