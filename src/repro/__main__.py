@@ -15,7 +15,10 @@ the synthetic drifting Bragg-peak experiment shipped in
 beamline data: ``run`` processes scans through the continual-learning loop
 (or a one-shot model update when the spec has no ``continual`` section),
 ``serve`` answers a burst of requests through the micro-batching runtime and
-prints its telemetry.
+prints its telemetry.  With ``--port`` (and optionally ``--replicas``),
+``serve`` instead stands up the TCP network plane (:mod:`repro.net`) and
+serves until SIGINT/SIGTERM, then drains every accepted request and exits 0
+with a final telemetry line.
 """
 
 from __future__ import annotations
@@ -54,12 +57,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true", dest="as_json",
                        help="print the final deployment snapshot as JSON")
 
-    p_serve = sub.add_parser("serve", help="serve a burst of requests and print telemetry")
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a burst in-process and print telemetry, or (with --port) "
+             "serve over TCP until SIGINT/SIGTERM",
+    )
     p_serve.add_argument("spec", metavar="SPEC", help="spec JSON file")
     p_serve.add_argument("--requests", type=int, default=64,
-                         help="requests to serve before exiting (default 64)")
+                         help="requests to serve before exiting (default 64; "
+                              "in-process mode only)")
     p_serve.add_argument("--peaks", type=int, default=60,
                          help="Bragg peaks per bootstrap scan (default 60)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve over TCP on this port (0 = ephemeral) until "
+                              "SIGINT/SIGTERM, then drain and exit 0")
+    p_serve.add_argument("--host", default=None,
+                         help="bind address for --port (default: spec's network.host)")
+    p_serve.add_argument("--replicas", type=int, default=None,
+                         help="replica runtimes behind the network endpoint "
+                              "(default: spec's network.replicas)")
 
     p_observe = sub.add_parser(
         "observe",
@@ -89,7 +105,7 @@ def _cmd_presets(args: argparse.Namespace) -> int:
     for name in preset_names():
         spec = preset(name)
         sections = [
-            kind for kind in ("model", "serving", "continual")
+            kind for kind in ("model", "serving", "continual", "network")
             if getattr(spec, kind) is not None
         ]
         extras = f" (+ {', '.join(sections)})" if sections else ""
@@ -197,11 +213,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_network(args: argparse.Namespace, spec, experiment) -> int:
+    """TCP serving mode: bind, announce, serve until SIGINT/SIGTERM, then
+    drain every accepted request and exit 0 with a final telemetry line."""
+    import signal
+    import threading
+
+    from repro.api.deployment import Deployment
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # drain on SIGINT and SIGTERM alike
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        with Deployment.from_spec(spec) as dep:
+            hist_x, hist_y = experiment.stacked(range(3))
+            dep.fit(hist_x, hist_y)
+            service = dep.serve_network(
+                host=args.host, port=args.port, replicas=args.replicas
+            )
+            host, port = service.address
+            fleet = service.replica_set
+            print(f"[{spec.name}] network serving on {host}:{port} "
+                  f"replicas={len(fleet)} ops={fleet.operations}"
+                  f"{' autoscaler=on' if service.autoscaler is not None else ''}",
+                  flush=True)
+            stop.wait()
+            print(f"[{spec.name}] signal received; draining...", flush=True)
+            drained = service.drain(timeout=60.0)
+            totals = {"completed": 0, "rejected": 0, "rejected_total": 0}
+            for replica in fleet.replicas:
+                snap = replica.runtime.telemetry_snapshot()
+                totals["completed"] += snap["completed"]
+                totals["rejected"] += snap["rejected"]
+                totals["rejected_total"] += snap["rejected_total"]
+            service.close()
+            print(f"[{spec.name}] drained{'' if drained else ' (timed out)'}: "
+                  f"served {totals['completed']} requests across "
+                  f"{len(fleet.replicas)} replica(s), rejected "
+                  f"{totals['rejected_total']} lifetime", flush=True)
+        return 0
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api.deployment import Deployment
 
     spec = _load_spec(args.spec)
     experiment, _ = _experiment(10, None, args.peaks, spec.seed)
+    if args.port is not None or args.replicas is not None:
+        if args.port is None:
+            args.port = 0  # --replicas alone still means network mode
+        return _cmd_serve_network(args, spec, experiment)
     with Deployment.from_spec(spec) as dep:
         hist_x, hist_y = experiment.stacked(range(3))
         dep.fit(hist_x, hist_y)
@@ -273,6 +343,8 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         stats = dep.tracer.stats
         print(f"[{spec.name}] served {snap['completed']} requests: "
               f"p95 latency {snap['latency_ms']['p95_ms']:.2f} ms, "
+              f"rejected {snap['rejected']} "
+              f"(lifetime {snap['rejected_total']}), "
               f"{stats['roots_sampled']}/{stats['roots_started']} traces sampled "
               f"({stats['spans_buffered']} spans buffered)")
         if args.traces_out:

@@ -45,6 +45,8 @@ _EXPORTS = {
     "ExecutorSpec": "repro.api.spec",
     "IndexSpec": "repro.api.spec",
     "ModelSpec": "repro.api.spec",
+    "NetworkSpec": "repro.api.spec",
+    "ObservabilitySpec": "repro.api.spec",
     "ServingSpec": "repro.api.spec",
     "ShardingSpec": "repro.api.spec",
     "StorageSpec": "repro.api.spec",

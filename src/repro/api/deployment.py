@@ -119,6 +119,7 @@ class Deployment:
         self._runtime: Optional[ServingRuntime] = None
         self._handle: Optional[ModelHandle] = None
         self._continual: Optional[ContinualLearningPipeline] = None
+        self._network = None  # Optional[repro.net.server.NetworkService]
         self._closed = False
         # The observability plane: the metrics registry is always the
         # process-global default (every component already emits into it); a
@@ -377,6 +378,114 @@ class Deployment:
         self._runtime = runtime.start()
         return runtime
 
+    def _replica_factory(self):
+        """A :class:`~repro.net.replica.ReplicaSet` factory building one
+        started runtime per replica.
+
+        Every replica shares the read-only data plane (embedder, store,
+        index) but gets its **own** hot-swappable model handle — per-replica
+        handles are what make rolling deploys roll: one replica's handle
+        swaps while the others keep serving the old version.  Before a model
+        is promoted the predict op falls back to the lazily resolving shared
+        handler, so a fleet started pre-:meth:`fit` behaves exactly like
+        :meth:`serve` does.
+        """
+        serving = self.spec.serving
+        policy_kwargs = dict(serving.batching) if serving is not None else None
+        num_workers = serving.num_workers if serving is not None else 2
+
+        def factory(replica_id: int):
+            handle: Optional[ModelHandle] = None
+            if self.dms is not None:
+                handlers = self.service.serving_handlers()
+                try:
+                    handle = ContinualLearningPipeline.bootstrap_handle(
+                        self.dms, tag=self.tag
+                    )
+                except StorageError:
+                    handle = None
+                if handle is not None:
+                    handlers[ContinualLearningPipeline.PREDICT_OP] = versioned_handler(
+                        handle, ContinualLearningPipeline._predict_batch
+                    )
+                else:
+                    handlers[ContinualLearningPipeline.PREDICT_OP] = self._predict_handler()
+            else:
+                handlers = self._data_plane_handlers()
+            runtime = ServingRuntime(
+                handlers,
+                policy=BatchingPolicy(**policy_kwargs) if policy_kwargs is not None else None,
+                num_workers=num_workers,
+                tracer=self.tracer,
+            )
+            self._wire_index_controls(runtime)
+            runtime.start()
+            return runtime, handle
+
+        return factory
+
+    def serve_network(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        replicas: Optional[int] = None,
+    ):
+        """Start (or return the live) network serving plane: a replica fleet
+        behind a TCP endpoint speaking the :mod:`repro.net.protocol` wire
+        format, with health-checked load balancing and — when the spec's
+        ``network.autoscale`` section is set — a running autoscaler.
+
+        Arguments override the spec's ``network`` section (which itself
+        defaults to :class:`~repro.api.spec.NetworkSpec` defaults when the
+        spec has no ``network`` section at all, so any spec can be served
+        over the wire).  Returns a :class:`~repro.net.server.NetworkService`;
+        read the bound address — ephemeral by default — from its
+        ``.address``.  The service is also torn down by :meth:`close`.
+        """
+        self._require_open()
+        if self._network is not None and self._network.server.is_running:
+            return self._network
+        from repro.api.spec import NetworkSpec
+        from repro.net.autoscaler import AutoscalePolicy, Autoscaler
+        from repro.net.replica import ReplicaSet
+        from repro.net.server import NetworkServer, NetworkService
+
+        net = self.spec.network if self.spec.network is not None else NetworkSpec()
+        replica_set = ReplicaSet(
+            self._replica_factory(),
+            replicas=replicas if replicas is not None else net.replicas,
+            eject_after=net.eject_after,
+            health_interval_s=net.health_interval_s,
+            registry=self.registry,
+        )
+        try:
+            server = NetworkServer(
+                replica_set,
+                host=host if host is not None else net.host,
+                port=port if port is not None else net.port,
+                max_frame_bytes=net.max_frame_bytes,
+                max_in_flight=net.max_in_flight,
+                tracer=self.tracer,
+                registry=self.registry,
+            ).start()
+        except Exception:
+            replica_set.close()
+            raise
+        autoscaler = None
+        if net.autoscale is not None:
+            autoscaler = Autoscaler(
+                replica_set,
+                AutoscalePolicy.from_dict(dict(net.autoscale)),
+                registry=self.registry,
+            ).start()
+        self._network = NetworkService(server, replica_set, autoscaler)
+        logger.info(
+            "deployment %s: network serving on %s:%d with %d replica(s)%s",
+            self.spec.name, *server.address, len(replica_set),
+            " + autoscaler" if autoscaler is not None else "",
+        )
+        return self._network
+
     def _wire_index_controls(self, runtime: ServingRuntime) -> None:
         """Register the ``n_probe`` live knob and the ``index_scan`` stats
         provider on ``runtime``.  Before :meth:`fit` the index instance does
@@ -490,6 +599,15 @@ class Deployment:
             }
         if self._runtime is not None:
             snap["serving"] = self._runtime.telemetry_snapshot()
+        if self._network is not None:
+            fleet = self._network.replica_set
+            snap["network"] = {
+                "address": list(self._network.address),
+                "replicas": len(fleet),
+                "healthy": sum(1 for r in fleet.replicas if r.healthy),
+                "versions": {str(k): v for k, v in fleet.versions.items()},
+                "autoscaler": self._network.autoscaler is not None,
+            }
         if self.executor is not None:
             snap["executor"] = self.executor.stats
         if self.tracer is not None:
@@ -515,6 +633,8 @@ class Deployment:
         if self._closed:
             return
         self._closed = True
+        if self._network is not None:
+            self._network.close()
         if self._runtime is not None:
             self._runtime.shutdown()
         if self._service is not None:

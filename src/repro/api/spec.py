@@ -31,8 +31,9 @@ micro-batching runtime), ``"continual"`` (adds the drift-triggered retraining
 loop), ``"ann"`` (the data plane with the IVF approximate index and a live
 ``n_probe`` serving knob), ``"parallel"`` (the continual loop on the
 process compute plane), ``"sharded"`` (the data plane over the multi-tenant
-sharded store with fair round-robin serving) — and are shipped verbatim as
-``examples/specs/*.json``.
+sharded store with fair round-robin serving), ``"networked"`` (the serving
+system behind the TCP network plane with replicas and autoscaling) — and are
+shipped verbatim as ``examples/specs/*.json``.
 """
 
 from __future__ import annotations
@@ -64,6 +65,7 @@ __all__ = [
     "ContinualSpec",
     "ObservabilitySpec",
     "ExecutorSpec",
+    "NetworkSpec",
     "SystemSpec",
     "preset",
     "preset_names",
@@ -556,6 +558,69 @@ class ExecutorSpec:
         return _from_dict(cls, data)
 
 
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The network serving plane (see :mod:`repro.net`): TCP endpoint,
+    replica fleet, and optional autoscaling.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``Deployment.serve_network().address``).  ``autoscale`` holds
+    :class:`repro.net.autoscaler.AutoscalePolicy` keyword arguments —
+    ``None`` serves a fixed fleet of ``replicas``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    replicas: int = 2
+    #: Bound on one protocol frame body, either direction (bytes).
+    max_frame_bytes: int = 16 * 1024 * 1024
+    #: Per-connection cap on unanswered requests.
+    max_in_flight: int = 64
+    #: Consecutive health-probe failures before a replica is ejected.
+    eject_after: int = 3
+    #: Health-probe period of the replica set (seconds).
+    health_interval_s: float = 0.5
+    #: :class:`~repro.net.autoscaler.AutoscalePolicy` kwargs; ``None`` = fixed fleet.
+    autoscale: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError("NetworkSpec.host must be a non-empty string")
+        if not isinstance(self.port, int) or isinstance(self.port, bool) \
+                or not 0 <= self.port <= 65535:
+            raise ConfigurationError("NetworkSpec.port must be an integer in [0, 65535]")
+        for name, minimum in (("replicas", 1), ("max_frame_bytes", 1024),
+                              ("max_in_flight", 1), ("eject_after", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                raise ConfigurationError(
+                    f"NetworkSpec.{name} must be an integer >= {minimum}"
+                )
+        _check_positive_number("NetworkSpec", "health_interval_s", self.health_interval_s)
+        if self.autoscale is not None:
+            object.__setattr__(
+                self, "autoscale",
+                _check_jsonable("NetworkSpec.autoscale", self.autoscale),
+            )
+            from repro.net.autoscaler import AutoscalePolicy
+
+            trial = _trial_construct(
+                "NetworkSpec.autoscale", AutoscalePolicy.from_dict, self.autoscale
+            )
+            if trial.max_replicas < self.replicas:
+                raise ConfigurationError(
+                    "NetworkSpec.autoscale: max_replicas must be >= the initial "
+                    f"replicas ({self.replicas})"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkSpec":
+        return _from_dict(cls, data)
+
+
 # -- the composed system spec ------------------------------------------------------
 @dataclass(frozen=True)
 class SystemSpec:
@@ -588,6 +653,8 @@ class SystemSpec:
     observability: Optional[ObservabilitySpec] = None
     #: Compute-plane backend; ``None`` behaves exactly like ``kind="inline"``.
     executor: Optional[ExecutorSpec] = None
+    #: Network serving plane; ``None`` keeps serving in-process only.
+    network: Optional[NetworkSpec] = None
     #: :class:`repro.core.fairdms.UpdatePolicy` keyword arguments.
     policy: Mapping[str, Any] = field(default_factory=dict)
 
@@ -608,7 +675,7 @@ class SystemSpec:
             ("sharding", ShardingSpec),
             ("model", ModelSpec), ("serving", ServingSpec),
             ("continual", ContinualSpec), ("observability", ObservabilitySpec),
-            ("executor", ExecutorSpec),
+            ("executor", ExecutorSpec), ("network", NetworkSpec),
         ):
             value = getattr(self, attr)
             if value is not None and not isinstance(value, cls):
@@ -661,6 +728,7 @@ class SystemSpec:
                 self.observability.to_dict() if self.observability is not None else None
             ),
             "executor": self.executor.to_dict() if self.executor is not None else None,
+            "network": self.network.to_dict() if self.network is not None else None,
             "policy": dict(self.policy),
         }
 
@@ -681,6 +749,7 @@ class SystemSpec:
                 "continual": ContinualSpec.from_dict,
                 "observability": ObservabilitySpec.from_dict,
                 "executor": ExecutorSpec.from_dict,
+                "network": NetworkSpec.from_dict,
             },
         )
 
@@ -856,6 +925,39 @@ def _preset_parallel() -> SystemSpec:
     )
 
 
+def _preset_networked() -> SystemSpec:
+    # The serving system behind the TCP network plane: two replicas, a small
+    # per-connection in-flight cap (smoke clients are few), and an autoscaler
+    # sized so CLI/CI bursts can actually trip it — fast control interval,
+    # short cooldowns, and a low queue watermark.
+    serving = _preset_serving()
+    return dataclasses.replace(
+        serving,
+        name="networked",
+        network=NetworkSpec(
+            host="127.0.0.1",
+            port=0,
+            replicas=2,
+            max_in_flight=32,
+            eject_after=3,
+            health_interval_s=0.25,
+            autoscale={
+                "min_replicas": 1,
+                "max_replicas": 4,
+                "min_workers": 1,
+                "max_workers": 4,
+                "high_queue_per_replica": 8.0,
+                "low_queue_per_replica": 1.0,
+                "up_after": 2,
+                "down_after": 3,
+                "up_cooldown_s": 1.0,
+                "down_cooldown_s": 5.0,
+                "interval_s": 0.25,
+            },
+        ),
+    )
+
+
 def _preset_sharded() -> SystemSpec:
     # The data plane over the multi-tenant sharded store: four flat shards
     # per tenant, a default quota wide enough for smoke ingests, and the
@@ -886,6 +988,7 @@ _PRESETS = {
     "observed": _preset_observed,
     "parallel": _preset_parallel,
     "sharded": _preset_sharded,
+    "networked": _preset_networked,
 }
 
 
@@ -910,6 +1013,9 @@ def preset(name: str) -> SystemSpec:
     * ``"sharded"`` — the data plane over the multi-tenant sharded store
       (four flat shards per tenant, per-tenant quotas) with fair round-robin
       tenancy in the serving runtime.
+    * ``"networked"`` — the ``"serving"`` system behind the TCP network
+      plane: two replicas, client-visible typed errors, and a
+      telemetry-driven autoscaler (see :mod:`repro.net`).
     """
     try:
         factory = _PRESETS[name]

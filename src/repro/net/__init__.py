@@ -1,0 +1,86 @@
+"""Network serving plane: asyncio transport, replica sets, autoscaling.
+
+The serving runtime (:mod:`repro.serving`) is embedded — callers must share
+its process.  This package puts the same serving plane behind a TCP
+endpoint and turns one runtime into an operable *fleet*:
+
+* :mod:`~repro.net.protocol` — the wire format: length-prefixed JSON frames
+  with a reversible value codec (numpy arrays, tuples, bytes,
+  version-stamped results) and typed error frames.
+* :class:`~repro.net.server.NetworkServer` — an asyncio TCP server hosted
+  on its own thread; the event loop only parses, dispatches, and writes —
+  model work happens on runtime worker threads and completions are bridged
+  back with ``call_soon_threadsafe``.  Edge protection: max frame size,
+  per-connection in-flight caps, fast-fail on expired deadlines.
+* :class:`~repro.net.client.NetworkClient` /
+  :class:`~repro.net.client.AsyncNetworkClient` — pooled blocking client
+  and id-multiplexing asyncio client, both with per-request end-to-end
+  deadlines and jittered-backoff retries on transient faults.
+* :class:`~repro.net.replica.ReplicaSet` — R replica runtimes (sharing the
+  read-only data plane) behind a power-of-two-choices balancer, with
+  health-check ejection/recovery, live resizing, and zero-downtime
+  :meth:`~repro.net.replica.ReplicaSet.rolling_swap` model deploys.
+* :class:`~repro.net.autoscaler.Autoscaler` /
+  :class:`~repro.net.autoscaler.AutoscalePolicy` — a telemetry-driven
+  control loop scaling workers and replicas with hysteresis and cooldowns.
+* :class:`~repro.net.server.NetworkService` — the operator bundle
+  ``Deployment.serve_network`` returns (server + replicas + autoscaler).
+
+Quick example::
+
+    from repro.api import Deployment
+
+    dep = Deployment.from_preset("networked")
+    service = dep.serve_network()          # binds an ephemeral port
+    host, port = service.address
+
+    from repro.net import NetworkClient
+    with NetworkClient(host, port) as client:
+        print(client.call("query_distribution", None))
+    service.close(); dep.close()
+"""
+
+from repro.net.autoscaler import AutoscalePolicy, Autoscaler
+from repro.net.client import AsyncNetworkClient, NetworkClient, RETRIABLE_ERROR_TYPES
+from repro.net.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_TYPES,
+    decode,
+    encode,
+    encode_frame,
+    error_body,
+    read_frame,
+    write_frame,
+)
+from repro.net.replica import Replica, ReplicaSet
+from repro.net.server import NetworkServer, NetworkService
+from repro.utils.errors import (
+    DeadlineExceededError,
+    FrameTooLargeError,
+    NetworkError,
+    RemoteError,
+)
+
+__all__ = [
+    "AsyncNetworkClient",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "DeadlineExceededError",
+    "ERROR_TYPES",
+    "FrameTooLargeError",
+    "NetworkClient",
+    "NetworkError",
+    "NetworkServer",
+    "NetworkService",
+    "RETRIABLE_ERROR_TYPES",
+    "RemoteError",
+    "Replica",
+    "ReplicaSet",
+    "decode",
+    "encode",
+    "encode_frame",
+    "error_body",
+    "read_frame",
+    "write_frame",
+]

@@ -122,6 +122,13 @@ class ServingRuntime:
         self._stats_providers: Dict[str, Callable[[], Any]] = {}
         self._flushers = WorkerPool.internal(len(self._ops), self._flush_loop)
         self._workers = WorkerPool.internal(num_workers, self._work_loop)
+        # Live worker-pool scaling state (see scale_workers): extra threads
+        # beyond the construction-time pool, and the count of workers that
+        # will consume a close sentinel at shutdown.
+        self._scale_lock = threading.Lock()
+        self._worker_count = num_workers
+        self._next_worker_id = num_workers
+        self._extra_workers: List[threading.Thread] = []
         self._quiesce = threading.Condition()
         self._completed = 0
         self._started = False
@@ -178,8 +185,16 @@ class ServingRuntime:
         for batcher in self._batchers.values():
             batcher.close()
         self._flushers.join()
-        self._batch_queue.close(self._workers.num_workers)
+        # One sentinel per *live* worker: workers retired by scale_workers
+        # already have their own sentinel queued (FIFO — consumed after every
+        # batch enqueued before it), so live + pending-retirement sentinels
+        # add up to exactly the number of threads still consuming.
+        with self._scale_lock:
+            self._batch_queue.close(self._worker_count)
+            extra = list(self._extra_workers)
         self._workers.join()
+        for thread in extra:
+            thread.join()
         self.telemetry.mark_stopped()
         logger.info("serving runtime stopped: %d requests served", self._completed)
 
@@ -192,7 +207,10 @@ class ServingRuntime:
         self.shutdown()
 
     # -- client API --------------------------------------------------------------
-    def submit(self, op: str, payload: Any, tenant: Optional[str] = None) -> Future:
+    def submit(
+        self, op: str, payload: Any, tenant: Optional[str] = None,
+        trace: Optional[Span] = None,
+    ) -> Future:
         """Enqueue one request; returns the future of its result.
 
         Raises :class:`ServiceOverloadedError` when the operation's queue is
@@ -200,6 +218,11 @@ class ServingRuntime:
         runtime is not accepting traffic.  ``tenant`` tags the request for
         the fair round-robin scheduler when the policy has
         ``fair_tenancy=True`` (it is carried but ignored otherwise).
+        ``trace`` lets a caller that already opened this request's root span
+        (e.g. the network server, which times the transport phases too) hand
+        it in instead of sampling a fresh root; the runtime's lifecycle spans
+        are then recorded under the caller's root.  Ignored when the runtime
+        has no tracer.
         """
         if op not in self._handlers:
             raise ConfigurationError(f"unknown operation {op!r}; have {self._ops}")
@@ -209,7 +232,8 @@ class ServingRuntime:
         if self.tracer is not None:
             # None when this root lost the sampling draw — the request then
             # travels with no tracing state at all.
-            request.trace = self.tracer.start_trace("serving.request", op=op)
+            request.trace = trace if trace is not None \
+                else self.tracer.start_trace("serving.request", op=op)
         try:
             depth = self._batchers[op].submit(request)
         except ServingError as exc:
@@ -272,6 +296,58 @@ class ServingRuntime:
     @property
     def operations(self) -> List[str]:
         return list(self._ops)
+
+    @property
+    def num_workers(self) -> int:
+        """Worker threads currently consuming batches (live-scalable)."""
+        with self._scale_lock:
+            return self._worker_count
+
+    def load(self) -> int:
+        """Requests admitted but not yet resolved (queued or executing).
+
+        The load-balancing signal of the network plane's power-of-two-choices
+        replica picker; cheap enough to call per request (two lock reads, no
+        snapshot construction).  Slightly racy by design — admissions and
+        completions proceed concurrently — which only ever perturbs a
+        balancing hint.
+        """
+        with self._quiesce:
+            completed = self._completed
+        admitted = sum(b.admitted for b in self._batchers.values())
+        return max(0, admitted - completed)
+
+    def scale_workers(self, n: int) -> int:
+        """Grow or shrink the batch-executing worker pool of a live runtime.
+
+        Growing spawns extra consumer threads immediately.  Shrinking
+        enqueues retirement sentinels behind the batches already queued, so
+        every accepted request still executes — the pool shrinks as workers
+        reach their sentinel, never by abandoning work.  Returns the new
+        worker count.  This is the autoscaler's intra-replica axis; replica
+        count is the other one (:class:`repro.net.ReplicaSet`).
+        """
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise ConfigurationError("scale_workers requires an integer n >= 1")
+        with self._scale_lock:
+            if not self._started or self._closed:
+                raise ServingError("scale_workers requires a running runtime")
+            current = self._worker_count
+            if n > current:
+                for _ in range(n - current):
+                    worker_id = self._next_worker_id
+                    self._next_worker_id += 1
+                    thread = threading.Thread(
+                        target=self._work_loop, args=(worker_id,), daemon=True
+                    )
+                    thread.start()
+                    self._extra_workers.append(thread)
+            elif n < current:
+                self._batch_queue.close(current - n)
+            self._worker_count = n
+        if n != current:
+            logger.info("serving worker pool scaled %d -> %d", current, n)
+        return n
 
     # -- live knobs --------------------------------------------------------------
     def register_knob(

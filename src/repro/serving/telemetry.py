@@ -82,6 +82,10 @@ class ServingTelemetry:
         self._completed: Counter = Counter()
         self._failed: Counter = Counter()
         self._rejected: Counter = Counter()
+        # Cumulative across reset()/restart — admission rejections otherwise
+        # surface only as ServiceOverloadedError on the client side, so a
+        # restarted window would erase the evidence of past overload.
+        self._rejected_total: Counter = Counter()
         self._knob_values: Dict[str, Any] = {}
         self._knob_changes: Counter = Counter()
         self._started_at: Optional[float] = None
@@ -178,6 +182,7 @@ class ServingTelemetry:
     def record_rejection(self, op: str) -> None:
         with self._lock:
             self._rejected[op] += 1
+            self._rejected_total[op] += 1
         self._m_requests.labels(op=op, status="rejected").inc()
 
     def record_batch(self, op: str, size: int, wait_s: float) -> None:
@@ -297,6 +302,9 @@ class ServingTelemetry:
                 "accepted": accepted,
                 "completed": completed,
                 "rejected": rejected,
+                # Lifetime rejections (survives reset()/mark_started), so a
+                # restarted window cannot hide past admission pressure.
+                "rejected_total": sum(self._rejected_total.values()),
                 "failed": failed,
                 "in_flight": accepted - completed,
                 "throughput_rps": completed / uptime if uptime > 0 else 0.0,
@@ -322,8 +330,8 @@ class ServingTelemetry:
         lines = [
             f"serving telemetry ({snap['uptime_s']:.2f}s up)",
             f"  requests   accepted={snap['accepted']} completed={snap['completed']} "
-            f"rejected={snap['rejected']} failed={snap['failed']} "
-            f"in_flight={snap['in_flight']}",
+            f"rejected={snap['rejected']} (lifetime {snap['rejected_total']}) "
+            f"failed={snap['failed']} in_flight={snap['in_flight']}",
             f"  throughput {snap['throughput_rps']:.1f} req/s",
             f"  latency    p50={lat['p50_ms']:.2f}ms p95={lat['p95_ms']:.2f}ms "
             f"p99={lat['p99_ms']:.2f}ms max={lat['max_ms']:.2f}ms",

@@ -69,3 +69,29 @@ class ServiceOverloadedError(ServingError):
 class ServiceClosedError(ServingError):
     """A request was submitted to a serving runtime that is not accepting
     traffic (not started yet, or already shut down)."""
+
+
+class NetworkError(ReproError):
+    """Raised by the network serving plane (:mod:`repro.net`): transport
+    failures, protocol violations, and exhausted retries."""
+
+
+class FrameTooLargeError(NetworkError):
+    """A protocol frame exceeded the configured ``max_frame_bytes``.  The
+    peer rejects the frame with a typed error instead of buffering it."""
+
+
+class DeadlineExceededError(NetworkError):
+    """A network request's per-request deadline expired before a response
+    arrived (retries included)."""
+
+
+class RemoteError(NetworkError):
+    """A typed error frame returned by the server.  ``error_type`` carries
+    the wire-level error code (``"overloaded"``, ``"closed"``,
+    ``"unknown_op"``, ``"bad_request"``, ``"frame_too_large"``,
+    ``"unavailable"``, ``"deadline_exceeded"``, ``"internal"``)."""
+
+    def __init__(self, error_type: str, message: str):
+        super().__init__(f"[{error_type}] {message}")
+        self.error_type = error_type

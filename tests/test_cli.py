@@ -134,6 +134,7 @@ def test_observe_writes_parseable_metrics_and_traces(tmp_path, capsys):
                  "--traces-out", str(traces_out)]) == 0
     out = capsys.readouterr().out
     assert "traces sampled" in out and "served 16 requests" in out
+    assert "lifetime" in out  # cumulative rejected_total surfaced next to windowed
 
     # The CI smoke assertion: the scrape is parseable and the core series
     # of the naming scheme are all present.
@@ -156,3 +157,61 @@ def test_observe_auto_enables_instrumentation_on_unobserved_specs(tmp_path, caps
     assert "sample_rate=1.0" in out       # full sampling switched on
     assert "8/8 traces sampled" in out    # ...and every root really sampled
     assert "repro_requests_total" in out  # exposition printed to stdout
+
+
+def test_serve_network_mode_serves_on_the_wire_and_drains_on_sigterm(tmp_path):
+    """``repro serve --replicas N`` binds a TCP endpoint, answers wire
+    requests, and a SIGTERM triggers a graceful drain with a final telemetry
+    line and exit code 0 (the CLI satellite of the network serving plane)."""
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    import numpy as np
+
+    from repro.net import NetworkClient
+
+    spec_path = preset("networked").save(tmp_path / "networked.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(spec_path),
+         "--peaks", "40", "--port", "0", "--replicas", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env,
+    )
+    try:
+        address = None
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"network serving on ([\d.]+):(\d+) replicas=(\d+)", line)
+            if match:
+                address = (match.group(1), int(match.group(2)))
+                assert int(match.group(3)) == 2
+                break
+        assert address is not None, "server never announced its address"
+
+        with NetworkClient(*address, timeout_s=60.0) as client:
+            assert client.ping()
+            probe = np.random.RandomState(0).rand(2, 15, 15)
+            certainty = client.call("certainty", probe)
+            assert np.isfinite(float(np.asarray(certainty).mean()))
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=120.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0
+    assert "draining" in out
+    drained = re.search(r"drained: served (\d+) requests across (\d+) replica",
+                        out)
+    assert drained is not None, out
+    assert int(drained.group(1)) >= 1  # the wire call above was counted

@@ -567,3 +567,24 @@ def test_reset_zeroes_the_window_explicitly():
     tel.reset()
     snap = tel.snapshot()
     assert snap["rejected"] == 0 and snap["knobs"] == {} and snap["uptime_s"] == 0.0
+
+
+def test_rejected_total_is_cumulative_across_reset_and_restart():
+    """The windowed 'rejected' count zeroes with the window; 'rejected_total'
+    is Prometheus-counter-style lifetime accounting and survives both reset()
+    and a mark_started() restart."""
+    tel = _telemetry()
+    tel.mark_started()
+    tel.record_rejection("op")
+    tel.record_rejection("op")
+    snap = tel.snapshot()
+    assert snap["rejected"] == 2 and snap["rejected_total"] == 2
+    tel.reset()
+    snap = tel.snapshot()
+    assert snap["rejected"] == 0 and snap["rejected_total"] == 2
+    tel.mark_started()  # restart: window zeroes, lifetime does not
+    tel.record_rejection("other")
+    snap = tel.snapshot()
+    assert snap["rejected"] == 1 and snap["rejected_total"] == 3
+    # and the formatted snapshot surfaces the lifetime figure
+    assert "lifetime 3" in tel.format_snapshot()

@@ -19,6 +19,7 @@ from repro.api.spec import (
     ExecutorSpec,
     IndexSpec,
     ModelSpec,
+    NetworkSpec,
     ServingSpec,
     StorageSpec,
     SystemSpec,
@@ -237,7 +238,8 @@ def test_persist_and_load_by_digest_survive_save_load(tmp_path):
 # ---------------------------------------------------------------------------------
 def test_preset_names_and_unknown_preset():
     assert preset_names() == [
-        "ann", "continual", "minimal", "observed", "parallel", "serving", "sharded",
+        "ann", "continual", "minimal", "networked", "observed", "parallel",
+        "serving", "sharded",
     ]
     with pytest.raises(ConfigurationError, match="unknown preset"):
         preset("turbo")
@@ -254,12 +256,50 @@ def test_presets_compose_incrementally():
 
 
 @pytest.mark.parametrize(
-    "name", ["minimal", "serving", "continual", "ann", "observed", "parallel", "sharded"]
+    "name",
+    ["minimal", "serving", "continual", "ann", "observed", "parallel", "sharded",
+     "networked"],
 )
 def test_shipped_spec_files_match_presets(name):
     """examples/specs/*.json are the presets, verbatim (same content digest)."""
     shipped = SystemSpec.load(REPO_ROOT / "examples" / "specs" / f"{name}.json")
     assert shipped.digest() == preset(name).digest()
+
+
+def test_network_spec_validation_and_round_trip():
+    with pytest.raises(ConfigurationError, match="port"):
+        NetworkSpec(port=70000)
+    with pytest.raises(ConfigurationError, match="replicas"):
+        NetworkSpec(replicas=0)
+    with pytest.raises(ConfigurationError, match="max_frame_bytes"):
+        NetworkSpec(max_frame_bytes=16)
+    with pytest.raises(ConfigurationError, match="health_interval_s"):
+        NetworkSpec(health_interval_s=0)
+    # autoscale is validated by trial-constructing the policy
+    with pytest.raises(ConfigurationError, match="autoscale"):
+        NetworkSpec(autoscale={"min_replicas": 0})
+    with pytest.raises(ConfigurationError, match="unknown AutoscalePolicy"):
+        NetworkSpec(autoscale={"surprise": 1})
+    with pytest.raises(ConfigurationError, match="max_replicas must be >="):
+        NetworkSpec(replicas=4, autoscale={"max_replicas": 2})
+    spec = NetworkSpec(replicas=3, autoscale={"max_replicas": 5, "up_after": 1})
+    assert NetworkSpec.from_dict(spec.to_dict()) == spec
+    assert NetworkSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+def test_networked_preset_extends_serving_with_network_plane():
+    serving, networked = preset("serving"), preset("networked")
+    assert networked.network is not None
+    assert networked.network.replicas == 2
+    assert networked.network.autoscale is not None
+    assert {p.split(".")[0] for p in serving.diff(networked)} == {"name", "network"}
+    # The network topology rides the digest: rescaling is a config change.
+    assert networked.digest() != serving.digest()
+
+
+def test_system_spec_rejects_wrong_network_type():
+    with pytest.raises(ConfigurationError, match="network"):
+        SystemSpec(network={"port": 0})  # must be a NetworkSpec, not a dict
 
 
 def test_executor_spec_validation_and_round_trip():
